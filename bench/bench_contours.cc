@@ -1,0 +1,141 @@
+// Regenerates the paper's contour-plot figures (12-18): the analysis
+// chains run, the isograms are extracted, and the measured field ranges /
+// intervals are reported against the values printed on the paper's plots.
+//
+// Artifacts: out/<figid>_<field>.svg per plot; fig12's concept triangle as
+// out/fig12_concept.svg. Then times contour extraction per figure.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "ospl/ospl.h"
+#include "plot/svg.h"
+#include "scenarios/scenarios.h"
+
+using namespace feio;
+
+namespace {
+
+std::string slug(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (c == ' ' || c == ',' || c == '=') c = '_';
+  }
+  return s;
+}
+
+// Figure 12: the concept triangle with values bounding contours 10/20/30.
+void figure12() {
+  ospl::OsplCase c;
+  c.mesh.add_node({0.0, 0.0}, mesh::BoundaryKind::kBoundarySingle);
+  c.mesh.add_node({10.0, 0.0}, mesh::BoundaryKind::kBoundarySingle);
+  c.mesh.add_node({4.0, 8.0}, mesh::BoundaryKind::kBoundarySingle);
+  c.mesh.add_element(0, 1, 2);
+  c.values = {5.0, 15.0, 32.0};
+  c.title1 = "TYPICAL OUTPUT VALUES AND RESULTING PLOT";
+  c.delta = 10.0;
+  const ospl::OsplResult r = ospl::run(c);
+  plot::write_svg(r.plot, "out/fig12_concept.svg");
+  std::printf("fig12    concept triangle: levels");
+  for (double l : r.levels) std::printf(" %g", l);
+  std::printf("  (paper: 10 20 30), %zu segments\n", r.segments.size());
+}
+
+void print_report() {
+  std::printf("==== Contour-plot figures (paper Figures 12-18) ====\n");
+  figure12();
+  struct PaperRow {
+    const char* id;
+    const char* field;
+    const char* paper_note;
+  };
+  for (const scenarios::AnalysisOutput& out : scenarios::all_analyses()) {
+    for (const auto& f : out.fields) {
+      ospl::OsplCase c;
+      c.mesh = out.idlz.mesh;
+      c.values = f.values;
+      c.title1 = out.title;
+      c.title2 = "CONTOUR PLOT * " + f.name + " *";
+      c.delta = f.suggested_delta;
+      const ospl::OsplResult r = ospl::run(c);
+      const std::string path =
+          "out/" + out.id + "_" + slug(f.name) + ".svg";
+      plot::write_svg(r.plot, path);
+      std::printf(
+          "%-7s %-28s range %+10.3g..%+10.3g  interval %-8g segs %4zu "
+          "labels %3zu\n",
+          out.id.c_str(), f.name.c_str(), r.vmin, r.vmax, r.delta,
+          r.segments.size(), r.labels.accepted.size());
+    }
+  }
+  // Extension chains: contact seat (fig13's "MODIFIED FOR CONTACT") and
+  // thermal stress from the fig14 temperature field.
+  for (const scenarios::AnalysisOutput& out :
+       {scenarios::fig13_contact_analysis(),
+        scenarios::fig14_thermal_stress_analysis()}) {
+    const auto& f = out.fields[0];
+    ospl::OsplCase c;
+    c.mesh = out.idlz.mesh;
+    c.values = f.values;
+    c.title1 = out.title;
+    const ospl::OsplResult r = ospl::run(c);
+    plot::write_svg(r.plot, "out/" + out.id + "_" + slug(f.name) + ".svg");
+    std::printf(
+        "%-7s %-28s range %+10.3g..%+10.3g  interval %-8g segs %4zu "
+        "labels %3zu   (extension)\n",
+        out.id.c_str(), f.name.c_str(), r.vmin, r.vmax, r.delta,
+        r.segments.size(), r.labels.accepted.size());
+  }
+
+  std::printf(
+      "\nPaper reference points: fig13 'CONTOUR INTERVAL IS 2500' "
+      "(full-design-load steel hatch);\n"
+      "fig14 labels 30..110 step 10; fig17 'CONTOUR INTERVAL IS 0.10' "
+      "(unit pressure);\n"
+      "fig15/16/18 hoop compression under external pressure. Shapes match; "
+      "absolute\nlevels scale with our synthetic loads "
+      "(see EXPERIMENTS.md).\n\n");
+}
+
+void BM_AnalysisChain(benchmark::State& state) {
+  using Fn = scenarios::AnalysisOutput (*)();
+  static const Fn chains[] = {
+      scenarios::fig13_analysis, scenarios::fig14_analysis,
+      scenarios::fig15_analysis, scenarios::fig16_analysis,
+      scenarios::fig17_analysis, scenarios::fig18_analysis,
+  };
+  const Fn fn = chains[state.range(0)];
+  for (auto _ : state) {
+    scenarios::AnalysisOutput out = fn();
+    benchmark::DoNotOptimize(out.fields.size());
+  }
+  static const char* names[] = {"fig13", "fig14", "fig15",
+                                "fig16", "fig17", "fig18"};
+  state.SetLabel(names[state.range(0)]);
+}
+BENCHMARK(BM_AnalysisChain)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+void BM_ContourExtraction(benchmark::State& state) {
+  const scenarios::AnalysisOutput out = scenarios::fig13_analysis();
+  ospl::OsplCase c;
+  c.mesh = out.idlz.mesh;
+  c.values = out.fields[0].values;
+  for (auto _ : state) {
+    ospl::OsplResult r = ospl::run(c);
+    benchmark::DoNotOptimize(r.segments.size());
+  }
+  state.SetLabel("fig13 effective-stress isograms");
+}
+BENCHMARK(BM_ContourExtraction);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

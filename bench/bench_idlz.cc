@@ -1,0 +1,153 @@
+// Claim C4: "For problems of moderate size, IDLZ requires less than five
+// minutes of IBM 7090 computer time to idealize the structure and generate
+// the output. Since less than one hour of the user's time is needed to set
+// up a problem ... significant savings can be realized."
+//
+// This bench measures the modern equivalent: end-to-end IDLZ wall time per
+// production figure, a scaling sweep over synthetic assemblages up to the
+// Table 2 limits, and the pipeline broken into its stages.
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "idlz/assembler.h"
+#include "idlz/idlz.h"
+#include "idlz/punch.h"
+#include "idlz/reform.h"
+#include "idlz/renumber.h"
+#include "idlz/shaping.h"
+#include "scenarios/scenarios.h"
+
+using namespace feio;
+
+namespace {
+
+// A synthetic assemblage: `blocks` stacked rectangles of `span` columns,
+// each `rows` tall, shaped onto a gently curved strip.
+idlz::IdlzCase synthetic(int span, int rows, int blocks) {
+  idlz::IdlzCase c;
+  c.title = "SYNTHETIC STRIP";
+  c.options.limits = idlz::Limits::unlimited();
+  for (int b = 0; b < blocks; ++b) {
+    idlz::Subdivision s;
+    s.id = b + 1;
+    s.k1 = 1;
+    s.k2 = span;
+    s.l1 = 1 + b * (rows - 1);
+    s.l2 = s.l1 + rows - 1;
+    c.subdivisions.push_back(s);
+    idlz::ShapingSpec spec;
+    spec.subdivision_id = b + 1;
+    if (b == 0) {
+      spec.lines.push_back({1, 1, span, 1, {0.0, 0.0},
+                            {static_cast<double>(span - 1), 0.0}, 0.0});
+    }
+    const double y = (b + 1) * (rows - 1.0);
+    spec.lines.push_back({1, s.l2, span, s.l2, {0.0, y},
+                          {span - 1.0, y + 0.4}, 0.0});
+    c.shaping.push_back(spec);
+  }
+  return c;
+}
+
+void print_report() {
+  std::printf("==== Claim C4: idealization time ====\n");
+  std::printf("paper: < 5 min of IBM 7090 time per moderate problem,\n");
+  std::printf("       ~1 h of analyst time vs 3-4 man-days by hand.\n");
+  std::printf("measured here (see benchmark timings below): microseconds-to-\n");
+  std::printf("milliseconds per figure; the man-day asymmetry is unchanged.\n\n");
+}
+
+void BM_ProductionFigures(benchmark::State& state) {
+  const auto cases = scenarios::all_idealizations();
+  // The three production-sized figures: glass joint, hatch, cylinder.
+  static const char* ids[] = {"fig01", "fig09", "fig15"};
+  idlz::IdlzCase chosen;
+  for (const auto& nc : cases) {
+    if (nc.id == ids[state.range(0)]) chosen = nc.c;
+  }
+  chosen.options.renumber_nodes = true;
+  chosen.options.punch_output = true;
+  for (auto _ : state) {
+    idlz::IdlzResult r = idlz::run(chosen);
+    benchmark::DoNotOptimize(r.nodal_cards.size());
+  }
+  state.SetLabel(ids[state.range(0)]);
+}
+BENCHMARK(BM_ProductionFigures)->DenseRange(0, 2);
+
+void BM_SyntheticScaling(benchmark::State& state) {
+  const int blocks = static_cast<int>(state.range(0));
+  const idlz::IdlzCase c = synthetic(21, 6, blocks);
+  int nodes = 0;
+  for (auto _ : state) {
+    idlz::IdlzResult r = idlz::run(c);
+    nodes = r.mesh.num_nodes();
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["elements"] = 2.0 * 20 * 5 * blocks;
+}
+BENCHMARK(BM_SyntheticScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_StageAssemble(benchmark::State& state) {
+  const idlz::IdlzCase c = scenarios::fig09_dsrv_hatch();
+  for (auto _ : state) {
+    idlz::Assembly a = idlz::assemble(c.subdivisions, c.options.limits);
+    benchmark::DoNotOptimize(a.mesh.num_elements());
+  }
+}
+BENCHMARK(BM_StageAssemble);
+
+void BM_StageShape(benchmark::State& state) {
+  const idlz::IdlzCase c = scenarios::fig09_dsrv_hatch();
+  const idlz::Assembly base = idlz::assemble(c.subdivisions, c.options.limits);
+  for (auto _ : state) {
+    idlz::Assembly a = base;
+    idlz::ShapingReport rep =
+        idlz::shape(c.subdivisions, c.shaping, a, c.options.limits);
+    benchmark::DoNotOptimize(rep.nodes_interpolated);
+  }
+}
+BENCHMARK(BM_StageShape);
+
+void BM_StageReform(benchmark::State& state) {
+  const idlz::IdlzCase c = scenarios::fig09_dsrv_hatch();
+  idlz::Assembly shaped = idlz::assemble(c.subdivisions, c.options.limits);
+  idlz::shape(c.subdivisions, c.shaping, shaped, c.options.limits);
+  for (auto _ : state) {
+    mesh::TriMesh m = shaped.mesh;
+    idlz::ReformReport rep = idlz::reform(m);
+    benchmark::DoNotOptimize(rep.flips);
+  }
+}
+BENCHMARK(BM_StageReform);
+
+void BM_StageRenumber(benchmark::State& state) {
+  const idlz::IdlzResult r = idlz::run(scenarios::fig09_dsrv_hatch());
+  for (auto _ : state) {
+    mesh::TriMesh m = r.mesh;
+    idlz::RenumberReport rep = idlz::renumber(m);
+    benchmark::DoNotOptimize(rep.bandwidth_after);
+  }
+}
+BENCHMARK(BM_StageRenumber);
+
+void BM_StagePunch(benchmark::State& state) {
+  const idlz::IdlzResult r = idlz::run(scenarios::fig09_dsrv_hatch());
+  for (auto _ : state) {
+    std::string cards = idlz::punch_nodal_cards(r.mesh);
+    cards += idlz::punch_element_cards(r.mesh);
+    benchmark::DoNotOptimize(cards.size());
+  }
+}
+BENCHMARK(BM_StagePunch);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

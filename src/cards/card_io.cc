@@ -1,0 +1,148 @@
+#include "cards/card_io.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace feio::cards {
+
+std::vector<Field> decode(std::string_view card, const Format& format) {
+  std::vector<Field> out;
+  out.reserve(static_cast<size_t>(format.field_count()));
+  size_t col = 0;
+  for (const EditDescriptor& d : format.descriptors()) {
+    std::string_view field;
+    if (col < card.size()) {
+      field = card.substr(col, static_cast<size_t>(d.width));
+    }
+    col += static_cast<size_t>(d.width);
+    switch (d.kind) {
+      case EditKind::kSkip:
+        break;
+      case EditKind::kInt:
+        out.emplace_back(read_int_field(field));
+        break;
+      case EditKind::kFixed:
+      case EditKind::kExp:
+        out.emplace_back(read_real_field(field, d.decimals));
+        break;
+      case EditKind::kAlpha: {
+        std::string text(field);
+        text.resize(static_cast<size_t>(d.width), ' ');
+        out.emplace_back(std::move(text));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string encode(const std::vector<Field>& values, const Format& format) {
+  FEIO_REQUIRE(static_cast<int>(values.size()) == format.field_count(),
+               "value count does not match FORMAT field count");
+  std::string card;
+  size_t vi = 0;
+  for (const EditDescriptor& d : format.descriptors()) {
+    switch (d.kind) {
+      case EditKind::kSkip:
+        card.append(static_cast<size_t>(d.width), ' ');
+        break;
+      case EditKind::kInt: {
+        const Field& f = values[vi++];
+        FEIO_REQUIRE(std::holds_alternative<long>(f),
+                     "integer FORMAT field needs an integer value");
+        card += write_int_field(std::get<long>(f), d.width);
+        break;
+      }
+      case EditKind::kFixed:
+      case EditKind::kExp: {
+        const Field& f = values[vi++];
+        double v = 0.0;
+        if (std::holds_alternative<double>(f)) {
+          v = std::get<double>(f);
+        } else if (std::holds_alternative<long>(f)) {
+          v = static_cast<double>(std::get<long>(f));
+        } else {
+          fail("real FORMAT field needs a numeric value");
+        }
+        card += d.kind == EditKind::kFixed
+                    ? write_fixed_field(v, d.width, d.decimals)
+                    : write_exp_field(v, d.width, d.decimals);
+        break;
+      }
+      case EditKind::kAlpha: {
+        const Field& f = values[vi++];
+        FEIO_REQUIRE(std::holds_alternative<std::string>(f),
+                     "alpha FORMAT field needs a string value");
+        card += write_alpha_field(std::get<std::string>(f), d.width);
+        break;
+      }
+    }
+  }
+  if (card.size() < kCardWidth) card.resize(kCardWidth, ' ');
+  return card;
+}
+
+CardReader::CardReader(std::istream& in) : in_(in) {}
+
+std::optional<std::string> CardReader::next_card() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++card_number_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty() && line.front() == '*') continue;  // comment card
+    if (line.size() > kCardWidth) line.resize(kCardWidth);
+    if (line.size() < kCardWidth) line.resize(kCardWidth, ' ');
+    return line;
+  }
+  return std::nullopt;
+}
+
+std::vector<Field> CardReader::read(const Format& format) {
+  auto card = next_card();
+  FEIO_REQUIRE(card.has_value(), "deck ended while more cards were expected");
+  try {
+    return decode(*card, format);
+  } catch (const Error& e) {
+    fail(e.what(), "card " + std::to_string(card_number_));
+  }
+}
+
+void CardWriter::write(const std::vector<Field>& values, const Format& format) {
+  cards_.push_back(encode(values, format));
+}
+
+void CardWriter::write_raw(std::string_view card) {
+  std::string image(card.substr(0, kCardWidth));
+  image.resize(kCardWidth, ' ');
+  cards_.push_back(std::move(image));
+}
+
+std::string CardWriter::str() const {
+  std::string out;
+  for (const std::string& c : cards_) {
+    out += c;
+    out += '\n';
+  }
+  return out;
+}
+
+long as_int(const Field& f) {
+  FEIO_REQUIRE(std::holds_alternative<long>(f), "field is not an integer");
+  return std::get<long>(f);
+}
+
+double as_real(const Field& f) {
+  if (std::holds_alternative<double>(f)) return std::get<double>(f);
+  if (std::holds_alternative<long>(f)) {
+    return static_cast<double>(std::get<long>(f));
+  }
+  fail("field is not numeric");
+}
+
+const std::string& as_alpha(const Field& f) {
+  FEIO_REQUIRE(std::holds_alternative<std::string>(f), "field is not alpha");
+  return std::get<std::string>(f);
+}
+
+}  // namespace feio::cards

@@ -1,0 +1,77 @@
+// Card-image reading and writing on top of the FORMAT engine.
+//
+// A "card" is one 80-column record. CardReader streams cards from text and
+// decodes one card against a Format; CardWriter encodes values into card
+// images. Both keep track of the current card number so errors can point at
+// the offending card, just like a keypunch operator would want.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cards/format.h"
+
+namespace feio::cards {
+
+inline constexpr int kCardWidth = 80;
+
+// A decoded field: integers, reals, or alphanumeric payloads.
+using Field = std::variant<long, double, std::string>;
+
+// Decodes one card image against a format. Missing columns (short card)
+// read as blanks, matching card-reader behaviour.
+std::vector<Field> decode(std::string_view card, const Format& format);
+
+// Encodes values against a format into a (>= format.record_width()) card
+// image, padded with blanks to kCardWidth when shorter. Value/field type
+// mismatches are converted where lossless (int->real) and rejected
+// otherwise.
+std::string encode(const std::vector<Field>& values, const Format& format);
+
+// Streams card images (lines) from an input stream. Lines are truncated or
+// blank-padded to 80 columns; '\r' is stripped. Lines whose first column is
+// '*' are treated as comment cards and skipped (an extension over the 1970
+// decks, handy for annotated fixtures).
+class CardReader {
+ public:
+  explicit CardReader(std::istream& in);
+
+  // Next card image, or nullopt at end of deck.
+  std::optional<std::string> next_card();
+
+  // Next card decoded against `format`; throws feio::Error (with card
+  // context) when the deck ends early or a field is malformed.
+  std::vector<Field> read(const Format& format);
+
+  // 1-based number of the most recently returned card.
+  int card_number() const { return card_number_; }
+
+ private:
+  std::istream& in_;
+  int card_number_ = 0;
+};
+
+// Collects encoded card images; used for punched output.
+class CardWriter {
+ public:
+  void write(const std::vector<Field>& values, const Format& format);
+  void write_raw(std::string_view card);
+
+  const std::vector<std::string>& cards() const { return cards_; }
+  // All cards joined with newlines (trailing newline included when
+  // non-empty).
+  std::string str() const;
+
+ private:
+  std::vector<std::string> cards_;
+};
+
+// Convenience accessors with checked conversion.
+long as_int(const Field& f);
+double as_real(const Field& f);
+const std::string& as_alpha(const Field& f);
+
+}  // namespace feio::cards

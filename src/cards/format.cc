@@ -1,0 +1,231 @@
+#include "cards/format.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace feio::cards {
+namespace {
+
+struct Cursor {
+  std::string_view s;
+  size_t pos = 0;
+
+  bool done() const { return pos >= s.size(); }
+  char peek() const { return s[pos]; }
+  char take() { return s[pos++]; }
+
+  void skip_blanks() {
+    while (!done() && std::isspace(static_cast<unsigned char>(peek()))) ++pos;
+  }
+
+  // Reads an unsigned integer; returns -1 when none present.
+  int take_number() {
+    skip_blanks();
+    if (done() || !std::isdigit(static_cast<unsigned char>(peek()))) return -1;
+    int v = 0;
+    while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      v = v * 10 + (take() - '0');
+      FEIO_REQUIRE(v < 100000, "FORMAT count too large");
+    }
+    return v;
+  }
+};
+
+}  // namespace
+
+Format Format::parse(std::string_view spec) {
+  std::string upper = to_upper(trim(spec));
+  std::string_view body = upper;
+  if (!body.empty() && body.front() == '(') {
+    FEIO_REQUIRE(body.back() == ')', "FORMAT missing closing parenthesis");
+    body = body.substr(1, body.size() - 2);
+  }
+
+  Format fmt;
+  Cursor cur{body};
+  bool expect_item = true;
+  while (true) {
+    cur.skip_blanks();
+    if (cur.done()) break;
+    if (!expect_item) {
+      FEIO_REQUIRE(cur.peek() == ',', "FORMAT items must be comma separated");
+      cur.take();
+      expect_item = true;
+      continue;
+    }
+
+    const int count = cur.take_number();
+    cur.skip_blanks();
+    FEIO_REQUIRE(!cur.done(), "FORMAT ends after a repeat count");
+    const char c = cur.take();
+
+    EditDescriptor d;
+    int repeat = count < 0 ? 1 : count;
+    switch (c) {
+      case 'I':
+      case 'F':
+      case 'E':
+      case 'A': {
+        const int width = cur.take_number();
+        FEIO_REQUIRE(width > 0, std::string("FORMAT descriptor ") + c +
+                                    " requires a positive width");
+        d.width = width;
+        if (c == 'F' || c == 'E') {
+          cur.skip_blanks();
+          FEIO_REQUIRE(!cur.done() && cur.peek() == '.',
+                       std::string("FORMAT descriptor ") + c +
+                           " requires a decimal count");
+          cur.take();
+          const int dec = cur.take_number();
+          FEIO_REQUIRE(dec >= 0, "FORMAT decimal count missing");
+          d.decimals = dec;
+          d.kind = c == 'F' ? EditKind::kFixed : EditKind::kExp;
+        } else {
+          d.kind = c == 'I' ? EditKind::kInt : EditKind::kAlpha;
+        }
+        break;
+      }
+      case 'X': {
+        FEIO_REQUIRE(count > 0, "X descriptor requires a leading count");
+        d.kind = EditKind::kSkip;
+        d.width = count;
+        repeat = 1;
+        break;
+      }
+      default:
+        fail(std::string("unsupported FORMAT descriptor '") + c + "'");
+    }
+    for (int i = 0; i < repeat; ++i) fmt.items_.push_back(d);
+    expect_item = false;
+  }
+  FEIO_REQUIRE(!fmt.items_.empty(), "empty FORMAT");
+  return fmt;
+}
+
+int Format::field_count() const {
+  int n = 0;
+  for (const auto& d : items_) {
+    if (d.kind != EditKind::kSkip) ++n;
+  }
+  return n;
+}
+
+int Format::record_width() const {
+  int w = 0;
+  for (const auto& d : items_) w += d.width;
+  return w;
+}
+
+std::string Format::to_string() const {
+  std::string out = "(";
+  for (size_t i = 0; i < items_.size();) {
+    size_t j = i;
+    while (j < items_.size() && items_[j].kind == items_[i].kind &&
+           items_[j].width == items_[i].width &&
+           items_[j].decimals == items_[i].decimals &&
+           items_[i].kind != EditKind::kSkip) {
+      ++j;
+    }
+    const size_t run = std::max<size_t>(1, j - i);
+    const EditDescriptor& d = items_[i];
+    if (i + 1 < j) out += std::to_string(run);
+    switch (d.kind) {
+      case EditKind::kInt:
+        out += "I" + std::to_string(d.width);
+        break;
+      case EditKind::kFixed:
+        out += "F" + std::to_string(d.width) + "." + std::to_string(d.decimals);
+        break;
+      case EditKind::kExp:
+        out += "E" + std::to_string(d.width) + "." + std::to_string(d.decimals);
+        break;
+      case EditKind::kAlpha:
+        out += "A" + std::to_string(d.width);
+        break;
+      case EditKind::kSkip:
+        out += std::to_string(d.width) + "X";
+        break;
+    }
+    i = std::max(j, i + 1);
+    if (i < items_.size()) out += ",";
+  }
+  out += ")";
+  return out;
+}
+
+long read_int_field(std::string_view field) {
+  std::string compact;
+  compact.reserve(field.size());
+  for (char c : field) {
+    if (c == ' ') continue;  // blanks in numeric fields are ignored
+    compact.push_back(c);
+  }
+  if (compact.empty()) return 0;  // all-blank field reads as zero
+  char* end = nullptr;
+  const long v = std::strtol(compact.c_str(), &end, 10);
+  FEIO_REQUIRE(end && *end == '\0',
+               "bad integer field '" + std::string(field) + "'");
+  return v;
+}
+
+double read_real_field(std::string_view field, int implied_decimals) {
+  std::string compact;
+  compact.reserve(field.size());
+  for (char c : field) {
+    if (c == ' ') continue;
+    compact.push_back(c);
+  }
+  if (compact.empty()) return 0.0;
+
+  const bool has_point = compact.find('.') != std::string::npos;
+  const bool has_exp = compact.find_first_of("EeDd") != std::string::npos;
+  // FORTRAN D exponents.
+  for (char& c : compact) {
+    if (c == 'D' || c == 'd') c = 'E';
+  }
+  char* end = nullptr;
+  double v = std::strtod(compact.c_str(), &end);
+  FEIO_REQUIRE(end && *end == '\0',
+               "bad real field '" + std::string(field) + "'");
+  if (!has_point && !has_exp && implied_decimals > 0) {
+    v /= std::pow(10.0, implied_decimals);
+  }
+  return v;
+}
+
+std::string write_int_field(long value, int width) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%*ld", width, value);
+  std::string out = buf;
+  if (static_cast<int>(out.size()) > width) return std::string(static_cast<size_t>(width), '*');
+  return out;
+}
+
+std::string write_fixed_field(double value, int width, int decimals) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%*.*f", width, decimals, value);
+  std::string out = buf;
+  if (static_cast<int>(out.size()) > width) return std::string(static_cast<size_t>(width), '*');
+  return out;
+}
+
+std::string write_exp_field(double value, int width, int decimals) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%*.*E", width, decimals, value);
+  std::string out = buf;
+  if (static_cast<int>(out.size()) > width) return std::string(static_cast<size_t>(width), '*');
+  return out;
+}
+
+std::string write_alpha_field(std::string_view value, int width) {
+  std::string out(value.substr(0, static_cast<size_t>(width)));
+  out.resize(static_cast<size_t>(width), ' ');
+  return out;
+}
+
+}  // namespace feio::cards

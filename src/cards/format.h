@@ -1,0 +1,86 @@
+// FORTRAN FORMAT engine for fixed-column card decks.
+//
+// IDLZ reads its seven card types with FORMATs such as (4I5), (12A6) and
+// (4I5,5F8.4); OSPL reads (2I5,5F10.4) and (2F9.5,22X,F10.3,I1); and IDLZ
+// punches its output in a FORMAT supplied *as data* by the user (card type
+// 7), e.g. (2F9.5,51X,I3,5X,I3). Reproducing that behaviour requires an
+// actual runtime FORMAT interpreter, which this module provides for the
+// edit descriptors the decks use: Iw, Fw.d, Ew.d, Aw, nX, with repeat
+// counts on I/F/E/A.
+//
+// FORTRAN blank-field semantics are honoured on input: an all-blank numeric
+// field reads as zero, and an F field without an explicit decimal point has
+// the point implied `d` digits from the right.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace feio::cards {
+
+enum class EditKind {
+  kInt,    // Iw
+  kFixed,  // Fw.d
+  kExp,    // Ew.d
+  kAlpha,  // Aw
+  kSkip,   // nX
+};
+
+struct EditDescriptor {
+  EditKind kind = EditKind::kSkip;
+  int width = 0;     // field width (the skip count for nX)
+  int decimals = 0;  // d for Fw.d / Ew.d
+};
+
+// A parsed FORMAT: descriptors in order with repeat counts expanded.
+class Format {
+ public:
+  // Parses a FORMAT specification, with or without enclosing parentheses,
+  // case-insensitive, ignoring blanks: "(2F9.5, 51X, I3, 5X, I3)".
+  // Throws feio::Error on malformed input.
+  static Format parse(std::string_view spec);
+
+  const std::vector<EditDescriptor>& descriptors() const { return items_; }
+
+  // Number of value-bearing descriptors (everything except nX).
+  int field_count() const;
+
+  // Total card columns consumed by one pass over the format.
+  int record_width() const;
+
+  // Canonical text form, e.g. "(2F9.5,51X,I3,5X,I3)" (repeats re-collapsed
+  // only where adjacent descriptors are identical).
+  std::string to_string() const;
+
+ private:
+  std::vector<EditDescriptor> items_;
+};
+
+// --- Field-level reading -------------------------------------------------
+
+// Reads an integer from a fixed-width field. Blank => 0. Embedded blanks are
+// ignored (FORTRAN treats them as zeros historically; modern decks do not
+// rely on that, so we ignore them). Throws on non-numeric garbage.
+long read_int_field(std::string_view field);
+
+// Reads a real from a fixed-width field with implied decimal count `d`.
+// Blank => 0.0. Accepts F and E forms. Throws on garbage.
+double read_real_field(std::string_view field, int implied_decimals);
+
+// --- Field-level writing -------------------------------------------------
+
+// Right-justified integer in `width` columns; returns all asterisks when the
+// value does not fit (FORTRAN overflow convention).
+std::string write_int_field(long value, int width);
+
+// Fw.d output; asterisks on overflow.
+std::string write_fixed_field(double value, int width, int decimals);
+
+// Ew.d output in the 0.dddE+ee style; asterisks on overflow.
+std::string write_exp_field(double value, int width, int decimals);
+
+// Aw output: left-justified, truncated to width.
+std::string write_alpha_field(std::string_view value, int width);
+
+}  // namespace feio::cards

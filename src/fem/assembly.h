@@ -1,0 +1,98 @@
+// Static problem definition and global assembly.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fem/banded.h"
+#include "fem/element.h"
+#include "fem/material.h"
+#include "mesh/tri_mesh.h"
+
+namespace feio::fem {
+
+struct Constraint {
+  int node = -1;
+  bool fix_x = false;  // u (radial for axisymmetric)
+  bool fix_y = false;  // v (axial for axisymmetric)
+  double value_x = 0.0;
+  double value_y = 0.0;
+};
+
+struct PointLoad {
+  int node = -1;
+  geom::Vec2 force;  // total force (per radian * 2*pi for axisymmetric)
+};
+
+// Uniform pressure on the boundary edge (n1, n2), positive pushing along
+// the edge's left normal when walking n1 -> n2; for a CCW-oriented mesh
+// boundary walked CCW that normal points out of the material, so positive
+// p is an outward pull — pass a negative value (or walk the edge CW) for
+// external pressure.
+struct EdgePressure {
+  int n1 = -1;
+  int n2 = -1;
+  double p = 0.0;
+};
+
+class StaticProblem {
+ public:
+  StaticProblem(const mesh::TriMesh& mesh, Analysis analysis,
+                double thickness = 1.0);
+
+  // Materials: one default for all elements, or per-element assignment.
+  void set_material(const Material& m);
+  void set_element_material(int element, const Material& m);
+
+  void fix(int node, bool x, bool y, double ux = 0.0, double uy = 0.0);
+  void point_load(int node, geom::Vec2 f);
+  void edge_pressure(int n1, int n2, double p);
+
+  // Thermal-strain loading: nodal temperatures (e.g. a ThermalProblem
+  // snapshot), expansion coefficient, and the stress-free reference
+  // temperature. Equivalent nodal loads are assembled and the recovered
+  // stresses subtract the thermal strain — the coupling that turns the
+  // paper's Reference 3 temperature fields into thermal stresses.
+  void set_temperature_load(std::vector<double> nodal_temperature,
+                            double expansion_coefficient,
+                            double reference_temperature);
+  bool has_temperature_load() const { return !temperature_.empty(); }
+  // Element mean thermal strain (alpha * (Tbar - Tref)); 0 when unset.
+  double element_thermal_strain(int element) const;
+
+  const mesh::TriMesh& mesh() const { return *mesh_; }
+  Analysis analysis() const { return analysis_; }
+  double thickness() const { return thickness_; }
+  const Material& material_of(int element) const;
+
+  int num_dofs() const { return 2 * mesh_->num_nodes(); }
+  // Dof half-bandwidth implied by the node numbering.
+  int dof_half_bandwidth() const;
+
+  // Assembles stiffness and load vector with constraints applied.
+  // Exposed (rather than hidden in solve) for the bandwidth bench.
+  void assemble(BandedMatrix& k, std::vector<double>& rhs) const;
+
+  // Assembles without applying any constraint — the raw K and f needed to
+  // recover constraint reactions (R = K u - f), which the contact solver
+  // uses to decide which supports carry load.
+  void assemble_unconstrained(BandedMatrix& k,
+                              std::vector<double>& rhs) const;
+
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+ private:
+  const mesh::TriMesh* mesh_;
+  Analysis analysis_;
+  double thickness_;
+  Material default_material_ = Material::isotropic(1.0, 0.3);
+  std::vector<std::optional<Material>> element_material_;
+  std::vector<Constraint> constraints_;
+  std::vector<PointLoad> loads_;
+  std::vector<EdgePressure> pressures_;
+  std::vector<double> temperature_;  // per node; empty = no thermal load
+  double alpha_ = 0.0;
+  double t_ref_ = 0.0;
+};
+
+}  // namespace feio::fem

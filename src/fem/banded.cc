@@ -1,0 +1,143 @@
+#include "fem/banded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/error.h"
+
+namespace feio::fem {
+
+BandedMatrix::BandedMatrix(int n, int half_bandwidth)
+    : n_(n), hbw_(half_bandwidth) {
+  FEIO_REQUIRE(n >= 1, "matrix size must be positive");
+  FEIO_REQUIRE(half_bandwidth >= 0, "half-bandwidth must be non-negative");
+  hbw_ = std::min(hbw_, n_ - 1);
+  band_.assign(static_cast<size_t>(n_) * (hbw_ + 1), 0.0);
+}
+
+double& BandedMatrix::slot(int i, int j) {
+  return band_[static_cast<size_t>(i) * (hbw_ + 1) + static_cast<size_t>(i - j)];
+}
+
+const double& BandedMatrix::slot(int i, int j) const {
+  return band_[static_cast<size_t>(i) * (hbw_ + 1) + static_cast<size_t>(i - j)];
+}
+
+double BandedMatrix::get(int i, int j) const {
+  if (i < j) std::swap(i, j);
+  if (i - j > hbw_) return 0.0;
+  return slot(i, j);
+}
+
+void BandedMatrix::set(int i, int j, double v) {
+  if (i < j) std::swap(i, j);
+  FEIO_ASSERT(i - j <= hbw_);
+  slot(i, j) = v;
+}
+
+void BandedMatrix::add(int i, int j, double v) {
+  if (i < j) std::swap(i, j);
+  FEIO_ASSERT(i - j <= hbw_);
+  slot(i, j) += v;
+}
+
+void BandedMatrix::apply_dirichlet(int i, double value,
+                                   std::vector<double>& rhs) {
+  FEIO_ASSERT(!factorized_);
+  FEIO_ASSERT(static_cast<int>(rhs.size()) == n_);
+  const int lo = std::max(0, i - hbw_);
+  const int hi = std::min(n_ - 1, i + hbw_);
+  for (int j = lo; j <= hi; ++j) {
+    if (j == i) continue;
+    const double a = get(i, j);
+    if (a != 0.0) {
+      rhs[static_cast<size_t>(j)] -= a * value;
+      set(i, j, 0.0);
+    }
+  }
+  set(i, i, 1.0);
+  rhs[static_cast<size_t>(i)] = value;
+}
+
+void BandedMatrix::multiply(const std::vector<double>& x,
+                            std::vector<double>& y) const {
+  FEIO_ASSERT(!factorized_);
+  FEIO_ASSERT(static_cast<int>(x.size()) == n_);
+  y.assign(static_cast<size_t>(n_), 0.0);
+  for (int i = 0; i < n_; ++i) {
+    const int lo = std::max(0, i - hbw_);
+    double acc = slot(i, i) * x[static_cast<size_t>(i)];
+    for (int j = lo; j < i; ++j) {
+      const double a = slot(i, j);
+      acc += a * x[static_cast<size_t>(j)];
+      y[static_cast<size_t>(j)] += a * x[static_cast<size_t>(i)];
+    }
+    y[static_cast<size_t>(i)] += acc;
+  }
+}
+
+void BandedMatrix::factorize() {
+  FEIO_ASSERT(!factorized_);
+  // Pivot tolerance relative to the matrix scale: a pivot this small means
+  // the system is singular to working precision (usually a structure with
+  // an unconstrained rigid-body mode).
+  double max_diag = 0.0;
+  for (int j = 0; j < n_; ++j) max_diag = std::max(max_diag, slot(j, j));
+  const double tol = 1e-12 * std::max(max_diag, 1e-300);
+
+  // LDL^T restricted to the band: L unit lower-triangular stored in the
+  // strictly-lower band slots, D on the diagonal slots.
+  for (int j = 0; j < n_; ++j) {
+    double d = slot(j, j);
+    const int lo = std::max(0, j - hbw_);
+    for (int k = lo; k < j; ++k) {
+      const double ljk = slot(j, k);
+      d -= ljk * ljk * slot(k, k);
+    }
+    FEIO_REQUIRE(d > tol,
+                 "non-positive pivot at equation " + std::to_string(j) +
+                     " (structure under-constrained or matrix indefinite)");
+    slot(j, j) = d;
+
+    const int hi = std::min(n_ - 1, j + hbw_);
+    for (int i = j + 1; i <= hi; ++i) {
+      double lij = slot(i, j);
+      const int klo = std::max({0, i - hbw_, j - hbw_});
+      for (int k = klo; k < j; ++k) {
+        lij -= slot(i, k) * slot(j, k) * slot(k, k);
+      }
+      slot(i, j) = lij / d;
+    }
+  }
+  factorized_ = true;
+}
+
+void BandedMatrix::solve(std::vector<double>& rhs) const {
+  FEIO_ASSERT(factorized_);
+  FEIO_ASSERT(static_cast<int>(rhs.size()) == n_);
+  // Forward substitution: L y = rhs.
+  for (int i = 0; i < n_; ++i) {
+    const int lo = std::max(0, i - hbw_);
+    double y = rhs[static_cast<size_t>(i)];
+    for (int k = lo; k < i; ++k) {
+      y -= slot(i, k) * rhs[static_cast<size_t>(k)];
+    }
+    rhs[static_cast<size_t>(i)] = y;
+  }
+  // Diagonal: z = D^-1 y.
+  for (int i = 0; i < n_; ++i) {
+    rhs[static_cast<size_t>(i)] /= slot(i, i);
+  }
+  // Back substitution: L^T x = z.
+  for (int i = n_ - 1; i >= 0; --i) {
+    const int hi = std::min(n_ - 1, i + hbw_);
+    double x = rhs[static_cast<size_t>(i)];
+    for (int k = i + 1; k <= hi; ++k) {
+      x -= slot(k, i) * rhs[static_cast<size_t>(k)];
+    }
+    rhs[static_cast<size_t>(i)] = x;
+  }
+}
+
+}  // namespace feio::fem

@@ -1,0 +1,154 @@
+#include "fem/element.h"
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "util/error.h"
+
+namespace feio::fem {
+namespace {
+
+struct Gradients {
+  // Shape-function gradient coefficients: dN_i/dx = b[i]/(2A),
+  // dN_i/dy = c[i]/(2A).
+  std::array<double, 3> b{};
+  std::array<double, 3> c{};
+  double area = 0.0;      // signed
+  double rbar = 0.0;      // centroid x (radius for axisymmetric)
+};
+
+Gradients gradients(const mesh::TriMesh& mesh, int e) {
+  const auto p = mesh.corners(e);
+  Gradients g;
+  g.b = {p[1].y - p[2].y, p[2].y - p[0].y, p[0].y - p[1].y};
+  g.c = {p[2].x - p[1].x, p[0].x - p[2].x, p[1].x - p[0].x};
+  g.area = geom::signed_area2(p[0], p[1], p[2]) / 2.0;
+  g.rbar = (p[0].x + p[1].x + p[2].x) / 3.0;
+  FEIO_REQUIRE(g.area > 0.0, "element " + std::to_string(e) +
+                                 " has non-positive area (orient the mesh "
+                                 "CCW before analysis)");
+  return g;
+}
+
+std::array<std::array<double, 6>, 4> strain_displacement(const Gradients& g,
+                                                         Analysis analysis) {
+  std::array<std::array<double, 6>, 4> b{};
+  const double inv2a = 1.0 / (2.0 * g.area);
+  for (int i = 0; i < 3; ++i) {
+    const auto ui = static_cast<size_t>(2 * i);
+    const auto vi = static_cast<size_t>(2 * i + 1);
+    b[0][ui] = g.b[static_cast<size_t>(i)] * inv2a;  // eps11 = du/dx
+    b[1][vi] = g.c[static_cast<size_t>(i)] * inv2a;  // eps22 = dv/dy
+    b[3][ui] = g.c[static_cast<size_t>(i)] * inv2a;  // gamma12
+    b[3][vi] = g.b[static_cast<size_t>(i)] * inv2a;
+    if (analysis == Analysis::kAxisymmetric) {
+      // Hoop strain u_r / r at the centroid, where each N_i = 1/3.
+      b[2][ui] = 1.0 / (3.0 * g.rbar);
+    }
+  }
+  return b;
+}
+
+double weight_of(const Gradients& g, Analysis analysis, double thickness) {
+  if (analysis == Analysis::kAxisymmetric) {
+    FEIO_REQUIRE(g.rbar > 0.0,
+                 "axisymmetric element centroid has non-positive radius");
+    return 2.0 * std::numbers::pi * g.rbar * g.area;
+  }
+  return thickness * g.area;
+}
+
+}  // namespace
+
+double Stress::von_mises() const {
+  const double d1 = s11 - s22;
+  const double d2 = s22 - s33;
+  const double d3 = s33 - s11;
+  return std::sqrt(0.5 * (d1 * d1 + d2 * d2 + d3 * d3) + 3.0 * s12 * s12);
+}
+
+std::array<double, 2> Stress::principal() const {
+  const double mean = (s11 + s22) / 2.0;
+  const double r = std::hypot((s11 - s22) / 2.0, s12);
+  return {mean + r, mean - r};
+}
+
+ElementMatrices cst_matrices(const mesh::TriMesh& mesh, int e,
+                             const DMatrix& d, Analysis analysis,
+                             double thickness) {
+  const Gradients g = gradients(mesh, e);
+  ElementMatrices out;
+  out.b = strain_displacement(g, analysis);
+  out.area = g.area;
+  out.weight = weight_of(g, analysis, thickness);
+
+  // K = weight * B^T D B.
+  std::array<std::array<double, 6>, 4> db{};
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 6; ++c) {
+      double v = 0.0;
+      for (int k = 0; k < 4; ++k) {
+        v += d[static_cast<size_t>(r)][static_cast<size_t>(k)] *
+             out.b[static_cast<size_t>(k)][static_cast<size_t>(c)];
+      }
+      db[static_cast<size_t>(r)][static_cast<size_t>(c)] = v;
+    }
+  }
+  for (int r = 0; r < 6; ++r) {
+    for (int c = 0; c < 6; ++c) {
+      double v = 0.0;
+      for (int k = 0; k < 4; ++k) {
+        v += out.b[static_cast<size_t>(k)][static_cast<size_t>(r)] *
+             db[static_cast<size_t>(k)][static_cast<size_t>(c)];
+      }
+      out.k[static_cast<size_t>(r)][static_cast<size_t>(c)] = v * out.weight;
+    }
+  }
+  return out;
+}
+
+Stress cst_stress(const mesh::TriMesh& mesh, int e, const DMatrix& d,
+                  Analysis analysis, const std::array<double, 6>& u_local) {
+  const Gradients g = gradients(mesh, e);
+  const auto b = strain_displacement(g, analysis);
+  std::array<double, 4> eps{};
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 6; ++c) {
+      eps[static_cast<size_t>(r)] +=
+          b[static_cast<size_t>(r)][static_cast<size_t>(c)] *
+          u_local[static_cast<size_t>(c)];
+    }
+  }
+  std::array<double, 4> sig{};
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      sig[static_cast<size_t>(r)] +=
+          d[static_cast<size_t>(r)][static_cast<size_t>(c)] *
+          eps[static_cast<size_t>(c)];
+    }
+  }
+  return Stress{sig[0], sig[1], sig[2], sig[3]};
+}
+
+ThermalElement thermal_matrices(const mesh::TriMesh& mesh, int e,
+                                double conductivity,
+                                double volumetric_heat_capacity,
+                                Analysis analysis, double thickness) {
+  FEIO_REQUIRE(conductivity > 0.0, "conductivity must be positive");
+  const Gradients g = gradients(mesh, e);
+  const double w = weight_of(g, analysis, thickness);
+  ThermalElement out;
+  const double factor = conductivity * w / (4.0 * g.area * g.area);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      out.k[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          factor * (g.b[static_cast<size_t>(i)] * g.b[static_cast<size_t>(j)] +
+                    g.c[static_cast<size_t>(i)] * g.c[static_cast<size_t>(j)]);
+    }
+  }
+  out.lumped_capacitance_per_node = volumetric_heat_capacity * w / 3.0;
+  return out;
+}
+
+}  // namespace feio::fem

@@ -1,0 +1,64 @@
+// Constant-strain triangle (CST) element matrices for plane stress, plane
+// strain, and axisymmetric (ring triangle) analysis.
+//
+// The axisymmetric formulation evaluates the hoop term N_i / r at the
+// element centroid — the classic Clough/Wilson-era treatment used by the
+// axisymmetric analysis programs of the paper's era (its Reference 1).
+#pragma once
+
+#include <array>
+
+#include "fem/material.h"
+#include "mesh/tri_mesh.h"
+
+namespace feio::fem {
+
+// Stress in Voigt order (s11, s22, s33, s12):
+//   plane:        (sigma_x, sigma_y, sigma_out-of-plane, tau_xy)
+//   axisymmetric: (sigma_r, sigma_z, sigma_hoop, tau_rz)
+struct Stress {
+  double s11 = 0.0;
+  double s22 = 0.0;
+  double s33 = 0.0;
+  double s12 = 0.0;
+
+  // Von Mises ("effective") stress including the out-of-plane component.
+  double von_mises() const;
+  // In-plane principal stresses (s33 ignored), max then min.
+  std::array<double, 2> principal() const;
+};
+
+struct ElementMatrices {
+  // 6x6 stiffness over dofs (u1, v1, u2, v2, u3, v3).
+  std::array<std::array<double, 6>, 6> k{};
+  // 4x6 strain-displacement matrix at the centroid.
+  std::array<std::array<double, 6>, 4> b{};
+  // Integration weight: thickness * area (plane) or 2*pi*rbar*area (axi).
+  double weight = 0.0;
+  double area = 0.0;
+};
+
+// Builds B and K for element `e`. Throws feio::Error on degenerate
+// (zero-area) elements or, for axisymmetric analysis, elements whose
+// centroid radius is non-positive.
+ElementMatrices cst_matrices(const mesh::TriMesh& mesh, int e,
+                             const DMatrix& d, Analysis analysis,
+                             double thickness);
+
+// Centroidal element stress given the 6 local dof values.
+Stress cst_stress(const mesh::TriMesh& mesh, int e, const DMatrix& d,
+                  Analysis analysis, const std::array<double, 6>& u_local);
+
+// 3x3 heat-conduction matrix (isotropic conductivity) and the lumped
+// capacitance weight per node. Same centroid-radius rule for axisymmetric.
+struct ThermalElement {
+  std::array<std::array<double, 3>, 3> k{};
+  double lumped_capacitance_per_node = 0.0;  // rho*c * volume / 3
+};
+
+ThermalElement thermal_matrices(const mesh::TriMesh& mesh, int e,
+                                double conductivity,
+                                double volumetric_heat_capacity,
+                                Analysis analysis, double thickness);
+
+}  // namespace feio::fem

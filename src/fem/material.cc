@@ -1,0 +1,107 @@
+#include "fem/material.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace feio::fem {
+namespace {
+
+using Mat3 = std::array<std::array<double, 3>, 3>;
+
+Mat3 invert3(const Mat3& a) {
+  const double det =
+      a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1]) -
+      a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0]) +
+      a[0][2] * (a[1][0] * a[2][1] - a[1][1] * a[2][0]);
+  FEIO_REQUIRE(std::abs(det) > 1e-300,
+               "material compliance matrix is singular");
+  const double inv = 1.0 / det;
+  Mat3 r;
+  r[0][0] = (a[1][1] * a[2][2] - a[1][2] * a[2][1]) * inv;
+  r[0][1] = (a[0][2] * a[2][1] - a[0][1] * a[2][2]) * inv;
+  r[0][2] = (a[0][1] * a[1][2] - a[0][2] * a[1][1]) * inv;
+  r[1][0] = (a[1][2] * a[2][0] - a[1][0] * a[2][2]) * inv;
+  r[1][1] = (a[0][0] * a[2][2] - a[0][2] * a[2][0]) * inv;
+  r[1][2] = (a[0][2] * a[1][0] - a[0][0] * a[1][2]) * inv;
+  r[2][0] = (a[1][0] * a[2][1] - a[1][1] * a[2][0]) * inv;
+  r[2][1] = (a[0][1] * a[2][0] - a[0][0] * a[2][1]) * inv;
+  r[2][2] = (a[0][0] * a[1][1] - a[0][1] * a[1][0]) * inv;
+  return r;
+}
+
+// Normal-strain compliance of the orthotropic solid.
+Mat3 compliance(const Material& m) {
+  FEIO_REQUIRE(m.e1 > 0.0 && m.e2 > 0.0 && m.e3 > 0.0,
+               "elastic moduli must be positive");
+  Mat3 s{};
+  s[0][0] = 1.0 / m.e1;
+  s[1][1] = 1.0 / m.e2;
+  s[2][2] = 1.0 / m.e3;
+  s[0][1] = s[1][0] = -m.nu12 / m.e1;
+  s[0][2] = s[2][0] = -m.nu13 / m.e1;
+  s[1][2] = s[2][1] = -m.nu23 / m.e2;
+  return s;
+}
+
+}  // namespace
+
+Material Material::isotropic(double e, double nu) {
+  Material m;
+  m.e1 = m.e2 = m.e3 = e;
+  m.nu12 = m.nu13 = m.nu23 = nu;
+  m.g12 = e / (2.0 * (1.0 + nu));
+  return m;
+}
+
+Material Material::orthotropic(double e1, double e2, double e3, double nu12,
+                               double nu13, double nu23, double g12) {
+  Material m;
+  m.e1 = e1;
+  m.e2 = e2;
+  m.e3 = e3;
+  m.nu12 = nu12;
+  m.nu13 = nu13;
+  m.nu23 = nu23;
+  m.g12 = g12;
+  return m;
+}
+
+bool Material::is_isotropic() const {
+  return e1 == e2 && e2 == e3 && nu12 == nu13 && nu13 == nu23 &&
+         std::abs(g12 - e1 / (2.0 * (1.0 + nu12))) < 1e-9 * e1;
+}
+
+DMatrix constitutive(const Material& m, Analysis analysis) {
+  FEIO_REQUIRE(m.g12 > 0.0, "shear modulus must be positive");
+  DMatrix d{};
+  switch (analysis) {
+    case Analysis::kPlaneStress: {
+      // Condense sigma33 = 0: invert the (1,2) block of the compliance.
+      const Mat3 s = compliance(m);
+      const double det = s[0][0] * s[1][1] - s[0][1] * s[1][0];
+      FEIO_REQUIRE(det > 0.0, "inadmissible plane-stress material");
+      d[0][0] = s[1][1] / det;
+      d[1][1] = s[0][0] / det;
+      d[0][1] = d[1][0] = -s[0][1] / det;
+      break;
+    }
+    case Analysis::kPlaneStrain:
+    case Analysis::kAxisymmetric: {
+      // Full 3x3 normal-stress stiffness; plane strain simply feeds
+      // eps33 = 0 through it (and reads back sigma33), axisymmetric feeds
+      // the hoop strain u_r / r.
+      const Mat3 c = invert3(compliance(m));
+      FEIO_REQUIRE(c[0][0] > 0.0 && c[1][1] > 0.0 && c[2][2] > 0.0,
+                   "inadmissible material: stiffness not positive definite");
+      for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) d[static_cast<size_t>(i)][static_cast<size_t>(j)] = c[static_cast<size_t>(i)][static_cast<size_t>(j)];
+      }
+      break;
+    }
+  }
+  d[3][3] = m.g12;
+  return d;
+}
+
+}  // namespace feio::fem

@@ -1,0 +1,21 @@
+#include "fem/solver.h"
+
+namespace feio::fem {
+
+StaticSolution solve(const StaticProblem& problem) {
+  BandedMatrix k(problem.num_dofs(), problem.dof_half_bandwidth());
+  std::vector<double> rhs;
+  problem.assemble(k, rhs);
+  k.factorize();
+  k.solve(rhs);
+
+  StaticSolution sol;
+  sol.displacement.resize(static_cast<size_t>(problem.mesh().num_nodes()));
+  for (int n = 0; n < problem.mesh().num_nodes(); ++n) {
+    sol.displacement[static_cast<size_t>(n)] = {
+        rhs[static_cast<size_t>(2 * n)], rhs[static_cast<size_t>(2 * n + 1)]};
+  }
+  return sol;
+}
+
+}  // namespace feio::fem

@@ -1,0 +1,22 @@
+// Static linear solve: displacements from a StaticProblem.
+#pragma once
+
+#include <vector>
+
+#include "fem/assembly.h"
+
+namespace feio::fem {
+
+struct StaticSolution {
+  std::vector<geom::Vec2> displacement;  // one per node
+
+  geom::Vec2 at(int node) const {
+    return displacement[static_cast<size_t>(node)];
+  }
+};
+
+// Assembles, applies constraints, factorizes (banded LDL^T) and solves.
+// Throws feio::Error on singular systems.
+StaticSolution solve(const StaticProblem& problem);
+
+}  // namespace feio::fem

@@ -1,0 +1,44 @@
+// Stress recovery: element stresses and the nodal fields OSPL plots.
+//
+// "Output from a finite element analysis generally includes, at every node,
+// one or more values of stress, strain, etc." — we recover centroidal
+// element stresses (exact for CST) and average them to nodes with
+// area weights, then expose each component as a nodal field.
+#pragma once
+
+#include <vector>
+
+#include "fem/assembly.h"
+#include "fem/solver.h"
+
+namespace feio::fem {
+
+// Which scalar to extract; names match the paper's plot captions.
+enum class StressComponent {
+  kEffective,       // von Mises ("EFFECTIVE STRESS", Figures 13/16/18)
+  kRadial,          // s11 ("RADIAL STRESS", Figure 17)
+  kMeridional,      // s22, along the meridian ("MERIDIONAL", Figure 17)
+  kCircumferential, // s33 hoop ("CIRCUMFERENTIAL", Figures 15/16/18)
+  kShear,           // s12 ("SHEAR STRESS", Figure 15)
+  kPrincipalMax,
+  kPrincipalMin,
+};
+
+// Centroidal stress of every element.
+std::vector<Stress> element_stresses(const StaticProblem& problem,
+                                     const StaticSolution& solution);
+
+// Area-weighted nodal average of element stresses.
+std::vector<Stress> nodal_stresses(const mesh::TriMesh& mesh,
+                                   const std::vector<Stress>& per_element);
+
+// Extracts one scalar per node; input from nodal_stresses().
+std::vector<double> component(const std::vector<Stress>& nodal,
+                              StressComponent which);
+
+// Convenience: full chain problem+solution -> nodal scalar field.
+std::vector<double> nodal_field(const StaticProblem& problem,
+                                const StaticSolution& solution,
+                                StressComponent which);
+
+}  // namespace feio::fem

@@ -1,0 +1,83 @@
+#include "geom/arc.h"
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "util/error.h"
+
+namespace feio::geom {
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+Arc::Arc(Vec2 end1, Vec2 end2, double radius, double max_subtended_deg)
+    : end1_(end1), end2_(end2), radius_(radius) {
+  FEIO_REQUIRE(radius >= 0.0, "arc radius must be non-negative");
+  if (radius == 0.0) return;  // straight segment
+
+  const Vec2 chord = end2 - end1;
+  const double c = chord.norm();
+  FEIO_REQUIRE(c > 0.0, "arc end points coincide");
+  FEIO_REQUIRE(2.0 * radius >= c * (1.0 - 1e-12),
+               "arc radius " + std::to_string(radius) +
+                   " is smaller than half the chord length " +
+                   std::to_string(c));
+
+  // Minor-arc centre on the left of the chord direction gives CCW travel
+  // from end 1 to end 2, matching the card convention.
+  const double half = c / 2.0;
+  const double h2 = radius * radius - half * half;
+  const double h = h2 > 0.0 ? std::sqrt(h2) : 0.0;
+  const Vec2 mid = lerp(end1, end2, 0.5);
+  center_ = mid + chord.normalized().perp() * h;
+
+  theta1_ = angle_of(end1 - center_);
+  double theta2 = angle_of(end2 - center_);
+  double sweep = theta2 - theta1_;
+  while (sweep <= 0.0) sweep += 2.0 * kPi;
+  sweep_ = sweep;
+
+  const double max_rad = max_subtended_deg * kPi / 180.0;
+  FEIO_REQUIRE(sweep_ <= max_rad + 1e-9,
+               "arc subtends " + std::to_string(sweep_ * 180.0 / kPi) +
+                   " degrees, exceeding the allowed " +
+                   std::to_string(max_subtended_deg));
+}
+
+Arc Arc::straight(Vec2 end1, Vec2 end2) { return Arc(end1, end2, 0.0); }
+
+Vec2 Arc::center() const {
+  FEIO_ASSERT(!is_straight());
+  return center_;
+}
+
+double Arc::length() const {
+  if (is_straight()) return distance(end1_, end2_);
+  return radius_ * sweep_;
+}
+
+Vec2 Arc::point_at(double t) const {
+  if (is_straight()) return lerp(end1_, end2_, t);
+  // Exact end points regardless of trigonometric rounding; IDLZ relies on
+  // shared side end points coinciding bit-for-bit across subdivisions.
+  if (t == 0.0) return end1_;
+  if (t == 1.0) return end2_;
+  const double theta = theta1_ + t * sweep_;
+  return center_ + Vec2{std::cos(theta), std::sin(theta)} * radius_;
+}
+
+std::vector<Vec2> Arc::sample(int n) const {
+  FEIO_ASSERT(n >= 1);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i) {
+    pts.push_back(point_at(static_cast<double>(i) / n));
+  }
+  // Guarantee exact end points regardless of rounding in the trigonometry.
+  pts.front() = end1_;
+  pts.back() = end2_;
+  return pts;
+}
+
+}  // namespace feio::geom

@@ -1,0 +1,64 @@
+// Circular arcs as specified on IDLZ "type 6" shaping cards.
+//
+// The paper defines an arc by its two end points and a radius; the centre of
+// curvature is located so that travelling from end 1 to end 2 along the arc
+// is a counter-clockwise motion, and the subtended angle must not exceed 90
+// degrees (General Restriction 2 of Appendix A). A radius of zero denotes a
+// straight line, which we model as the degenerate case.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace feio::geom {
+
+class Arc {
+ public:
+  // Builds the arc from end points and radius. radius == 0 yields a straight
+  // segment. Throws feio::Error when the radius is too small for the chord
+  // (2R < chord) or the subtended angle would exceed `max_subtended_deg`.
+  //
+  // `max_subtended_deg` relaxes the paper's 90-degree restriction for callers
+  // that deliberately exceed it (the restriction is a program limit, not a
+  // geometric one); it never exceeds 180 degrees because the centre-side rule
+  // only selects minor arcs.
+  Arc(Vec2 end1, Vec2 end2, double radius, double max_subtended_deg = 90.0);
+
+  // Straight segment factory (radius 0).
+  static Arc straight(Vec2 end1, Vec2 end2);
+
+  bool is_straight() const { return radius_ == 0.0; }
+  Vec2 end1() const { return end1_; }
+  Vec2 end2() const { return end2_; }
+  double radius() const { return radius_; }
+
+  // Centre of curvature; only meaningful for a genuine arc.
+  Vec2 center() const;
+
+  // Subtended (sweep) angle in radians; 0 for a straight segment.
+  double sweep() const { return sweep_; }
+
+  // Arc length (chord length when straight).
+  double length() const;
+
+  // Point at normalized parameter t in [0, 1]. For arcs the parameterization
+  // is uniform in angle, which is exactly how IDLZ spaces boundary nodes
+  // along a curved side; for straight segments it is uniform in distance.
+  Vec2 point_at(double t) const;
+
+  // Divides the arc into `n` equal parameter steps and returns the n + 1
+  // points, end points included (IDLZ uses this to locate the run of
+  // boundary nodes covered by one shaping card). Requires n >= 1.
+  std::vector<Vec2> sample(int n) const;
+
+ private:
+  Vec2 end1_;
+  Vec2 end2_;
+  double radius_ = 0.0;
+  Vec2 center_;
+  double theta1_ = 0.0;  // angle of end1 about the centre
+  double sweep_ = 0.0;   // CCW sweep from end1 to end2, in (0, pi]
+};
+
+}  // namespace feio::geom

@@ -1,0 +1,63 @@
+#include "geom/polygon.h"
+
+#include <algorithm>
+
+namespace feio::geom {
+
+double polygon_area(const std::vector<Vec2>& poly) {
+  double twice = 0.0;
+  const std::size_t n = poly.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = poly[i];
+    const Vec2 b = poly[(i + 1) % n];
+    twice += cross(a, b);
+  }
+  return twice / 2.0;
+}
+
+bool point_in_polygon(Vec2 p, const std::vector<Vec2>& poly) {
+  bool inside = false;
+  const std::size_t n = poly.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Vec2 a = poly[j];
+    const Vec2 b = poly[i];
+    const bool crosses = (b.y > p.y) != (a.y > p.y);
+    if (crosses) {
+      const double x_at = b.x + (p.y - b.y) * (a.x - b.x) / (a.y - b.y);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+void BBox::expand(Vec2 p) {
+  lo.x = std::min(lo.x, p.x);
+  lo.y = std::min(lo.y, p.y);
+  hi.x = std::max(hi.x, p.x);
+  hi.y = std::max(hi.y, p.y);
+}
+
+void BBox::expand(const BBox& other) {
+  if (!other.valid()) return;
+  expand(other.lo);
+  expand(other.hi);
+}
+
+BBox BBox::inflated(double margin) const {
+  BBox out = *this;
+  out.lo -= Vec2{margin, margin};
+  out.hi += Vec2{margin, margin};
+  return out;
+}
+
+bool BBox::contains(Vec2 p) const {
+  return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+}
+
+BBox bbox_of(const std::vector<Vec2>& pts) {
+  BBox box;
+  for (Vec2 p : pts) box.expand(p);
+  return box;
+}
+
+}  // namespace feio::geom

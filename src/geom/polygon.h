@@ -1,0 +1,37 @@
+// Simple-polygon utilities used by mesh validation and plotting.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace feio::geom {
+
+// Signed area of a closed polygon (vertices in order, first != last
+// required); positive for CCW orientation.
+double polygon_area(const std::vector<Vec2>& poly);
+
+// Point-in-polygon by winding/crossing test. Points on the boundary may
+// report either side; callers needing boundary awareness should test edges.
+bool point_in_polygon(Vec2 p, const std::vector<Vec2>& poly);
+
+// Axis-aligned bounding box.
+struct BBox {
+  Vec2 lo{1e300, 1e300};
+  Vec2 hi{-1e300, -1e300};
+
+  bool valid() const { return lo.x <= hi.x && lo.y <= hi.y; }
+  double width() const { return hi.x - lo.x; }
+  double height() const { return hi.y - lo.y; }
+  Vec2 center() const { return lerp(lo, hi, 0.5); }
+
+  void expand(Vec2 p);
+  void expand(const BBox& other);
+  // Grows the box by `margin` on every side.
+  BBox inflated(double margin) const;
+  bool contains(Vec2 p) const;
+};
+
+BBox bbox_of(const std::vector<Vec2>& pts);
+
+}  // namespace feio::geom

@@ -1,0 +1,61 @@
+#include "geom/polyline.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace feio::geom {
+
+Polyline::Polyline(std::vector<Vec2> points) : points_(std::move(points)) {
+  cumlen_.resize(points_.size(), 0.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    cumlen_[i] = cumlen_[i - 1] + distance(points_[i - 1], points_[i]);
+  }
+}
+
+double Polyline::length() const {
+  return cumlen_.empty() ? 0.0 : cumlen_.back();
+}
+
+Vec2 Polyline::point_at(double s) const {
+  FEIO_ASSERT(!points_.empty());
+  if (points_.size() == 1) return points_.front();
+  s = std::clamp(s, 0.0, 1.0);
+
+  const double total = length();
+  if (total == 0.0) {
+    // Degenerate: all points coincide; interpolate by index.
+    const double fidx = s * (points_.size() - 1);
+    const auto i = static_cast<std::size_t>(fidx);
+    if (i + 1 >= points_.size()) return points_.back();
+    return lerp(points_[i], points_[i + 1], fidx - i);
+  }
+
+  const double target = s * total;
+  auto it = std::lower_bound(cumlen_.begin(), cumlen_.end(), target);
+  if (it == cumlen_.begin()) return points_.front();
+  const auto hi = static_cast<std::size_t>(it - cumlen_.begin());
+  const auto lo = hi - 1;
+  if (hi >= points_.size()) return points_.back();
+  const double seg = cumlen_[hi] - cumlen_[lo];
+  const double t = seg > 0.0 ? (target - cumlen_[lo]) / seg : 0.0;
+  return lerp(points_[lo], points_[hi], t);
+}
+
+std::vector<double> Polyline::vertex_params() const {
+  std::vector<double> params(points_.size(), 0.0);
+  if (points_.size() <= 1) return params;
+  const double total = length();
+  if (total == 0.0) {
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      params[i] = static_cast<double>(i) / (points_.size() - 1);
+    }
+    return params;
+  }
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    params[i] = cumlen_[i] / total;
+  }
+  return params;
+}
+
+}  // namespace feio::geom

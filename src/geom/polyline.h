@@ -1,0 +1,41 @@
+// Polylines with arclength parameterization.
+//
+// IDLZ shapes a subdivision side from one or more line/arc runs; once the
+// side's node positions are known, interior nodes are interpolated between
+// the two opposite sides at matching normalized arclength. This class
+// provides that normalized-arclength evaluation.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace feio::geom {
+
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<Vec2> points);
+
+  const std::vector<Vec2>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  // Total length; 0 for fewer than two points.
+  double length() const;
+
+  // Point at normalized arclength s in [0, 1]; clamped outside. A polyline
+  // with a single point returns that point for any s.
+  Vec2 point_at(double s) const;
+
+  // Normalized arclength of each stored vertex, in [0, 1]. For a single
+  // point the result is {0}; for zero-length polylines vertices are spaced
+  // uniformly by index so interpolation remains well defined.
+  std::vector<double> vertex_params() const;
+
+ private:
+  std::vector<Vec2> points_;
+  std::vector<double> cumlen_;  // cumulative length per vertex, cumlen_[0]=0
+};
+
+}  // namespace feio::geom

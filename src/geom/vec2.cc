@@ -1,0 +1,21 @@
+#include "geom/vec2.h"
+
+#include <algorithm>
+
+namespace feio::geom {
+
+bool almost_equal(Vec2 a, Vec2 b, double tol) {
+  return distance(a, b) <= tol;
+}
+
+double interior_angle(Vec2 a, Vec2 b, Vec2 c) {
+  Vec2 u = a - b;
+  Vec2 v = c - b;
+  double nu = u.norm();
+  double nv = v.norm();
+  if (nu == 0.0 || nv == 0.0) return 0.0;
+  double cosang = std::clamp(dot(u, v) / (nu * nv), -1.0, 1.0);
+  return std::acos(cosang);
+}
+
+}  // namespace feio::geom

@@ -1,0 +1,70 @@
+// 2-D vector/point arithmetic used throughout the library.
+//
+// The paper's programs work exclusively in two dimensions (a plane cross
+// section of an axisymmetric body, or a plane-stress/plane-strain sheet), so
+// a single concrete value type suffices.
+#pragma once
+
+#include <cmath>
+
+namespace feio::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+  Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+  Vec2& operator*=(double s) { x *= s; y *= s; return *this; }
+
+  constexpr bool operator==(const Vec2&) const = default;
+
+  double norm() const { return std::hypot(x, y); }
+  constexpr double norm_sq() const { return x * x + y * y; }
+
+  // Unit vector; the zero vector maps to itself.
+  Vec2 normalized() const {
+    double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  // Counter-clockwise 90-degree rotation (left normal of a direction).
+  constexpr Vec2 perp() const { return {-y, x}; }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+constexpr double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+
+// z-component of the 3-D cross product; positive when b is CCW from a.
+constexpr double cross(Vec2 a, Vec2 b) { return a.x * b.y - a.y * b.x; }
+
+inline double distance(Vec2 a, Vec2 b) { return (b - a).norm(); }
+
+// Linear interpolation: t = 0 gives a, t = 1 gives b.
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) { return a + (b - a) * t; }
+
+// Angle of the vector measured CCW from +x, in (-pi, pi].
+inline double angle_of(Vec2 v) { return std::atan2(v.y, v.x); }
+
+// True when the points are within `tol` of each other (Euclidean).
+bool almost_equal(Vec2 a, Vec2 b, double tol = 1e-9);
+
+// Twice the signed area of triangle (a, b, c); positive when CCW.
+constexpr double signed_area2(Vec2 a, Vec2 b, Vec2 c) {
+  return cross(b - a, c - a);
+}
+
+// Interior angle at vertex `b` of the wedge a-b-c, in radians [0, pi].
+double interior_angle(Vec2 a, Vec2 b, Vec2 c);
+
+}  // namespace feio::geom

@@ -1,0 +1,160 @@
+#include "idlz/deck.h"
+
+#include <sstream>
+
+#include "cards/card_io.h"
+#include "idlz/punch.h"
+#include "util/strings.h"
+
+namespace feio::idlz {
+namespace {
+
+using cards::as_alpha;
+using cards::as_int;
+using cards::as_real;
+using cards::CardReader;
+using cards::CardWriter;
+using cards::Format;
+
+const Format& fmt_i5() {
+  static const Format f = Format::parse("(I5)");
+  return f;
+}
+const Format& fmt_title() {
+  static const Format f = Format::parse("(12A6)");
+  return f;
+}
+const Format& fmt_type3() {
+  static const Format f = Format::parse("(4I5)");
+  return f;
+}
+const Format& fmt_type4() {
+  static const Format f = Format::parse("(5I5,5X,2I5)");
+  return f;
+}
+const Format& fmt_type5() {
+  static const Format f = Format::parse("(2I5)");
+  return f;
+}
+const Format& fmt_type6() {
+  static const Format f = Format::parse("(4I5,5F8.4)");
+  return f;
+}
+
+std::string read_title(CardReader& reader) {
+  const auto fields = reader.read(fmt_title());
+  std::string title;
+  for (const auto& f : fields) title += as_alpha(f);
+  return std::string(trim(title));
+}
+
+}  // namespace
+
+std::vector<IdlzCase> read_deck(std::istream& in) {
+  CardReader reader(in);
+  const int nset = static_cast<int>(as_int(reader.read(fmt_i5())[0]));
+  FEIO_REQUIRE(nset >= 1, "NSET must be at least 1");
+  FEIO_REQUIRE(nset <= 10000, "unreasonable NSET");
+
+  std::vector<IdlzCase> cases;
+  cases.reserve(static_cast<size_t>(nset));
+  for (int set = 0; set < nset; ++set) {
+    IdlzCase c;
+    c.title = read_title(reader);
+
+    const auto t3 = reader.read(fmt_type3());
+    c.options.make_plots = as_int(t3[0]) != 0;
+    c.options.renumber_nodes = as_int(t3[1]) != 0;
+    c.options.punch_output = as_int(t3[2]) != 0;
+    const int nsbdvn = static_cast<int>(as_int(t3[3]));
+    FEIO_REQUIRE(nsbdvn >= 1, "NSBDVN must be at least 1");
+
+    for (int i = 0; i < nsbdvn; ++i) {
+      const auto t4 = reader.read(fmt_type4());
+      Subdivision s;
+      s.id = static_cast<int>(as_int(t4[0]));
+      s.k1 = static_cast<int>(as_int(t4[1]));
+      s.l1 = static_cast<int>(as_int(t4[2]));
+      s.k2 = static_cast<int>(as_int(t4[3]));
+      s.l2 = static_cast<int>(as_int(t4[4]));
+      s.ntaprw = static_cast<int>(as_int(t4[5]));
+      s.ntapcm = static_cast<int>(as_int(t4[6]));
+      c.subdivisions.push_back(s);
+    }
+
+    for (int i = 0; i < nsbdvn; ++i) {
+      const auto t5 = reader.read(fmt_type5());
+      ShapingSpec spec;
+      spec.subdivision_id = static_cast<int>(as_int(t5[0]));
+      const int nlines = static_cast<int>(as_int(t5[1]));
+      FEIO_REQUIRE(nlines >= 1,
+                   "at least one line segment must be used to deform each "
+                   "subdivision (General Restriction 3)");
+      for (int j = 0; j < nlines; ++j) {
+        const auto t6 = reader.read(fmt_type6());
+        ShapeLine line;
+        line.k1 = static_cast<int>(as_int(t6[0]));
+        line.l1 = static_cast<int>(as_int(t6[1]));
+        line.k2 = static_cast<int>(as_int(t6[2]));
+        line.l2 = static_cast<int>(as_int(t6[3]));
+        line.p1 = {as_real(t6[4]), as_real(t6[5])};
+        line.p2 = {as_real(t6[6]), as_real(t6[7])};
+        line.radius = as_real(t6[8]);
+        spec.lines.push_back(line);
+      }
+      c.shaping.push_back(std::move(spec));
+    }
+
+    c.options.nodal_format = std::string(trim(read_title(reader)));
+    c.options.element_format = std::string(trim(read_title(reader)));
+    if (c.options.nodal_format.empty()) {
+      c.options.nodal_format = kDefaultNodalFormat;
+    }
+    if (c.options.element_format.empty()) {
+      c.options.element_format = kDefaultElementFormat;
+    }
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+std::vector<IdlzCase> read_deck_string(const std::string& deck) {
+  std::istringstream in(deck);
+  return read_deck(in);
+}
+
+std::string write_deck(const std::vector<IdlzCase>& cases) {
+  CardWriter out;
+  out.write({static_cast<long>(cases.size())}, fmt_i5());
+  for (const IdlzCase& c : cases) {
+    out.write_raw(c.title);
+    out.write({static_cast<long>(c.options.make_plots ? 1 : 0),
+               static_cast<long>(c.options.renumber_nodes ? 1 : 0),
+               static_cast<long>(c.options.punch_output ? 1 : 0),
+               static_cast<long>(c.subdivisions.size())},
+              fmt_type3());
+    for (const Subdivision& s : c.subdivisions) {
+      out.write({static_cast<long>(s.id), static_cast<long>(s.k1),
+                 static_cast<long>(s.l1), static_cast<long>(s.k2),
+                 static_cast<long>(s.l2), static_cast<long>(s.ntaprw),
+                 static_cast<long>(s.ntapcm)},
+                fmt_type4());
+    }
+    for (const ShapingSpec& spec : c.shaping) {
+      out.write({static_cast<long>(spec.subdivision_id),
+                 static_cast<long>(spec.lines.size())},
+                fmt_type5());
+      for (const ShapeLine& l : spec.lines) {
+        out.write({static_cast<long>(l.k1), static_cast<long>(l.l1),
+                   static_cast<long>(l.k2), static_cast<long>(l.l2), l.p1.x,
+                   l.p1.y, l.p2.x, l.p2.y, l.radius},
+                  fmt_type6());
+      }
+    }
+    out.write_raw(c.options.nodal_format);
+    out.write_raw(c.options.element_format);
+  }
+  return out.str();
+}
+
+}  // namespace feio::idlz

@@ -1,0 +1,35 @@
+// Reading and writing complete IDLZ card decks (Appendix B, card types 1-7).
+//
+// Deck layout:
+//   type 1: NSET                                 (I5)
+//   per set:
+//     type 2: title                              (12A6)
+//     type 3: NOPLOT NONUMB NOPNCH NSBDVN        (4I5)
+//     type 4: I KK1 LL1 KK2 LL2 [5X] NTAPRW NTAPCM  (5I5,5X,2I5)  x NSBDVN
+//     per subdivision, in type-4 order:
+//       type 5: I NLINES                         (2I5)
+//       type 6: K1 L1 K2 L2 X1 Y1 X2 Y2 RADIUS   (4I5,5F8.4)     x NLINES
+//     type 7: nodal-card FORMAT                  (12A6)
+//     type 7: element-card FORMAT                (12A6)
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "idlz/idlz.h"
+
+namespace feio::idlz {
+
+// Parses a full deck (possibly several data sets). Throws feio::Error with
+// card context on malformed decks.
+std::vector<IdlzCase> read_deck(std::istream& in);
+
+// Convenience: parse a deck held in a string.
+std::vector<IdlzCase> read_deck_string(const std::string& deck);
+
+// Writes the cases back out as a card deck (for round-trip testing and for
+// generating fixture decks programmatically).
+std::string write_deck(const std::vector<IdlzCase>& cases);
+
+}  // namespace feio::idlz

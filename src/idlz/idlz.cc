@@ -1,0 +1,132 @@
+#include "idlz/idlz.h"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "idlz/punch.h"
+#include "mesh/bandwidth.h"
+#include "mesh/quality.h"
+#include "plot/mesh_plot.h"
+#include "util/strings.h"
+
+namespace feio::idlz {
+
+IdlzResult run(const IdlzCase& c) {
+  IdlzResult r;
+  r.title = c.title;
+
+  // 1. Number the nodes and create the elements on the integer grid.
+  Assembly assembly =
+      assemble(c.subdivisions, c.options.limits, c.options.diagonals);
+  r.initial = assembly.mesh;
+
+  // 2. Shape: locate every node's rectangular coordinates.
+  r.shaping = shape(c.subdivisions, c.shaping, assembly, c.options.limits);
+  r.before_reform = assembly.mesh;
+
+  // 3. Reform elements with needle-like corners.
+  if (c.options.reform_elements) {
+    r.reform = reform(assembly.mesh);
+  }
+
+  // 4. Optionally renumber the nodes to ensure a narrow bandwidth.
+  if (c.options.renumber_nodes) {
+    r.renumbering = renumber(assembly.mesh, c.options.scheme);
+    if (r.renumbering.applied) {
+      const std::vector<int>& perm = r.renumbering.permutation;
+      for (auto& nodes : assembly.subdivision_nodes) {
+        for (int& n : nodes) n = perm[static_cast<size_t>(n)];
+      }
+    }
+  } else {
+    r.renumbering.bandwidth_before = mesh::bandwidth(assembly.mesh);
+    r.renumbering.bandwidth_after = r.renumbering.bandwidth_before;
+    r.renumbering.profile_before = mesh::profile(assembly.mesh);
+    r.renumbering.profile_after = r.renumbering.profile_before;
+  }
+
+  assembly.mesh.classify_boundary();
+  r.mesh = assembly.mesh;
+  r.subdivision_nodes = assembly.subdivision_nodes;
+  r.subdivision_elements = assembly.subdivision_elements;
+
+  // 5. Data-volume accounting (claims C1/C2).
+  r.volume.input_values = count_input_values(c.subdivisions, c.shaping);
+  r.volume.output_values =
+      count_output_values(r.mesh.num_nodes(), r.mesh.num_elements());
+  for (int i = 0; i < r.mesh.num_nodes(); ++i) {
+    if (r.mesh.node(i).boundary != mesh::BoundaryKind::kInterior) {
+      ++r.volume.boundary_nodes;
+    }
+  }
+  std::set<std::pair<int, int>> card_ends;
+  for (const ShapingSpec& sp : c.shaping) {
+    for (const ShapeLine& line : sp.lines) {
+      card_ends.insert({line.k1, line.l1});
+      card_ends.insert({line.k2, line.l2});
+      if (line.radius != 0.0) ++r.volume.arcs_used;
+    }
+  }
+  r.volume.located_coordinates = static_cast<int>(card_ends.size());
+
+  // 6. Optional plots (Figure 11): initial, final, per-subdivision numbered.
+  if (c.options.make_plots) {
+    r.plots.push_back(
+        plot::plot_mesh(r.initial, c.title + " - INITIAL REPRESENTATION"));
+    r.plots.push_back(
+        plot::plot_mesh(r.mesh, c.title + " - FINAL IDEALIZATION"));
+    for (size_t si = 0; si < c.subdivisions.size(); ++si) {
+      plot::PlotFile p(c.title + " - SUBDIVISION " +
+                       std::to_string(c.subdivisions[si].id));
+      // Draw only this subdivision's elements, nodes numbered.
+      mesh::TriMesh part;
+      std::vector<int> remap(static_cast<size_t>(r.mesh.num_nodes()), -1);
+      for (int n : r.subdivision_nodes[si]) {
+        if (remap[static_cast<size_t>(n)] < 0) {
+          remap[static_cast<size_t>(n)] =
+              part.add_node(r.mesh.pos(n), r.mesh.node(n).boundary);
+          p.text(r.mesh.pos(n), std::to_string(n + 1), 0.8);
+        }
+      }
+      for (int e : r.subdivision_elements[si]) {
+        const mesh::Element& el = r.mesh.element(e);
+        part.add_element(remap[static_cast<size_t>(el.n[0])],
+                         remap[static_cast<size_t>(el.n[1])],
+                         remap[static_cast<size_t>(el.n[2])]);
+      }
+      plot::draw_mesh(part, p);
+      r.plots.push_back(std::move(p));
+    }
+  }
+
+  // 7. Optional punched output.
+  if (c.options.punch_output) {
+    r.nodal_cards = punch_nodal_cards(r.mesh, c.options.nodal_format);
+    r.element_cards = punch_element_cards(r.mesh, c.options.element_format);
+  }
+  return r;
+}
+
+std::string summarize(const IdlzResult& r) {
+  const mesh::QualitySummary q = mesh::summarize_quality(r.mesh);
+  std::ostringstream out;
+  out << "IDLZ  " << r.title << "\n";
+  out << "  nodes ............... " << r.mesh.num_nodes() << "\n";
+  out << "  elements ............ " << r.mesh.num_elements() << "\n";
+  out << "  boundary nodes ...... " << r.volume.boundary_nodes << "\n";
+  out << "  located by cards .... " << r.shaping.nodes_from_cards << "\n";
+  out << "  interpolated ........ " << r.shaping.nodes_interpolated << "\n";
+  out << "  reform flips ........ " << r.reform.flips << "\n";
+  out << "  bandwidth ........... " << r.renumbering.bandwidth_before
+      << " -> " << r.renumbering.bandwidth_after << "\n";
+  out << "  min angle (deg) ..... " << fixed(q.min_angle_rad * 57.29578, 1)
+      << "\n";
+  out << "  input data values ... " << r.volume.input_values << "\n";
+  out << "  output data values .. " << r.volume.output_values << "\n";
+  out << "  input/output ........ "
+      << fixed(100.0 * r.volume.input_fraction(), 2) << "%\n";
+  return out.str();
+}
+
+}  // namespace feio::idlz

@@ -1,0 +1,66 @@
+#include "idlz/listing.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace feio::idlz {
+namespace {
+
+const char* boundary_code(mesh::BoundaryKind k) {
+  switch (k) {
+    case mesh::BoundaryKind::kInterior: return "0";
+    case mesh::BoundaryKind::kBoundaryShared: return "1";
+    case mesh::BoundaryKind::kBoundarySingle: return "2";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string print_listing(const IdlzResult& result,
+                          const ListingOptions& options) {
+  std::ostringstream out;
+  out << "STRUCTURAL IDEALIZATION\n" << result.title << "\n\n";
+  out << summarize(result) << "\n";
+
+  if (options.node_table) {
+    out << "NODAL POINT DATA\n";
+    out << pad_left("NODE", 6) << pad_left("X", 12) << pad_left("Y", 12)
+        << pad_left("BNDRY", 7) << "\n";
+    for (int i = 0; i < result.mesh.num_nodes(); ++i) {
+      const mesh::Node& n = result.mesh.node(i);
+      out << pad_left(std::to_string(i + 1), 6)
+          << pad_left(fixed(n.pos.x, 5), 12)
+          << pad_left(fixed(n.pos.y, 5), 12)
+          << pad_left(boundary_code(n.boundary), 7) << "\n";
+    }
+    out << "\n";
+  }
+
+  if (options.element_table) {
+    out << "ELEMENT DATA\n";
+    out << pad_left("ELEM", 6) << pad_left("N1", 6) << pad_left("N2", 6)
+        << pad_left("N3", 6) << "\n";
+    for (int e = 0; e < result.mesh.num_elements(); ++e) {
+      const mesh::Element& el = result.mesh.element(e);
+      out << pad_left(std::to_string(e + 1), 6)
+          << pad_left(std::to_string(el.n[0] + 1), 6)
+          << pad_left(std::to_string(el.n[1] + 1), 6)
+          << pad_left(std::to_string(el.n[2] + 1), 6) << "\n";
+    }
+    out << "\n";
+  }
+
+  if (options.subdivision_index) {
+    out << "SUBDIVISION INDEX\n";
+    for (size_t si = 0; si < result.subdivision_nodes.size(); ++si) {
+      out << "  SUBDIVISION " << si + 1 << ": "
+          << result.subdivision_nodes[si].size() << " NODES, "
+          << result.subdivision_elements[si].size() << " ELEMENTS\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace feio::idlz

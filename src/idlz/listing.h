@@ -1,0 +1,23 @@
+// The "printed listing" portion of IDLZ output: formatted node and element
+// tables of the kind the original program wrote to the line printer,
+// alongside the plots and punched cards.
+#pragma once
+
+#include <string>
+
+#include "idlz/idlz.h"
+
+namespace feio::idlz {
+
+struct ListingOptions {
+  bool node_table = true;
+  bool element_table = true;
+  bool subdivision_index = true;  // node/element ownership per subdivision
+};
+
+// Renders the full run listing: header, statistics, then the requested
+// tables. Node and element numbers are 1-based as on the punched cards.
+std::string print_listing(const IdlzResult& result,
+                          const ListingOptions& options = {});
+
+}  // namespace feio::idlz

@@ -1,0 +1,43 @@
+#include "idlz/punch.h"
+
+#include "cards/card_io.h"
+#include "util/error.h"
+
+namespace feio::idlz {
+
+std::string punch_nodal_cards(const mesh::TriMesh& mesh,
+                              const std::string& format) {
+  const cards::Format fmt = cards::Format::parse(format);
+  FEIO_REQUIRE(fmt.field_count() == 4,
+               "nodal card FORMAT must carry 4 fields (X, Y, boundary, "
+               "node number); got " +
+                   std::to_string(fmt.field_count()));
+  cards::CardWriter out;
+  for (int i = 0; i < mesh.num_nodes(); ++i) {
+    const mesh::Node& n = mesh.node(i);
+    out.write({n.pos.x, n.pos.y,
+               static_cast<long>(static_cast<int>(n.boundary)),
+               static_cast<long>(i + 1)},
+              fmt);
+  }
+  return out.str();
+}
+
+std::string punch_element_cards(const mesh::TriMesh& mesh,
+                                const std::string& format) {
+  const cards::Format fmt = cards::Format::parse(format);
+  FEIO_REQUIRE(fmt.field_count() == 4,
+               "element card FORMAT must carry 4 fields (3 node numbers + "
+               "element number); got " +
+                   std::to_string(fmt.field_count()));
+  cards::CardWriter out;
+  for (int e = 0; e < mesh.num_elements(); ++e) {
+    const mesh::Element& el = mesh.element(e);
+    out.write({static_cast<long>(el.n[0] + 1), static_cast<long>(el.n[1] + 1),
+               static_cast<long>(el.n[2] + 1), static_cast<long>(e + 1)},
+              fmt);
+  }
+  return out.str();
+}
+
+}  // namespace feio::idlz

@@ -1,0 +1,32 @@
+// Punched-card output (NOPNCH=1): the geometric and bookkeeping data cards
+// IDLZ produced for the downstream finite element program, in the FORMAT
+// the user supplies on the two type-7 cards.
+//
+// A nodal card carries the node's X and Y coordinates, the integer boundary
+// flag (0/1/2, matching OSPL's N(I)), and the 1-based node number. An
+// element card carries the element's three 1-based node numbers and the
+// 1-based element number. The defaults below are the FORMATs Appendix B
+// lists as compatible with the analysis program of the paper's Reference 1.
+#pragma once
+
+#include <string>
+
+#include "mesh/tri_mesh.h"
+
+namespace feio::idlz {
+
+inline constexpr const char* kDefaultNodalFormat = "(2F9.5,51X,I3,5X,I3)";
+inline constexpr const char* kDefaultElementFormat = "(3I5,62X,I3)";
+
+// One card per node: fields (X, Y, boundary, number) distributed over the
+// FORMAT's value-bearing descriptors in order. The FORMAT must have exactly
+// 4 value fields: 2 real-capable then 2 integer-capable.
+std::string punch_nodal_cards(const mesh::TriMesh& mesh,
+                              const std::string& format = kDefaultNodalFormat);
+
+// One card per element: (n1, n2, n3, element number); 4 integer fields.
+std::string punch_element_cards(
+    const mesh::TriMesh& mesh,
+    const std::string& format = kDefaultElementFormat);
+
+}  // namespace feio::idlz

@@ -1,0 +1,40 @@
+// Interior-node smoothing — an extension beyond the 1970 program.
+//
+// IDLZ's reform pass fixes *connectivity* (diagonal swaps); the natural
+// companion, standard in later mesh generators, also fixes *positions*:
+// each interior node is moved toward the centroid of its neighbours
+// (Laplacian smoothing), with a guard that rejects any move that would
+// invert or worsen an incident element. Boundary nodes — whose locations
+// the analyst prescribed on shaping cards — are never moved.
+//
+// Exposed as IdlzOptions is deliberately untouched: smoothing is opt-in via
+// this function, and bench_ablation measures what it buys on the paper's
+// meshes.
+#pragma once
+
+#include "mesh/tri_mesh.h"
+
+namespace feio::idlz {
+
+struct SmoothOptions {
+  int max_passes = 10;
+  // Under-relaxation factor for each move (1 = full Laplacian step).
+  double relaxation = 0.8;
+  // Stop when the largest node movement in a pass falls below this
+  // fraction of the mesh bounding-box diagonal.
+  double tolerance_frac = 1e-4;
+};
+
+struct SmoothReport {
+  int passes = 0;
+  int moves = 0;           // accepted node moves over all passes
+  int rejected_moves = 0;  // moves rejected by the quality guard
+  bool converged = false;
+};
+
+// Smooths interior nodes in place. Element connectivity is unchanged; the
+// mesh stays valid (the guard rejects inverting moves).
+SmoothReport smooth_interior(mesh::TriMesh& mesh,
+                             const SmoothOptions& options = {});
+
+}  // namespace feio::idlz

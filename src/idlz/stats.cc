@@ -1,0 +1,20 @@
+#include "idlz/stats.h"
+
+namespace feio::idlz {
+
+long count_input_values(const std::vector<Subdivision>& subdivisions,
+                        const std::vector<ShapingSpec>& shaping) {
+  long count = 4;  // type 3: NOPLOT, NONUMB, NOPNCH, NSBDVN
+  count += 7 * static_cast<long>(subdivisions.size());  // type 4 cards
+  for (const ShapingSpec& sp : shaping) {
+    count += 2;                                   // type 5: I, NLINES
+    count += 9 * static_cast<long>(sp.lines.size());  // type 6 cards
+  }
+  return count;
+}
+
+long count_output_values(int num_nodes, int num_elements) {
+  return 4L * num_nodes + 4L * num_elements;
+}
+
+}  // namespace feio::idlz

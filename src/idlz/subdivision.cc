@@ -1,0 +1,129 @@
+#include "idlz/subdivision.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace feio::idlz {
+namespace {
+
+std::string sub_ctx(const Subdivision& s) {
+  return "subdivision " + std::to_string(s.id);
+}
+
+}  // namespace
+
+void Subdivision::strip_span(int s, int& lo, int& hi) const {
+  if (is_col_trapezoid()) {
+    // Strip s is column k1 + s; span is in L.
+    const int t = std::abs(ntapcm);
+    const int dist_from_long =
+        ntapcm > 0 ? (cols() - 1 - s)   // right column is the long side
+                   : s;                 // left column is the long side
+    lo = l1 + t * dist_from_long;
+    hi = l2 - t * dist_from_long;
+  } else if (is_row_trapezoid()) {
+    // Strip s is row l1 + s; span is in K.
+    const int t = std::abs(ntaprw);
+    const int dist_from_long =
+        ntaprw > 0 ? (rows() - 1 - s)   // top row is the long side
+                   : s;                 // bottom row is the long side
+    lo = k1 + t * dist_from_long;
+    hi = k2 - t * dist_from_long;
+  } else {
+    lo = k1;
+    hi = k2;
+  }
+}
+
+int Subdivision::strip_width(int s) const {
+  int lo, hi;
+  strip_span(s, lo, hi);
+  return hi - lo + 1;
+}
+
+GridPoint Subdivision::strip_node(int s, int j) const {
+  int lo, hi;
+  strip_span(s, lo, hi);
+  FEIO_ASSERT(j >= 0 && lo + j <= hi);
+  if (is_col_trapezoid()) return GridPoint{k1 + s, lo + j};
+  return GridPoint{lo + j, l1 + s};
+}
+
+std::vector<GridPoint> Subdivision::grid_points() const {
+  std::vector<GridPoint> pts;
+  for (int s = 0; s < strip_count(); ++s) {
+    const int w = strip_width(s);
+    for (int j = 0; j < w; ++j) pts.push_back(strip_node(s, j));
+  }
+  return pts;
+}
+
+bool Subdivision::contains(int k, int l) const {
+  if (k < k1 || k > k2 || l < l1 || l > l2) return false;
+  const int s = is_col_trapezoid() ? k - k1 : l - l1;
+  int lo, hi;
+  strip_span(s, lo, hi);
+  const int cross = is_col_trapezoid() ? l : k;
+  return cross >= lo && cross <= hi;
+}
+
+bool Subdivision::is_triangle() const {
+  if (is_rectangle()) return false;
+  const int first = strip_width(0);
+  const int last = strip_width(strip_count() - 1);
+  return first == 1 || last == 1;
+}
+
+void Subdivision::validate() const {
+  FEIO_REQUIRE(k1 >= 1 && l1 >= 1,
+               "corner coordinates must be positive integers");
+  if (!(k2 > k1 && l2 > l1)) {
+    fail("upper-right corner must be strictly above and to the right of the "
+         "lower-left corner",
+         sub_ctx(*this));
+  }
+  if (ntaprw != 0 && ntapcm != 0) {
+    fail("NTAPRW and NTAPCM cannot both be non-zero", sub_ctx(*this));
+  }
+  for (int s = 0; s < strip_count(); ++s) {
+    int lo, hi;
+    strip_span(s, lo, hi);
+    if (lo > hi) {
+      fail("trapezoid short side shrinks past a point: strip " +
+               std::to_string(s) + " would have " + std::to_string(hi - lo + 1) +
+               " nodes",
+           sub_ctx(*this));
+    }
+  }
+  // The long side must exactly fill the corner-to-corner span, i.e. the
+  // declared bounding box is tight. For row trapezoids the long row spans
+  // k1..k2 by construction; nothing further to check. Same for columns.
+}
+
+std::vector<GridPoint> side_points(const Subdivision& s, Side side) {
+  std::vector<GridPoint> pts;
+  const int strips = s.strip_count();
+  switch (side) {
+    case Side::kParallelLow: {
+      const int w = s.strip_width(0);
+      for (int j = 0; j < w; ++j) pts.push_back(s.strip_node(0, j));
+      break;
+    }
+    case Side::kParallelHigh: {
+      const int w = s.strip_width(strips - 1);
+      for (int j = 0; j < w; ++j) pts.push_back(s.strip_node(strips - 1, j));
+      break;
+    }
+    case Side::kCrossLow:
+      for (int st = 0; st < strips; ++st) pts.push_back(s.strip_node(st, 0));
+      break;
+    case Side::kCrossHigh:
+      for (int st = 0; st < strips; ++st) {
+        pts.push_back(s.strip_node(st, s.strip_width(st) - 1));
+      }
+      break;
+  }
+  return pts;
+}
+
+}  // namespace feio::idlz

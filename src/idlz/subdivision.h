@@ -1,0 +1,98 @@
+// Subdivision specifications — the "type 4" cards of an IDLZ deck.
+//
+// The analyst represents the surface as an assemblage of rectangles and
+// isosceles trapezoids on a coarse integer grid. A subdivision is defined by
+// the integer coordinates of its lower-left and upper-right corners plus two
+// trapezoid indicators:
+//
+//   NTAPRW != 0 : isosceles trapezoid with top and bottom sides horizontal
+//                 and parallel. Positive => top side longer than bottom.
+//                 |NTAPRW| is half the change in node count row to row.
+//   NTAPCM != 0 : isosceles trapezoid with left and right sides vertical
+//                 and parallel. Positive => left side shorter than right.
+//                 |NTAPCM| is half the change in node count column to column.
+//
+// A trapezoid whose short parallel side shrinks to a single node is the
+// paper's "triangular subdivision". Only one indicator may be non-zero.
+#pragma once
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace feio::idlz {
+
+// Integer grid coordinate (K horizontal, L vertical), 1-based as in the
+// FORTRAN arrays NUMBER(41,61).
+struct GridPoint {
+  int k = 0;
+  int l = 0;
+
+  auto operator<=>(const GridPoint&) const = default;
+};
+
+struct Subdivision {
+  int id = 0;   // 1-based subdivision number from the deck
+  int k1 = 0;   // lower-left integer X
+  int l1 = 0;   // lower-left integer Y
+  int k2 = 0;   // upper-right integer X
+  int l2 = 0;   // upper-right integer Y
+  int ntaprw = 0;
+  int ntapcm = 0;
+
+  int rows() const { return l2 - l1 + 1; }
+  int cols() const { return k2 - k1 + 1; }
+
+  bool is_rectangle() const { return ntaprw == 0 && ntapcm == 0; }
+  // Trapezoid with horizontal parallel sides (rows change width).
+  bool is_row_trapezoid() const { return ntaprw != 0; }
+  // Trapezoid with vertical parallel sides (columns change height).
+  bool is_col_trapezoid() const { return ntapcm != 0; }
+
+  // "Strips" are the generation axis for both node layout and element
+  // creation: rows for rectangles/row-trapezoids, columns for
+  // column-trapezoids.
+  int strip_count() const { return is_col_trapezoid() ? cols() : rows(); }
+
+  // Inclusive [lo, hi] cross-axis span of strip `s` (0-based from the
+  // bottom row / left column): K-span of a row, or L-span of a column.
+  // Throws via validate() semantics if the geometry is inconsistent.
+  void strip_span(int s, int& lo, int& hi) const;
+
+  // Number of nodes in strip `s`.
+  int strip_width(int s) const;
+
+  // Grid point of node `j` (0-based) within strip `s`.
+  GridPoint strip_node(int s, int j) const;
+
+  // All grid points covered, strip by strip.
+  std::vector<GridPoint> grid_points() const;
+
+  // True when (k, l) is one of the subdivision's grid points.
+  bool contains(int k, int l) const;
+
+  // Short parallel side reduced to one node => the paper's "triangular
+  // subdivision".
+  bool is_triangle() const;
+
+  // Validates corner ordering and that every strip keeps at least one node;
+  // throws feio::Error naming the subdivision on failure.
+  void validate() const;
+};
+
+// Side selector used by shaping (see shaping.h). For row-trapezoids and
+// rectangles, kParallelLow/High are the bottom/top rows and kCrossLow/High
+// the left/right (possibly slanted) sides; for column-trapezoids,
+// kParallelLow/High are the left/right columns and kCrossLow/High the
+// bottom/top (possibly slanted) sides.
+enum class Side {
+  kParallelLow,
+  kParallelHigh,
+  kCrossLow,
+  kCrossHigh,
+};
+
+// Grid points along a side, in increasing strip/index order.
+std::vector<GridPoint> side_points(const Subdivision& s, Side side);
+
+}  // namespace feio::idlz

@@ -1,0 +1,39 @@
+#include "mesh/bandwidth.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace feio::mesh {
+
+int bandwidth(const TriMesh& mesh) {
+  int bw = 0;
+  for (const Element& el : mesh.elements()) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        bw = std::max(bw, std::abs(el.n[static_cast<size_t>(i)] -
+                                   el.n[static_cast<size_t>(j)]));
+      }
+    }
+  }
+  return bw;
+}
+
+long profile(const TriMesh& mesh) {
+  // lowest_nbr[i]: smallest node index coupled to i (including i itself).
+  std::vector<int> lowest(static_cast<size_t>(mesh.num_nodes()), 0);
+  for (int i = 0; i < mesh.num_nodes(); ++i) lowest[static_cast<size_t>(i)] = i;
+  for (const Element& el : mesh.elements()) {
+    const int lo = std::min({el.n[0], el.n[1], el.n[2]});
+    for (int n : el.n) {
+      lowest[static_cast<size_t>(n)] = std::min(lowest[static_cast<size_t>(n)], lo);
+    }
+  }
+  long p = 0;
+  for (int i = 0; i < mesh.num_nodes(); ++i) {
+    p += i - lowest[static_cast<size_t>(i)];
+  }
+  return p;
+}
+
+}  // namespace feio::mesh

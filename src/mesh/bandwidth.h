@@ -1,0 +1,21 @@
+// Coefficient-matrix bandwidth measures.
+//
+// The paper offers optional node renumbering because "the size of the
+// coefficient matrix bandwidth ... is directly related to the numbering
+// scheme". These helpers compute the quantities that scheme minimizes.
+#pragma once
+
+#include "mesh/tri_mesh.h"
+
+namespace feio::mesh {
+
+// Maximum |i - j| over all element node pairs (the semi-bandwidth of the
+// stiffness matrix in node terms, excluding the diagonal). Zero for meshes
+// without elements.
+int bandwidth(const TriMesh& mesh);
+
+// Sum over rows of the per-row bandwidth (the "profile" or envelope size),
+// a finer-grained cost proxy for envelope/banded solvers.
+long profile(const TriMesh& mesh);
+
+}  // namespace feio::mesh

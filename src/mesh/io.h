@@ -1,0 +1,27 @@
+// Mesh interchange for downstream users: Wavefront OBJ (viewable in any
+// modern mesh tool) and a minimal OFF reader/writer. Punched cards remain
+// the historically faithful format; these are conveniences.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mesh/tri_mesh.h"
+
+namespace feio::mesh {
+
+// OBJ with z = 0; optional per-node scalar written as a comment table so
+// the field survives round-trips through editors that preserve comments.
+std::string to_obj(const TriMesh& mesh);
+void write_obj(const TriMesh& mesh, const std::string& path);
+
+// OFF (Object File Format): header, counts, vertices, triangles.
+std::string to_off(const TriMesh& mesh);
+void write_off(const TriMesh& mesh, const std::string& path);
+
+// Reads an OFF mesh (triangles only; polygons with more vertices are
+// rejected). Boundary flags are reclassified from topology.
+TriMesh read_off(std::istream& in);
+TriMesh read_off_string(const std::string& text);
+
+}  // namespace feio::mesh

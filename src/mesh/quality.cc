@@ -1,0 +1,77 @@
+#include "mesh/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace feio::mesh {
+namespace {
+
+std::array<double, 3> interior_angles(const TriMesh& mesh, int e) {
+  const auto c = mesh.corners(e);
+  return {geom::interior_angle(c[2], c[0], c[1]),
+          geom::interior_angle(c[0], c[1], c[2]),
+          geom::interior_angle(c[1], c[2], c[0])};
+}
+
+}  // namespace
+
+double min_angle(const TriMesh& mesh, int e) {
+  const auto a = interior_angles(mesh, e);
+  return std::min({a[0], a[1], a[2]});
+}
+
+double max_angle(const TriMesh& mesh, int e) {
+  const auto a = interior_angles(mesh, e);
+  return std::max({a[0], a[1], a[2]});
+}
+
+double aspect_ratio(const TriMesh& mesh, int e) {
+  const auto c = mesh.corners(e);
+  const double l0 = geom::distance(c[0], c[1]);
+  const double l1 = geom::distance(c[1], c[2]);
+  const double l2 = geom::distance(c[2], c[0]);
+  const double longest = std::max({l0, l1, l2});
+  const double area = std::abs(mesh.signed_area(e));
+  if (area <= 0.0 || longest <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double shortest_altitude = 2.0 * area / longest;
+  return longest / shortest_altitude;
+}
+
+QualitySummary summarize_quality(const TriMesh& mesh,
+                                 double needle_threshold_rad) {
+  QualitySummary s;
+  if (mesh.num_elements() == 0) return s;
+  s.min_angle_rad = std::numbers::pi;
+  double sum_angle = 0.0;
+  double sum_aspect = 0.0;
+  for (int e = 0; e < mesh.num_elements(); ++e) {
+    const double a = min_angle(mesh, e);
+    const double r = aspect_ratio(mesh, e);
+    s.min_angle_rad = std::min(s.min_angle_rad, a);
+    s.max_aspect = std::max(s.max_aspect, r);
+    sum_angle += a;
+    sum_aspect += r;
+    if (a < needle_threshold_rad) ++s.needle_count;
+  }
+  s.mean_min_angle_rad = sum_angle / mesh.num_elements();
+  s.mean_aspect = sum_aspect / mesh.num_elements();
+  return s;
+}
+
+std::vector<int> min_angle_histogram(const TriMesh& mesh, int bins) {
+  std::vector<int> hist(static_cast<size_t>(bins), 0);
+  const double bin_width = (std::numbers::pi / 2.0) / bins;
+  for (int e = 0; e < mesh.num_elements(); ++e) {
+    const double a = min_angle(mesh, e);
+    int b = static_cast<int>(a / bin_width);
+    b = std::clamp(b, 0, bins - 1);
+    ++hist[static_cast<size_t>(b)];
+  }
+  return hist;
+}
+
+}  // namespace feio::mesh

@@ -1,0 +1,42 @@
+// Element quality metrics.
+//
+// The paper motivates IDLZ's "reform" pass by pointing at elements with
+// "needle-like corners" (Figures 9b, 10a); these metrics quantify that so
+// the reform pass (and its ablation bench) can measure improvement against
+// the "most desirable equilateral shape".
+#pragma once
+
+#include <vector>
+
+#include "mesh/tri_mesh.h"
+
+namespace feio::mesh {
+
+// Smallest interior angle of element e, radians. Degenerate elements
+// (zero-length edge or zero area) report 0.
+double min_angle(const TriMesh& mesh, int e);
+
+// Largest interior angle of element e, radians.
+double max_angle(const TriMesh& mesh, int e);
+
+// Longest edge / shortest altitude; 2/sqrt(3) ~ 1.1547 for equilateral,
+// grows without bound for needles. Degenerate elements report +inf.
+double aspect_ratio(const TriMesh& mesh, int e);
+
+struct QualitySummary {
+  double min_angle_rad = 0.0;    // worst (smallest) min-angle over the mesh
+  double mean_min_angle_rad = 0.0;
+  double max_aspect = 0.0;       // worst aspect ratio
+  double mean_aspect = 0.0;
+  int needle_count = 0;          // elements with min angle < threshold
+};
+
+// Aggregates quality over the whole mesh. `needle_threshold_rad` defines a
+// "needle-like corner" (default 20 degrees).
+QualitySummary summarize_quality(const TriMesh& mesh,
+                                 double needle_threshold_rad = 0.349066);
+
+// Histogram of element min-angles over [0, 90] degrees in `bins` buckets.
+std::vector<int> min_angle_histogram(const TriMesh& mesh, int bins);
+
+}  // namespace feio::mesh

@@ -1,0 +1,27 @@
+// Uniform mesh refinement: every triangle splits into four congruent
+// children through its edge midpoints. Shared edges share midpoint nodes,
+// so conforming meshes stay conforming. The practical use is convergence
+// studies on IDLZ-produced idealizations without re-authoring the deck at
+// a finer integer grid.
+#pragma once
+
+#include "mesh/tri_mesh.h"
+
+namespace feio::mesh {
+
+struct RefineResult {
+  TriMesh mesh;
+  // parent[e] = index of the original element each child came from.
+  std::vector<int> parent;
+};
+
+// One level of uniform refinement. Node positions of the original mesh are
+// preserved with their original indices; midpoint nodes follow. Boundary
+// flags are reclassified from the refined topology.
+RefineResult refine_uniform(const TriMesh& mesh);
+
+// `levels` successive refinements (levels >= 0; 0 returns a copy with
+// identity parentage).
+RefineResult refine_uniform(const TriMesh& mesh, int levels);
+
+}  // namespace feio::mesh

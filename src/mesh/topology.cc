@@ -1,0 +1,87 @@
+#include "mesh/topology.h"
+
+#include <algorithm>
+#include <set>
+
+namespace feio::mesh {
+
+Topology::Topology(const TriMesh& mesh) {
+  const auto n = static_cast<size_t>(mesh.num_nodes());
+  adjacency_.resize(n);
+  node_elements_.resize(n);
+
+  for (int e = 0; e < mesh.num_elements(); ++e) {
+    const Element& el = mesh.element(e);
+    for (int k = 0; k < 3; ++k) {
+      const int a = el.n[static_cast<size_t>(k)];
+      const int b = el.n[static_cast<size_t>((k + 1) % 3)];
+      edge_map_[Edge(a, b)].push_back(e);
+      node_elements_[static_cast<size_t>(a)].push_back(e);
+    }
+  }
+  for (auto& elems : node_elements_) {
+    std::sort(elems.begin(), elems.end());
+    elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+  }
+
+  for (const auto& [edge, elems] : edge_map_) {
+    adjacency_[static_cast<size_t>(edge.a)].push_back(edge.b);
+    adjacency_[static_cast<size_t>(edge.b)].push_back(edge.a);
+    if (elems.size() == 1) {
+      boundary_edges_.push_back(edge);
+    } else if (elems.size() == 2) {
+      interior_edges_.push_back(edge);
+    }
+    // Edges with >2 elements are non-manifold; validation reports them.
+  }
+  for (auto& nbrs : adjacency_) std::sort(nbrs.begin(), nbrs.end());
+}
+
+std::vector<int> Topology::edge_elements(Edge e) const {
+  auto it = edge_map_.find(e);
+  if (it == edge_map_.end()) return {};
+  return it->second;
+}
+
+std::vector<std::vector<int>> Topology::boundary_loops() const {
+  // Adjacency restricted to boundary edges.
+  std::map<int, std::vector<int>> bnbrs;
+  for (const Edge& e : boundary_edges_) {
+    bnbrs[e.a].push_back(e.b);
+    bnbrs[e.b].push_back(e.a);
+  }
+  std::set<Edge> unused(boundary_edges_.begin(), boundary_edges_.end());
+  std::vector<std::vector<int>> loops;
+
+  while (!unused.empty()) {
+    const Edge start = *unused.begin();
+    unused.erase(unused.begin());
+    std::vector<int> loop{start.a, start.b};
+    int prev = start.a;
+    int cur = start.b;
+    while (true) {
+      int next = -1;
+      for (int cand : bnbrs[cur]) {
+        if (cand == prev) continue;
+        if (unused.count(Edge(cur, cand))) {
+          next = cand;
+          break;
+        }
+      }
+      if (next < 0) break;  // open chain or finished loop
+      unused.erase(Edge(cur, next));
+      if (next == loop.front()) {
+        prev = cur;
+        cur = next;
+        break;  // closed the loop; do not repeat the first node
+      }
+      loop.push_back(next);
+      prev = cur;
+      cur = next;
+    }
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+}  // namespace feio::mesh

@@ -1,0 +1,64 @@
+// Derived mesh connectivity: node adjacency, edge->element incidence,
+// boundary edge chains. Built once from a TriMesh and queried by the
+// renumbering, reform, OSPL boundary drawing, and validation code.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "mesh/tri_mesh.h"
+
+namespace feio::mesh {
+
+// Undirected edge with a < b.
+struct Edge {
+  int a = -1;
+  int b = -1;
+
+  Edge() = default;
+  Edge(int x, int y) : a(x < y ? x : y), b(x < y ? y : x) {}
+
+  auto operator<=>(const Edge&) const = default;
+};
+
+class Topology {
+ public:
+  explicit Topology(const TriMesh& mesh);
+
+  // Node indices adjacent to `n` via an element edge, sorted ascending.
+  const std::vector<int>& neighbors(int n) const {
+    return adjacency_[static_cast<size_t>(n)];
+  }
+
+  // Elements incident to node `n`.
+  const std::vector<int>& elements_of(int n) const {
+    return node_elements_[static_cast<size_t>(n)];
+  }
+
+  // Elements adjacent to the undirected edge (up to 2); empty when the edge
+  // does not exist in the mesh.
+  std::vector<int> edge_elements(Edge e) const;
+
+  // Edges used by exactly one element (the mesh boundary), in map order.
+  const std::vector<Edge>& boundary_edges() const { return boundary_edges_; }
+
+  // Boundary edges linked into closed loops; each loop is a list of node
+  // indices in traversal order (first node not repeated at the end). Open
+  // chains (non-manifold input) are returned as-is.
+  std::vector<std::vector<int>> boundary_loops() const;
+
+  // All interior edges (shared by exactly two elements).
+  const std::vector<Edge>& interior_edges() const { return interior_edges_; }
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+
+ private:
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<std::vector<int>> node_elements_;
+  std::map<Edge, std::vector<int>> edge_map_;
+  std::vector<Edge> boundary_edges_;
+  std::vector<Edge> interior_edges_;
+};
+
+}  // namespace feio::mesh

@@ -1,0 +1,119 @@
+#include "mesh/validate.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+
+#include "mesh/topology.h"
+
+namespace feio::mesh {
+namespace {
+
+std::string elem_str(int e) { return "element " + std::to_string(e); }
+
+}  // namespace
+
+ValidationReport validate(const TriMesh& mesh) {
+  ValidationReport rep;
+
+  std::set<std::array<int, 3>> seen;
+  for (int e = 0; e < mesh.num_elements(); ++e) {
+    const Element& el = mesh.element(e);
+    bool in_range = true;
+    for (int n : el.n) {
+      if (n < 0 || n >= mesh.num_nodes()) {
+        rep.errors.push_back(elem_str(e) + ": node index out of range");
+        in_range = false;
+      }
+    }
+    if (!in_range) continue;
+    if (el.n[0] == el.n[1] || el.n[1] == el.n[2] || el.n[0] == el.n[2]) {
+      rep.errors.push_back(elem_str(e) + ": repeated node index");
+      continue;
+    }
+    std::array<int, 3> key{el.n[0], el.n[1], el.n[2]};
+    std::sort(key.begin(), key.end());
+    if (!seen.insert(key).second) {
+      rep.errors.push_back(elem_str(e) + ": duplicate of an earlier element");
+    }
+    const double area = mesh.signed_area(e);
+    if (area == 0.0) {
+      rep.errors.push_back(elem_str(e) + ": zero area");
+    } else if (area < 0.0) {
+      rep.warnings.push_back(elem_str(e) + ": clockwise orientation");
+    }
+  }
+
+  if (!rep.errors.empty()) return rep;  // topology needs valid indices
+
+  const Topology topo(mesh);
+
+  // Non-manifold edges.
+  std::map<Edge, int> edge_count;
+  for (const Element& el : mesh.elements()) {
+    for (int k = 0; k < 3; ++k) {
+      ++edge_count[Edge(el.n[static_cast<size_t>(k)],
+                        el.n[static_cast<size_t>((k + 1) % 3)])];
+    }
+  }
+  for (const auto& [edge, count] : edge_count) {
+    if (count > 2) {
+      rep.errors.push_back("edge (" + std::to_string(edge.a) + "," +
+                           std::to_string(edge.b) + ") shared by " +
+                           std::to_string(count) + " elements");
+    }
+  }
+
+  // Boundary flags vs. topology.
+  TriMesh copy = mesh;
+  copy.classify_boundary();
+  for (int i = 0; i < mesh.num_nodes(); ++i) {
+    if (mesh.node(i).boundary != copy.node(i).boundary) {
+      rep.warnings.push_back("node " + std::to_string(i) +
+                             ": boundary flag inconsistent with topology");
+    }
+  }
+
+  // Isolated nodes.
+  for (int i = 0; i < mesh.num_nodes(); ++i) {
+    if (topo.elements_of(i).empty()) {
+      rep.warnings.push_back("node " + std::to_string(i) +
+                             " belongs to no element");
+    }
+  }
+
+  // Connectivity (warning only).
+  if (mesh.num_nodes() > 0) {
+    std::vector<bool> visited(static_cast<size_t>(mesh.num_nodes()), false);
+    std::vector<int> stack;
+    int start = 0;
+    while (start < mesh.num_nodes() && topo.elements_of(start).empty()) ++start;
+    if (start < mesh.num_nodes()) {
+      stack.push_back(start);
+      visited[static_cast<size_t>(start)] = true;
+      while (!stack.empty()) {
+        const int n = stack.back();
+        stack.pop_back();
+        for (int nb : topo.neighbors(n)) {
+          if (!visited[static_cast<size_t>(nb)]) {
+            visited[static_cast<size_t>(nb)] = true;
+            stack.push_back(nb);
+          }
+        }
+      }
+      for (int i = 0; i < mesh.num_nodes(); ++i) {
+        if (!visited[static_cast<size_t>(i)] && !topo.elements_of(i).empty()) {
+          rep.warnings.push_back("mesh has more than one connected component");
+          break;
+        }
+      }
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace feio::mesh

@@ -1,0 +1,25 @@
+// Mesh sanity checks run after idealization and before analysis/plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mesh/tri_mesh.h"
+
+namespace feio::mesh {
+
+struct ValidationReport {
+  std::vector<std::string> errors;    // must be empty for a usable mesh
+  std::vector<std::string> warnings;  // quality concerns, not fatal
+
+  bool ok() const { return errors.empty(); }
+};
+
+// Checks: node indices in range, no repeated nodes in an element, no
+// zero/negative-area elements (after orientation), no duplicate elements,
+// no non-manifold edges (>2 incident elements), boundary flags consistent
+// with topology, mesh connected (single component) — the last is a warning
+// because multi-part idealizations are legal in IDLZ.
+ValidationReport validate(const TriMesh& mesh);
+
+}  // namespace feio::mesh

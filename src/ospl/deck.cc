@@ -1,0 +1,122 @@
+#include "ospl/deck.h"
+
+#include <sstream>
+
+#include "cards/card_io.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace feio::ospl {
+namespace {
+
+using cards::as_alpha;
+using cards::as_int;
+using cards::as_real;
+using cards::CardReader;
+using cards::CardWriter;
+using cards::Format;
+
+const Format& fmt_type1() {
+  static const Format f = Format::parse("(2I5,5F10.4)");
+  return f;
+}
+const Format& fmt_title() {
+  static const Format f = Format::parse("(12A6)");
+  return f;
+}
+const Format& fmt_type3() {
+  static const Format f = Format::parse("(2F9.5,22X,F10.3,I1)");
+  return f;
+}
+const Format& fmt_type4() {
+  static const Format f = Format::parse("(3I5)");
+  return f;
+}
+
+std::string read_title(CardReader& reader) {
+  const auto fields = reader.read(fmt_title());
+  std::string title;
+  for (const auto& f : fields) title += as_alpha(f);
+  return std::string(trim(title));
+}
+
+}  // namespace
+
+OsplCase read_deck(std::istream& in) {
+  CardReader reader(in);
+  OsplCase c;
+
+  const auto t1 = reader.read(fmt_type1());
+  const int nn = static_cast<int>(as_int(t1[0]));
+  const int ne = static_cast<int>(as_int(t1[1]));
+  FEIO_REQUIRE(nn >= 1, "NN must be at least 1");
+  FEIO_REQUIRE(ne >= 1, "NE must be at least 1");
+  const double xmx = as_real(t1[2]);
+  const double xmn = as_real(t1[3]);
+  const double ymx = as_real(t1[4]);
+  const double ymn = as_real(t1[5]);
+  c.delta = as_real(t1[6]);
+  if (xmx > xmn || ymx > ymn) {
+    c.window.lo = {xmn, ymn};
+    c.window.hi = {xmx, ymx};
+  }
+
+  c.title1 = read_title(reader);
+  c.title2 = read_title(reader);
+
+  c.values.reserve(static_cast<size_t>(nn));
+  for (int i = 0; i < nn; ++i) {
+    const auto t3 = reader.read(fmt_type3());
+    const geom::Vec2 pos{as_real(t3[0]), as_real(t3[1])};
+    c.values.push_back(as_real(t3[2]));
+    const long flag = as_int(t3[3]);
+    FEIO_REQUIRE(flag >= 0 && flag <= 2,
+                 "nodal boundary flag N(I) must be 0, 1 or 2");
+    c.mesh.add_node(pos, static_cast<mesh::BoundaryKind>(flag));
+  }
+
+  for (int e = 0; e < ne; ++e) {
+    const auto t4 = reader.read(fmt_type4());
+    const int n1 = static_cast<int>(as_int(t4[0]));
+    const int n2 = static_cast<int>(as_int(t4[1]));
+    const int n3 = static_cast<int>(as_int(t4[2]));
+    FEIO_REQUIRE(n1 >= 1 && n1 <= nn && n2 >= 1 && n2 <= nn && n3 >= 1 &&
+                     n3 <= nn,
+                 "element card references a node number outside 1..NN");
+    c.mesh.add_element(n1 - 1, n2 - 1, n3 - 1);
+  }
+  return c;
+}
+
+OsplCase read_deck_string(const std::string& deck) {
+  std::istringstream in(deck);
+  return read_deck(in);
+}
+
+std::string write_deck(const OsplCase& c) {
+  CardWriter out;
+  const bool windowed = c.window.valid();
+  out.write({static_cast<long>(c.mesh.num_nodes()),
+             static_cast<long>(c.mesh.num_elements()),
+             windowed ? c.window.hi.x : 0.0, windowed ? c.window.lo.x : 0.0,
+             windowed ? c.window.hi.y : 0.0, windowed ? c.window.lo.y : 0.0,
+             c.delta},
+            fmt_type1());
+  out.write_raw(c.title1);
+  out.write_raw(c.title2);
+  for (int i = 0; i < c.mesh.num_nodes(); ++i) {
+    const mesh::Node& n = c.mesh.node(i);
+    out.write({n.pos.x, n.pos.y, c.values[static_cast<size_t>(i)],
+               static_cast<long>(static_cast<int>(n.boundary))},
+              fmt_type3());
+  }
+  for (int e = 0; e < c.mesh.num_elements(); ++e) {
+    const mesh::Element& el = c.mesh.element(e);
+    out.write({static_cast<long>(el.n[0] + 1), static_cast<long>(el.n[1] + 1),
+               static_cast<long>(el.n[2] + 1)},
+              fmt_type4());
+  }
+  return out.str();
+}
+
+}  // namespace feio::ospl

@@ -1,0 +1,29 @@
+// Reading and writing OSPL card decks (Appendix C, card types 1-4).
+//
+// Deck layout:
+//   type 1: NN NE XMX XMN YMX YMN DELTA          (2I5,5F10.4)
+//   type 2: title 1                              (12A6)
+//   type 2: title 2                              (12A6)
+//   type 3: X Y [22 cols for analysis use] S N   (2F9.5,22X,F10.3,I1)  x NN
+//   type 4: N1 N2 N3                             (3I5)                x NE
+//
+// Type-3 cards are exactly the nodal cards IDLZ punches, with the value to
+// be plotted filled in by the analysis program — which is how the two
+// programs chain in production.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "ospl/ospl.h"
+
+namespace feio::ospl {
+
+// Parses one OSPL data set. Throws feio::Error with card context.
+OsplCase read_deck(std::istream& in);
+OsplCase read_deck_string(const std::string& deck);
+
+// Writes a case as a card deck (fixture generation / round-trip tests).
+std::string write_deck(const OsplCase& c);
+
+}  // namespace feio::ospl

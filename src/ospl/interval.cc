@@ -1,0 +1,46 @@
+#include "ospl/interval.h"
+
+#include <array>
+#include <cmath>
+
+namespace feio::ospl {
+
+double auto_interval(double vmin, double vmax) {
+  const double range = vmax - vmin;
+  if (!(range > 0.0)) return 0.0;
+  const double target = 0.05 * range;
+
+  // Smallest base-product not below the target. Start one decade below the
+  // target's magnitude to be safe against rounding.
+  const double decade = std::floor(std::log10(target)) - 1.0;
+  static constexpr std::array<double, 3> kBases{1.0, 2.5, 5.0};
+  for (int k = static_cast<int>(decade); k < static_cast<int>(decade) + 5;
+       ++k) {
+    const double power = std::pow(10.0, k);
+    for (double base : kBases) {
+      const double candidate = base * power;
+      if (candidate >= target * (1.0 - 1e-12)) return candidate;
+    }
+  }
+  return target;  // unreachable in practice
+}
+
+double lowest_contour(double vmin, double delta) {
+  if (delta <= 0.0) return vmin;
+  return std::ceil(vmin / delta - 1e-12) * delta;
+}
+
+std::vector<double> contour_levels(double vmin, double vmax, double delta,
+                                   int max_levels) {
+  std::vector<double> levels;
+  if (delta <= 0.0 || vmax < vmin) return levels;
+  double level = lowest_contour(vmin, delta);
+  while (level <= vmax + 1e-12 * std::abs(delta) &&
+         static_cast<int>(levels.size()) < max_levels) {
+    levels.push_back(level);
+    level += delta;
+  }
+  return levels;
+}
+
+}  // namespace feio::ospl

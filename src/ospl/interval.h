@@ -1,0 +1,38 @@
+// Automated determination of contour spacing (Appendix D).
+//
+// "After examination of many hand-drawn plots, it was decided that in order
+// to achieve good spacing, an interval should be used which is about 5
+// percent of the difference between the largest and smallest value. Using
+// base intervals of 1.0, 2.5, and 5.0, OSPL chooses the interval which is
+// the product of a base interval and a power of ten..."
+//
+// Appendix D's prose says "closest to, but not greater than, 5 percent",
+// yet its own worked example (values 10000..50000 psi -> interval 2500 psi,
+// which is 6.25 % of the range) requires rounding *up* to the next base
+// product — and only rounding up bounds the number of contour lines by 20.
+// We follow the worked example and the paper's plots (Figure 13 shows
+// "CONTOUR INTERVAL IS 2500"): the chosen interval is the smallest base
+// product >= 5 % of the range. The procedure still "results in intervals of
+// 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, etc." as the appendix states.
+#pragma once
+
+#include <vector>
+
+namespace feio::ospl {
+
+// The smallest value of {1.0, 2.5, 5.0} x 10^k (integer k) that is >= 5 %
+// of (vmax - vmin). Returns 0.0 when the range is empty (vmax <= vmin), in
+// which case no contours exist.
+double auto_interval(double vmin, double vmax);
+
+// First contour: the smallest integer multiple of `delta` that is >= vmin
+// (Figure 12: values 5..32 with interval 10 begin at 10).
+double lowest_contour(double vmin, double delta);
+
+// All contour levels for [vmin, vmax] with spacing `delta` starting at
+// lowest_contour. Returns an empty vector when delta <= 0. The level count
+// is clamped to `max_levels` as a safety net against degenerate input.
+std::vector<double> contour_levels(double vmin, double vmax, double delta,
+                                   int max_levels = 1000);
+
+}  // namespace feio::ospl

@@ -1,0 +1,111 @@
+#include "ospl/ospl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "mesh/topology.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace feio::ospl {
+
+OsplLimits OsplLimits::unlimited() {
+  OsplLimits l;
+  l.max_elements = std::numeric_limits<int>::max() / 4;
+  l.max_nodes = std::numeric_limits<int>::max() / 4;
+  return l;
+}
+
+std::string interval_caption(double delta) {
+  // Trim trailing zeros but keep the paper's trailing point for integers.
+  std::string s = fixed(delta, 4);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  return "CONTOUR INTERVAL IS " + s;
+}
+
+OsplResult run(const OsplCase& c) {
+  FEIO_REQUIRE(c.mesh.num_nodes() > 0, "OSPL needs at least one node");
+  FEIO_REQUIRE(static_cast<int>(c.values.size()) == c.mesh.num_nodes(),
+               "one value per node required");
+  FEIO_REQUIRE(c.mesh.num_nodes() <= c.limits.max_nodes,
+               "node count exceeds the allowed " +
+                   std::to_string(c.limits.max_nodes) +
+                   " (Table 1 restriction)");
+  FEIO_REQUIRE(c.mesh.num_elements() <= c.limits.max_elements,
+               "element count exceeds the allowed " +
+                   std::to_string(c.limits.max_elements) +
+                   " (Table 1 restriction)");
+
+  OsplResult r;
+
+  // Window: user-specified zoom or the whole mesh.
+  geom::BBox window = c.window;
+  const bool zoomed = window.valid() && window.width() > 0.0 &&
+                      window.height() > 0.0;
+  if (!zoomed) window = c.mesh.bounds();
+
+  // Range over the nodes inside the window (zooming should not let values
+  // far outside the window dictate the spacing of what is visible).
+  r.vmin = std::numeric_limits<double>::infinity();
+  r.vmax = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < c.mesh.num_nodes(); ++i) {
+    if (zoomed && !window.contains(c.mesh.pos(i))) continue;
+    r.vmin = std::min(r.vmin, c.values[static_cast<size_t>(i)]);
+    r.vmax = std::max(r.vmax, c.values[static_cast<size_t>(i)]);
+  }
+  if (!std::isfinite(r.vmin)) {  // zoom window contains no nodes
+    r.vmin = *std::min_element(c.values.begin(), c.values.end());
+    r.vmax = *std::max_element(c.values.begin(), c.values.end());
+  }
+
+  r.delta = c.delta > 0.0 ? c.delta : auto_interval(r.vmin, r.vmax);
+  r.lowest = lowest_contour(r.vmin, r.delta);
+  r.levels = contour_levels(r.vmin, r.vmax, r.delta);
+
+  // Extract and clip contour segments.
+  std::vector<ContourSegment> raw =
+      extract_contours(c.mesh, c.values, r.levels);
+  for (ContourSegment& seg : raw) {
+    if (clip_segment(window, seg)) r.segments.push_back(seg);
+  }
+
+  // Boundary: adjacent boundary nodes connected by straight lines.
+  const mesh::Topology topo(c.mesh);
+  std::set<mesh::Edge> boundary_edges(topo.boundary_edges().begin(),
+                                      topo.boundary_edges().end());
+  for (const mesh::Edge& e : topo.boundary_edges()) {
+    ContourSegment seg;
+    seg.a = c.mesh.pos(e.a);
+    seg.b = c.mesh.pos(e.b);
+    seg.edge_a = e;
+    seg.edge_b = e;
+    if (clip_segment(window, seg)) r.boundary.push_back(seg);
+  }
+
+  // Labels at contour-boundary intersections.
+  LabelOptions label_opts = c.label_options;
+  if (label_opts.auto_decimals) {
+    label_opts.decimals = decimals_for_interval(r.delta);
+  }
+  r.labels = place_labels(r.segments, boundary_edges, window, label_opts);
+
+  // Assemble the drawing.
+  r.plot.set_title(c.title1);
+  r.plot.set_subtitle(c.title2.empty()
+                          ? interval_caption(r.delta)
+                          : c.title2 + "   " + interval_caption(r.delta));
+  for (const ContourSegment& seg : r.boundary) {
+    r.plot.line(seg.a, seg.b, plot::Pen::kBoundary);
+  }
+  for (const ContourSegment& seg : r.segments) {
+    r.plot.line(seg.a, seg.b, plot::Pen::kContour);
+  }
+  for (const ContourLabel& lab : r.labels.accepted) {
+    r.plot.text(lab.at, lab.text, 0.9);
+  }
+  return r;
+}
+
+}  // namespace feio::ospl

@@ -1,0 +1,69 @@
+#include "plot/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace feio::plot {
+namespace {
+
+char pen_char(Pen pen) {
+  switch (pen) {
+    case Pen::kMesh: return '.';
+    case Pen::kBoundary: return '#';
+    case Pen::kContour: return '*';
+    case Pen::kGridAid: return ':';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string render_ascii(const PlotFile& plot, const AsciiOptions& opts) {
+  geom::BBox box = plot.bounds();
+  if (!box.valid()) box = {geom::Vec2{0, 0}, geom::Vec2{1, 1}};
+  if (box.width() <= 0.0) box.hi.x = box.lo.x + 1.0;
+  if (box.height() <= 0.0) box.hi.y = box.lo.y + 1.0;
+
+  std::vector<std::string> grid(static_cast<size_t>(opts.rows),
+                                std::string(static_cast<size_t>(opts.cols), ' '));
+  auto to_cell = [&](geom::Vec2 p, int& cx, int& cy) {
+    cx = static_cast<int>((p.x - box.lo.x) / box.width() * (opts.cols - 1) + 0.5);
+    cy = static_cast<int>((box.hi.y - p.y) / box.height() * (opts.rows - 1) + 0.5);
+    cx = std::clamp(cx, 0, opts.cols - 1);
+    cy = std::clamp(cy, 0, opts.rows - 1);
+  };
+  auto stamp = [&](int cx, int cy, char c) {
+    char& cell = grid[static_cast<size_t>(cy)][static_cast<size_t>(cx)];
+    // Boundary ink wins over mesh ink; labels win over everything.
+    if (cell == ' ' || c == '#' || (cell == '.' && c == '*')) cell = c;
+  };
+
+  for (const LineSeg& l : plot.lines()) {
+    int x0, y0, x1, y1;
+    to_cell(l.a, x0, y0);
+    to_cell(l.b, x1, y1);
+    const int steps = std::max({std::abs(x1 - x0), std::abs(y1 - y0), 1});
+    for (int s = 0; s <= steps; ++s) {
+      const double t = static_cast<double>(s) / steps;
+      const int x = static_cast<int>(std::lround(x0 + t * (x1 - x0)));
+      const int y = static_cast<int>(std::lround(y0 + t * (y1 - y0)));
+      stamp(x, y, pen_char(l.pen));
+    }
+  }
+  for (const Label& l : plot.labels()) {
+    if (l.text.empty()) continue;
+    int cx, cy;
+    to_cell(l.at, cx, cy);
+    grid[static_cast<size_t>(cy)][static_cast<size_t>(cx)] = l.text[0];
+  }
+
+  std::string out;
+  for (size_t r = 0; r < grid.size(); ++r) {
+    out += grid[r];
+    if (r + 1 < grid.size()) out += '\n';
+  }
+  return out;
+}
+
+}  // namespace feio::plot

@@ -1,0 +1,23 @@
+// ASCII raster renderer for PlotFile display lists.
+//
+// Used by tests (assert on where ink landed without parsing SVG) and for
+// quick terminal previews; the 4020's film frames were similarly coarse.
+#pragma once
+
+#include <string>
+
+#include "plot/plot_file.h"
+
+namespace feio::plot {
+
+struct AsciiOptions {
+  int cols = 72;
+  int rows = 36;
+};
+
+// Rasterizes line segments into a character grid. Pens map to characters:
+// mesh '.', boundary '#', contour '*', aid ':'; labels stamp their first
+// character. Returns rows joined by '\n'.
+std::string render_ascii(const PlotFile& plot, const AsciiOptions& opts = {});
+
+}  // namespace feio::plot

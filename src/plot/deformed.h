@@ -1,0 +1,33 @@
+// Deformed-shape plotting: the undeformed outline (light pen) overlaid with
+// the displaced mesh, displacements magnified by a user factor — the other
+// standard output of the era's structural post-processors and a natural
+// companion to the OSPL stress plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mesh/tri_mesh.h"
+#include "plot/plot_file.h"
+
+namespace feio::plot {
+
+struct DeformedPlotOptions {
+  // Displacement magnification; 0 selects a factor that makes the largest
+  // displacement about 5 % of the mesh's bounding-box diagonal.
+  double scale = 0.0;
+  bool show_undeformed = true;
+};
+
+// Draws the deformed mesh into `out`; returns the magnification used.
+double draw_deformed(const mesh::TriMesh& mesh,
+                     const std::vector<geom::Vec2>& displacement,
+                     PlotFile& out, const DeformedPlotOptions& opts = {});
+
+// Convenience: a titled PlotFile; the title gains a "x<scale>" suffix.
+PlotFile plot_deformed(const mesh::TriMesh& mesh,
+                       const std::vector<geom::Vec2>& displacement,
+                       std::string title,
+                       const DeformedPlotOptions& opts = {});
+
+}  // namespace feio::plot

@@ -1,0 +1,49 @@
+#include "plot/mesh_plot.h"
+
+#include <set>
+#include <string>
+
+#include "mesh/topology.h"
+
+namespace feio::plot {
+
+void draw_mesh(const mesh::TriMesh& mesh, PlotFile& out,
+               const MeshPlotOptions& opts) {
+  const mesh::Topology topo(mesh);
+  std::set<mesh::Edge> boundary(topo.boundary_edges().begin(),
+                                topo.boundary_edges().end());
+
+  std::set<mesh::Edge> drawn;
+  for (const mesh::Element& el : mesh.elements()) {
+    for (int k = 0; k < 3; ++k) {
+      const mesh::Edge e(el.n[static_cast<size_t>(k)],
+                         el.n[static_cast<size_t>((k + 1) % 3)]);
+      if (!drawn.insert(e).second) continue;
+      const bool is_boundary = opts.draw_boundary && boundary.count(e) > 0;
+      out.line(mesh.pos(e.a), mesh.pos(e.b),
+               is_boundary ? Pen::kBoundary : Pen::kMesh);
+    }
+  }
+
+  if (opts.number_nodes) {
+    for (int i = 0; i < mesh.num_nodes(); ++i) {
+      out.text(mesh.pos(i), std::to_string(i + 1), opts.label_size);
+    }
+  }
+  if (opts.number_elements) {
+    for (int e = 0; e < mesh.num_elements(); ++e) {
+      const auto c = mesh.corners(e);
+      const geom::Vec2 centroid = (c[0] + c[1] + c[2]) / 3.0;
+      out.text(centroid, std::to_string(e + 1), opts.label_size);
+    }
+  }
+}
+
+PlotFile plot_mesh(const mesh::TriMesh& mesh, std::string title,
+                   const MeshPlotOptions& opts) {
+  PlotFile out(std::move(title));
+  draw_mesh(mesh, out, opts);
+  return out;
+}
+
+}  // namespace feio::plot

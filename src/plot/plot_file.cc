@@ -1,0 +1,31 @@
+#include "plot/plot_file.h"
+
+namespace feio::plot {
+
+PlotFile::PlotFile(std::string title) : title_(std::move(title)) {}
+
+void PlotFile::line(geom::Vec2 a, geom::Vec2 b, Pen pen) {
+  lines_.push_back(LineSeg{a, b, pen});
+}
+
+void PlotFile::polyline(const std::vector<geom::Vec2>& pts, Pen pen) {
+  for (size_t i = 1; i < pts.size(); ++i) {
+    line(pts[i - 1], pts[i], pen);
+  }
+}
+
+void PlotFile::text(geom::Vec2 at, std::string s, double size) {
+  labels_.push_back(Label{at, std::move(s), size});
+}
+
+geom::BBox PlotFile::bounds() const {
+  geom::BBox box;
+  for (const LineSeg& l : lines_) {
+    box.expand(l.a);
+    box.expand(l.b);
+  }
+  for (const Label& l : labels_) box.expand(l.at);
+  return box;
+}
+
+}  // namespace feio::plot

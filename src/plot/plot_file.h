@@ -1,0 +1,66 @@
+// Device-independent display list: the replacement for the
+// Stromberg-Datagraphix 4020 plotter the paper's programs drove.
+//
+// IDLZ and OSPL only ever send the plotter straight line segments and text
+// labels in world coordinates plus a frame title, so the display list
+// carries exactly those primitives. Renderers (SVG for humans, ASCII for
+// tests) map world coordinates to device space preserving aspect ratio.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/polygon.h"
+#include "geom/vec2.h"
+
+namespace feio::plot {
+
+// Logical pens; renderers choose the visual style.
+enum class Pen {
+  kMesh,      // element edges
+  kBoundary,  // structure boundary
+  kContour,   // isograms
+  kGridAid,   // construction/annotation aids
+};
+
+struct LineSeg {
+  geom::Vec2 a;
+  geom::Vec2 b;
+  Pen pen = Pen::kMesh;
+};
+
+struct Label {
+  geom::Vec2 at;
+  std::string text;
+  double size = 1.0;  // relative text size
+};
+
+class PlotFile {
+ public:
+  explicit PlotFile(std::string title = {});
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_subtitle(std::string subtitle) { subtitle_ = std::move(subtitle); }
+  const std::string& title() const { return title_; }
+  const std::string& subtitle() const { return subtitle_; }
+
+  void line(geom::Vec2 a, geom::Vec2 b, Pen pen = Pen::kMesh);
+  void polyline(const std::vector<geom::Vec2>& pts, Pen pen = Pen::kMesh);
+  void text(geom::Vec2 at, std::string s, double size = 1.0);
+
+  const std::vector<LineSeg>& lines() const { return lines_; }
+  const std::vector<Label>& labels() const { return labels_; }
+
+  // World-space bounds of all primitives.
+  geom::BBox bounds() const;
+
+  bool empty() const { return lines_.empty() && labels_.empty(); }
+
+ private:
+  std::string title_;
+  std::string subtitle_;
+  std::vector<LineSeg> lines_;
+  std::vector<Label> labels_;
+};
+
+}  // namespace feio::plot

@@ -1,0 +1,109 @@
+#include "plot/svg.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace feio::plot {
+namespace {
+
+const char* pen_style(Pen pen) {
+  switch (pen) {
+    case Pen::kMesh:
+      return "stroke=\"#1a1a1a\" stroke-width=\"1\"";
+    case Pen::kBoundary:
+      return "stroke=\"#000000\" stroke-width=\"2\"";
+    case Pen::kContour:
+      return "stroke=\"#0050b0\" stroke-width=\"1.2\"";
+    case Pen::kGridAid:
+      return "stroke=\"#b0b0b0\" stroke-width=\"0.7\" stroke-dasharray=\"4 3\"";
+  }
+  return "stroke=\"#000000\" stroke-width=\"1\"";
+}
+
+std::string escape_xml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_svg(const PlotFile& plot, const SvgOptions& opts) {
+  geom::BBox box = plot.bounds();
+  if (!box.valid()) box = {geom::Vec2{0, 0}, geom::Vec2{1, 1}};
+  if (box.width() <= 0.0) box.hi.x = box.lo.x + 1.0;
+  if (box.height() <= 0.0) box.hi.y = box.lo.y + 1.0;
+
+  const double margin = opts.width_px * opts.margin_frac;
+  const double draw_w = opts.width_px - 2.0 * margin;
+  const double scale = draw_w / box.width();
+  const double draw_h = box.height() * scale;
+  const double title_band = opts.show_title ? 40.0 : 0.0;
+  const double height_px = draw_h + 2.0 * margin + title_band;
+
+  // World -> device, flipping y (SVG y grows downward).
+  auto map = [&](geom::Vec2 p) {
+    return geom::Vec2{margin + (p.x - box.lo.x) * scale,
+                      title_band + margin + (box.hi.y - p.y) * scale};
+  };
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << opts.width_px
+      << "\" height=\"" << static_cast<int>(height_px) << "\" viewBox=\"0 0 "
+      << opts.width_px << " " << static_cast<int>(height_px) << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  if (opts.show_title && !plot.title().empty()) {
+    out << "<text x=\"" << opts.width_px / 2
+        << "\" y=\"20\" text-anchor=\"middle\" font-family=\"monospace\" "
+           "font-size=\"15\">"
+        << escape_xml(plot.title()) << "</text>\n";
+  }
+  if (opts.show_title && !plot.subtitle().empty()) {
+    out << "<text x=\"" << opts.width_px / 2
+        << "\" y=\"36\" text-anchor=\"middle\" font-family=\"monospace\" "
+           "font-size=\"12\">"
+        << escape_xml(plot.subtitle()) << "</text>\n";
+  }
+
+  for (const LineSeg& l : plot.lines()) {
+    const geom::Vec2 a = map(l.a);
+    const geom::Vec2 b = map(l.b);
+    out << "<line x1=\"" << fixed(a.x, 2) << "\" y1=\"" << fixed(a.y, 2)
+        << "\" x2=\"" << fixed(b.x, 2) << "\" y2=\"" << fixed(b.y, 2) << "\" "
+        << pen_style(l.pen) << "/>\n";
+  }
+
+  for (const Label& l : plot.labels()) {
+    const geom::Vec2 p = map(l.at);
+    out << "<text x=\"" << fixed(p.x, 2) << "\" y=\"" << fixed(p.y, 2)
+        << "\" font-family=\"monospace\" font-size=\""
+        << fixed(10.0 * l.size, 1) << "\" fill=\"#202020\">"
+        << escape_xml(l.text) << "</text>\n";
+  }
+
+  out << "</svg>\n";
+  return out.str();
+}
+
+void write_svg(const PlotFile& plot, const std::string& path,
+               const SvgOptions& opts) {
+  std::ofstream f(path);
+  FEIO_REQUIRE(f.good(), "cannot open '" + path + "' for writing");
+  f << render_svg(plot, opts);
+  FEIO_REQUIRE(f.good(), "failed writing '" + path + "'");
+}
+
+}  // namespace feio::plot

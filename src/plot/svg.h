@@ -1,0 +1,23 @@
+// SVG renderer for PlotFile display lists.
+#pragma once
+
+#include <string>
+
+#include "plot/plot_file.h"
+
+namespace feio::plot {
+
+struct SvgOptions {
+  int width_px = 900;        // drawing width; height follows aspect ratio
+  double margin_frac = 0.06; // margin around the drawing, fraction of width
+  bool show_title = true;
+};
+
+// Renders the display list to a standalone SVG document.
+std::string render_svg(const PlotFile& plot, const SvgOptions& opts = {});
+
+// Renders and writes to `path`; throws feio::Error on I/O failure.
+void write_svg(const PlotFile& plot, const std::string& path,
+               const SvgOptions& opts = {});
+
+}  // namespace feio::plot

@@ -1,0 +1,30 @@
+#include "util/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace feio {
+
+Error::Error(std::string message) : std::runtime_error(std::move(message)) {}
+
+Error::Error(std::string message, std::string context)
+    : std::runtime_error(context.empty() ? std::move(message)
+                                         : message + " [" + context + "]"),
+      context_(std::move(context)) {}
+
+void fail(const std::string& message) { throw Error(message); }
+
+void fail(const std::string& message, const std::string& context) {
+  throw Error(message, context);
+}
+
+namespace detail {
+
+void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "feio: internal assertion failed: %s at %s:%d\n", expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace feio

@@ -1,0 +1,50 @@
+// Error handling for the feio library.
+//
+// Recoverable failures (bad input decks, violated program restrictions,
+// geometric impossibilities in user data) throw feio::Error, which carries a
+// human-readable message plus optional source context (card number, routine).
+// Programming errors are guarded with FEIO_ASSERT, which is active in all
+// build types: this library processes analyst-authored data where silent
+// corruption is worse than termination.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace feio {
+
+// Exception thrown on any recoverable failure: malformed cards, violated
+// numeric restrictions, degenerate geometry, inconsistent subdivisions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message);
+  Error(std::string message, std::string context);
+
+  // Context string such as "card 12" or "subdivision 3"; empty when unknown.
+  const std::string& context() const { return context_; }
+
+ private:
+  std::string context_;
+};
+
+// Throws feio::Error with printf-style convenience handled by the caller.
+[[noreturn]] void fail(const std::string& message);
+[[noreturn]] void fail(const std::string& message, const std::string& context);
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace feio
+
+// Always-on assertion for internal invariants.
+#define FEIO_ASSERT(expr)                                          \
+  do {                                                             \
+    if (!(expr)) ::feio::detail::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (false)
+
+// Validates a user-facing precondition; throws feio::Error on violation.
+#define FEIO_REQUIRE(expr, message)        \
+  do {                                     \
+    if (!(expr)) ::feio::fail((message));  \
+  } while (false)

@@ -1,0 +1,56 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace feio {
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string fixed(double value, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, value);
+  return buf;
+}
+
+std::string pad_left(std::string_view s, int w) {
+  std::string out(s);
+  if (static_cast<int>(out.size()) < w) out.insert(0, w - out.size(), ' ');
+  return out;
+}
+
+std::string pad_right(std::string_view s, int w) {
+  std::string out(s);
+  if (static_cast<int>(out.size()) < w) out.append(w - out.size(), ' ');
+  return out;
+}
+
+}  // namespace feio

@@ -1,0 +1,32 @@
+// Small string utilities shared across the library (card parsing, report
+// generation). Kept deliberately minimal; no locale dependence.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace feio {
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+// Uppercases ASCII letters in place and returns the result.
+std::string to_upper(std::string_view s);
+
+// Splits on a single delimiter character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+// True when `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+// Formats a double the way a report column wants it: fixed, `prec` decimals.
+std::string fixed(double value, int prec);
+
+// Left-pads `s` with spaces to width `w` (no truncation).
+std::string pad_left(std::string_view s, int w);
+
+// Right-pads `s` with spaces to width `w` (no truncation).
+std::string pad_right(std::string_view s, int w);
+
+}  // namespace feio

@@ -1,0 +1,323 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cards/card_io.h"
+#include "cards/format.h"
+#include "util/error.h"
+
+namespace feio::cards {
+namespace {
+
+TEST(FormatParseTest, SimpleInteger) {
+  const Format f = Format::parse("(I5)");
+  ASSERT_EQ(f.descriptors().size(), 1u);
+  EXPECT_EQ(f.descriptors()[0].kind, EditKind::kInt);
+  EXPECT_EQ(f.descriptors()[0].width, 5);
+  EXPECT_EQ(f.field_count(), 1);
+  EXPECT_EQ(f.record_width(), 5);
+}
+
+TEST(FormatParseTest, RepeatCountsExpand) {
+  const Format f = Format::parse("(4I5)");
+  EXPECT_EQ(f.descriptors().size(), 4u);
+  EXPECT_EQ(f.record_width(), 20);
+}
+
+TEST(FormatParseTest, PaperIdlzType4) {
+  const Format f = Format::parse("(5I5,5X,2I5)");
+  EXPECT_EQ(f.field_count(), 7);
+  EXPECT_EQ(f.record_width(), 5 * 5 + 5 + 2 * 5);
+}
+
+TEST(FormatParseTest, PaperIdlzType6) {
+  const Format f = Format::parse("(4I5,5F8.4)");
+  EXPECT_EQ(f.field_count(), 9);
+  EXPECT_EQ(f.descriptors()[4].kind, EditKind::kFixed);
+  EXPECT_EQ(f.descriptors()[4].width, 8);
+  EXPECT_EQ(f.descriptors()[4].decimals, 4);
+}
+
+TEST(FormatParseTest, PaperNodalPunchFormat) {
+  const Format f = Format::parse("(2F9.5,51X,I3,5X,I3)");
+  EXPECT_EQ(f.field_count(), 4);
+  EXPECT_EQ(f.record_width(), 18 + 51 + 3 + 5 + 3);
+}
+
+TEST(FormatParseTest, PaperOsplType3) {
+  const Format f = Format::parse("(2F9.5,22X,F10.3,I1)");
+  EXPECT_EQ(f.field_count(), 4);
+  EXPECT_EQ(f.record_width(), 18 + 22 + 10 + 1);
+}
+
+TEST(FormatParseTest, AlphaAndCaseInsensitive) {
+  const Format f = Format::parse("(12a6)");
+  EXPECT_EQ(f.field_count(), 12);
+  EXPECT_EQ(f.record_width(), 72);
+  EXPECT_EQ(f.descriptors()[0].kind, EditKind::kAlpha);
+}
+
+TEST(FormatParseTest, BlanksIgnored) {
+  const Format f = Format::parse("( 2F9.5 , 51X , I3 , 5X , I3 )");
+  EXPECT_EQ(f.field_count(), 4);
+}
+
+TEST(FormatParseTest, MissingParensAccepted) {
+  EXPECT_EQ(Format::parse("3I5").field_count(), 3);
+}
+
+TEST(FormatParseTest, ToStringRoundTrip) {
+  for (const char* spec :
+       {"(I5)", "(4I5)", "(12A6)", "(2I5,5F10.4)", "(2F9.5,51X,I3,5X,I3)",
+        "(3I5,62X,I3)", "(2F9.5,22X,F10.3,I1)", "(4I5,5F8.4)"}) {
+    const Format f = Format::parse(spec);
+    const Format g = Format::parse(f.to_string());
+    EXPECT_EQ(f.to_string(), g.to_string()) << spec;
+    EXPECT_EQ(f.field_count(), g.field_count()) << spec;
+    EXPECT_EQ(f.record_width(), g.record_width()) << spec;
+  }
+}
+
+TEST(FormatParseTest, Errors) {
+  EXPECT_THROW(Format::parse(""), Error);
+  EXPECT_THROW(Format::parse("()"), Error);
+  EXPECT_THROW(Format::parse("(I)"), Error);       // no width
+  EXPECT_THROW(Format::parse("(F8)"), Error);      // no decimals
+  EXPECT_THROW(Format::parse("(X)"), Error);       // X needs a count
+  EXPECT_THROW(Format::parse("(Q5)"), Error);      // unknown descriptor
+  EXPECT_THROW(Format::parse("(I5 I5)"), Error);   // missing comma
+  EXPECT_THROW(Format::parse("(I5,"), Error);      // unbalanced paren
+}
+
+// ---- Field semantics ----------------------------------------------------
+
+TEST(FieldReadTest, IntegerBasics) {
+  EXPECT_EQ(read_int_field("  123"), 123);
+  EXPECT_EQ(read_int_field(" -45 "), -45);
+  EXPECT_EQ(read_int_field("+7"), 7);
+}
+
+TEST(FieldReadTest, BlankIntegerIsZero) {
+  EXPECT_EQ(read_int_field("     "), 0);
+  EXPECT_EQ(read_int_field(""), 0);
+}
+
+TEST(FieldReadTest, GarbageIntegerThrows) {
+  EXPECT_THROW(read_int_field(" 12a "), Error);
+  EXPECT_THROW(read_int_field("1.5"), Error);
+}
+
+TEST(FieldReadTest, RealWithPoint) {
+  EXPECT_DOUBLE_EQ(read_real_field("  3.25  ", 4), 3.25);
+  EXPECT_DOUBLE_EQ(read_real_field("-0.5", 2), -0.5);
+}
+
+TEST(FieldReadTest, ImpliedDecimalPoint) {
+  // FORTRAN Fw.d: "12345" under F8.4 reads as 1.2345.
+  EXPECT_DOUBLE_EQ(read_real_field("   12345", 4), 1.2345);
+  EXPECT_DOUBLE_EQ(read_real_field("-250", 2), -2.5);
+}
+
+TEST(FieldReadTest, ExplicitPointOverridesImplied) {
+  EXPECT_DOUBLE_EQ(read_real_field("  12.5", 4), 12.5);
+}
+
+TEST(FieldReadTest, ExponentForms) {
+  EXPECT_DOUBLE_EQ(read_real_field("1.5E2", 0), 150.0);
+  EXPECT_DOUBLE_EQ(read_real_field("1.5D2", 0), 150.0);  // FORTRAN double
+  EXPECT_DOUBLE_EQ(read_real_field("-2.5e-1", 0), -0.25);
+}
+
+TEST(FieldReadTest, BlankRealIsZero) {
+  EXPECT_DOUBLE_EQ(read_real_field("        ", 4), 0.0);
+}
+
+TEST(FieldWriteTest, IntegerRightJustified) {
+  EXPECT_EQ(write_int_field(42, 5), "   42");
+  EXPECT_EQ(write_int_field(-42, 5), "  -42");
+}
+
+TEST(FieldWriteTest, IntegerOverflowGivesAsterisks) {
+  EXPECT_EQ(write_int_field(123456, 5), "*****");
+  EXPECT_EQ(write_int_field(-1234, 4), "****");
+}
+
+TEST(FieldWriteTest, FixedField) {
+  EXPECT_EQ(write_fixed_field(3.25, 9, 5), "  3.25000");
+  EXPECT_EQ(write_fixed_field(-0.5, 8, 4), " -0.5000");
+  EXPECT_EQ(write_fixed_field(123.456, 8, 4), "123.4560");  // exactly fits
+  EXPECT_EQ(write_fixed_field(1234.567, 8, 4), "********");  // overflow
+}
+
+TEST(FieldWriteTest, ExponentField) {
+  const std::string field = write_exp_field(12345.678, 12, 4);
+  EXPECT_EQ(field.size(), 12u);
+  EXPECT_NE(field.find('E'), std::string::npos);
+  EXPECT_NEAR(read_real_field(field, 0), 12345.678, 1.0);
+  EXPECT_EQ(write_exp_field(1e5, 5, 4), "*****");  // cannot fit
+}
+
+TEST(FieldWriteTest, AlphaLeftJustifiedTruncated) {
+  EXPECT_EQ(write_alpha_field("AB", 6), "AB    ");
+  EXPECT_EQ(write_alpha_field("ABCDEFGH", 6), "ABCDEF");
+}
+
+TEST(FieldWriteTest, ReadBackWhatWasWritten) {
+  for (double v : {0.0, 1.5, -2.25, 3.14159, -99.9999}) {
+    const std::string field = write_fixed_field(v, 10, 4);
+    EXPECT_NEAR(read_real_field(field, 4), v, 5e-5);
+  }
+}
+
+// ---- decode / encode ----------------------------------------------------
+
+TEST(DecodeTest, IdlzType6Card) {
+  const Format f = Format::parse("(4I5,5F8.4)");
+  //                   K1   L1   K2   L2  X1      Y1      X2      Y2      R
+  const std::string card =
+      "    1    1    6    1  0.0000  0.0000  5.0000  0.0000  0.0000";
+  const auto fields = decode(card, f);
+  ASSERT_EQ(fields.size(), 9u);
+  EXPECT_EQ(as_int(fields[0]), 1);
+  EXPECT_EQ(as_int(fields[2]), 6);
+  EXPECT_DOUBLE_EQ(as_real(fields[6]), 5.0);
+}
+
+TEST(DecodeTest, ShortCardReadsTrailingBlanks) {
+  const Format f = Format::parse("(3I5)");
+  const auto fields = decode("    7", f);
+  EXPECT_EQ(as_int(fields[0]), 7);
+  EXPECT_EQ(as_int(fields[1]), 0);
+  EXPECT_EQ(as_int(fields[2]), 0);
+}
+
+TEST(EncodeTest, RoundTripThroughDecode) {
+  const Format f = Format::parse("(2F9.5,22X,F10.3,I1)");
+  const std::string card = encode({1.25, -3.5, 12345.678, 2L}, f);
+  EXPECT_EQ(card.size(), static_cast<size_t>(kCardWidth));
+  const auto fields = decode(card, f);
+  EXPECT_DOUBLE_EQ(as_real(fields[0]), 1.25);
+  EXPECT_DOUBLE_EQ(as_real(fields[1]), -3.5);
+  EXPECT_DOUBLE_EQ(as_real(fields[2]), 12345.678);
+  EXPECT_EQ(as_int(fields[3]), 2);
+}
+
+TEST(EncodeTest, IntPromotesToReal) {
+  const Format f = Format::parse("(F8.2)");
+  EXPECT_EQ(encode({5L}, f).substr(0, 8), "    5.00");
+}
+
+TEST(EncodeTest, CountMismatchThrows) {
+  const Format f = Format::parse("(2I5)");
+  EXPECT_THROW(encode({1L}, f), Error);
+  EXPECT_THROW(encode({1L, 2L, 3L}, f), Error);
+}
+
+TEST(EncodeTest, TypeMismatchThrows) {
+  const Format f = Format::parse("(I5)");
+  EXPECT_THROW(encode({std::string("x")}, f), Error);
+  EXPECT_THROW(encode({1.5}, f), Error);  // real into integer field
+}
+
+// ---- CardReader / CardWriter --------------------------------------------
+
+TEST(CardReaderTest, StreamsAndPads) {
+  std::istringstream in("hello\nworld\r\n");
+  CardReader r(in);
+  auto c1 = r.next_card();
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ(c1->size(), static_cast<size_t>(kCardWidth));
+  EXPECT_EQ(c1->substr(0, 5), "hello");
+  auto c2 = r.next_card();
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_EQ(c2->substr(0, 5), "world");  // \r stripped
+  EXPECT_FALSE(r.next_card().has_value());
+}
+
+TEST(CardReaderTest, SkipsCommentCards) {
+  std::istringstream in("* a comment\n    3\n");
+  CardReader r(in);
+  const auto fields = r.read(Format::parse("(I5)"));
+  EXPECT_EQ(as_int(fields[0]), 3);
+}
+
+TEST(CardReaderTest, EndOfDeckThrowsWithContext) {
+  std::istringstream in("    3\n");
+  CardReader r(in);
+  r.read(Format::parse("(I5)"));
+  EXPECT_THROW(r.read(Format::parse("(I5)")), Error);
+}
+
+TEST(CardReaderTest, BadFieldReportsCardNumber) {
+  std::istringstream in("    3\n  bad\n");
+  CardReader r(in);
+  r.read(Format::parse("(I5)"));
+  try {
+    r.read(Format::parse("(I5)"));
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("card 2"), std::string::npos);
+  }
+}
+
+TEST(CardWriterTest, CollectsCards) {
+  CardWriter w;
+  w.write({1L, 2L}, Format::parse("(2I5)"));
+  w.write_raw("TITLE CARD");
+  EXPECT_EQ(w.cards().size(), 2u);
+  EXPECT_EQ(w.cards()[0].substr(0, 10), "    1    2");
+  const std::string all = w.str();
+  EXPECT_EQ(std::count(all.begin(), all.end(), '\n'), 2);
+}
+
+TEST(AccessorTest, TypeChecks) {
+  EXPECT_THROW(as_int(Field{1.5}), Error);
+  EXPECT_THROW(as_alpha(Field{1L}), Error);
+  EXPECT_DOUBLE_EQ(as_real(Field{2L}), 2.0);  // int widens
+  EXPECT_THROW(as_real(Field{std::string("x")}), Error);
+}
+
+// Round-trip property over every deck format the paper uses.
+class FormatRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FormatRoundTrip, EncodeDecodeIdentity) {
+  const Format f = Format::parse(GetParam());
+  std::vector<Field> values;
+  int k = 1;
+  for (const EditDescriptor& d : f.descriptors()) {
+    switch (d.kind) {
+      case EditKind::kInt:
+        values.emplace_back(static_cast<long>(k++));
+        break;
+      case EditKind::kFixed:
+      case EditKind::kExp:
+        values.emplace_back(k++ * 0.5);
+        break;
+      case EditKind::kAlpha:
+        values.emplace_back(std::string("A"));
+        break;
+      case EditKind::kSkip:
+        break;
+    }
+  }
+  const auto decoded = decode(encode(values, f), f);
+  ASSERT_EQ(decoded.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (std::holds_alternative<long>(values[i])) {
+      EXPECT_EQ(as_int(decoded[i]), as_int(values[i]));
+    } else if (std::holds_alternative<double>(values[i])) {
+      EXPECT_NEAR(as_real(decoded[i]), as_real(values[i]), 1e-3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperFormats, FormatRoundTrip,
+                         ::testing::Values("(I5)", "(4I5)", "(5I5,5X,2I5)",
+                                           "(2I5)", "(4I5,5F8.4)",
+                                           "(2I5,5F10.4)",
+                                           "(2F9.5,22X,F10.3,I1)", "(3I5)",
+                                           "(2F9.5,51X,I3,5X,I3)",
+                                           "(3I5,62X,I3)", "(12A6)"));
+
+}  // namespace
+}  // namespace feio::cards

@@ -1,0 +1,285 @@
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "geom/arc.h"
+#include "geom/polygon.h"
+#include "geom/polyline.h"
+#include "geom/vec2.h"
+#include "util/error.h"
+
+namespace feio::geom {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+  EXPECT_EQ(-a, (Vec2{-1.0, -2.0}));
+}
+
+TEST(Vec2Test, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot({1, 2}, {3, 4}), 11.0);
+  EXPECT_DOUBLE_EQ(cross({1, 0}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(cross({0, 1}, {1, 0}), -1.0);
+  EXPECT_DOUBLE_EQ(cross({2, 3}, {4, 6}), 0.0);  // parallel
+}
+
+TEST(Vec2Test, NormAndNormalize) {
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm_sq(), 25.0);
+  const Vec2 u = Vec2{3, 4}.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-15);
+  EXPECT_EQ((Vec2{0, 0}).normalized(), (Vec2{0, 0}));
+}
+
+TEST(Vec2Test, PerpIsCcwRotation) {
+  EXPECT_EQ((Vec2{1, 0}).perp(), (Vec2{0, 1}));
+  EXPECT_EQ((Vec2{0, 1}).perp(), (Vec2{-1, 0}));
+}
+
+TEST(Vec2Test, Lerp) {
+  EXPECT_EQ(lerp({0, 0}, {10, 20}, 0.0), (Vec2{0, 0}));
+  EXPECT_EQ(lerp({0, 0}, {10, 20}, 1.0), (Vec2{10, 20}));
+  EXPECT_EQ(lerp({0, 0}, {10, 20}, 0.5), (Vec2{5, 10}));
+}
+
+TEST(Vec2Test, SignedArea2) {
+  EXPECT_DOUBLE_EQ(signed_area2({0, 0}, {1, 0}, {0, 1}), 1.0);   // CCW
+  EXPECT_DOUBLE_EQ(signed_area2({0, 0}, {0, 1}, {1, 0}), -1.0);  // CW
+  EXPECT_DOUBLE_EQ(signed_area2({0, 0}, {1, 1}, {2, 2}), 0.0);   // collinear
+}
+
+TEST(Vec2Test, InteriorAngle) {
+  EXPECT_NEAR(interior_angle({1, 0}, {0, 0}, {0, 1}), kPi / 2, 1e-12);
+  EXPECT_NEAR(interior_angle({1, 0}, {0, 0}, {1, 1}), kPi / 4, 1e-12);
+  EXPECT_NEAR(interior_angle({1, 0}, {0, 0}, {-1, 0}), kPi, 1e-12);
+  // Degenerate wedge: zero-length arm.
+  EXPECT_DOUBLE_EQ(interior_angle({0, 0}, {0, 0}, {1, 1}), 0.0);
+}
+
+TEST(Vec2Test, AlmostEqual) {
+  EXPECT_TRUE(almost_equal({1, 1}, {1, 1}));
+  EXPECT_TRUE(almost_equal({1, 1}, {1 + 1e-10, 1}, 1e-9));
+  EXPECT_FALSE(almost_equal({1, 1}, {1.1, 1}, 1e-9));
+}
+
+// ---- Arc ----------------------------------------------------------------
+
+TEST(ArcTest, StraightSegment) {
+  const Arc a = Arc::straight({0, 0}, {10, 0});
+  EXPECT_TRUE(a.is_straight());
+  EXPECT_DOUBLE_EQ(a.length(), 10.0);
+  EXPECT_EQ(a.point_at(0.5), (Vec2{5, 0}));
+}
+
+TEST(ArcTest, QuarterCircleCcw) {
+  // From (1,0) to (0,1) radius 1: CCW quarter about the origin.
+  const Arc a({1, 0}, {0, 1}, 1.0);
+  EXPECT_FALSE(a.is_straight());
+  EXPECT_TRUE(almost_equal(a.center(), {0, 0}, 1e-12));
+  EXPECT_NEAR(a.sweep(), kPi / 2, 1e-12);
+  EXPECT_NEAR(a.length(), kPi / 2, 1e-12);
+  const Vec2 mid = a.point_at(0.5);
+  EXPECT_TRUE(almost_equal(mid, {std::sqrt(0.5), std::sqrt(0.5)}, 1e-12));
+}
+
+TEST(ArcTest, CenterIsLeftOfChord) {
+  // Chord pointing +x, CCW arc must bulge downward (centre above).
+  const Arc a({0, 0}, {2, 0}, 2.0);
+  EXPECT_GT(a.center().y, 0.0);
+  EXPECT_LT(a.point_at(0.5).y, 0.0);
+}
+
+TEST(ArcTest, ReversedEndsBulgeOppositeSide) {
+  const Arc a({2, 0}, {0, 0}, 2.0);
+  EXPECT_LT(a.center().y, 0.0);
+  EXPECT_GT(a.point_at(0.5).y, 0.0);
+}
+
+TEST(ArcTest, EndPointsExact) {
+  const Arc a({3, 1}, {1, 3}, 5.0);
+  EXPECT_EQ(a.point_at(0.0), (Vec2{3, 1}));
+  EXPECT_EQ(a.point_at(1.0), (Vec2{1, 3}));
+  const auto pts = a.sample(7);
+  EXPECT_EQ(pts.front(), (Vec2{3, 1}));
+  EXPECT_EQ(pts.back(), (Vec2{1, 3}));
+}
+
+TEST(ArcTest, SampleEquallySpacedInAngle) {
+  const Arc a({1, 0}, {0, 1}, 1.0);
+  const auto pts = a.sample(3);
+  ASSERT_EQ(pts.size(), 4u);
+  for (size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_NEAR(distance(pts[i - 1], pts[i]),
+                2.0 * std::sin(kPi / 12.0), 1e-12);
+  }
+}
+
+TEST(ArcTest, SampleOnStraightEquallySpacedInDistance) {
+  const auto pts = Arc::straight({0, 0}, {9, 0}).sample(3);
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts[1], (Vec2{3, 0}));
+  EXPECT_EQ(pts[2], (Vec2{6, 0}));
+}
+
+TEST(ArcTest, RadiusSmallerThanHalfChordThrows) {
+  EXPECT_THROW(Arc({0, 0}, {10, 0}, 4.0), Error);
+}
+
+TEST(ArcTest, SubtendedAngleRestriction) {
+  // 2R slightly over the chord gives nearly 180 degrees, over the default
+  // 90-degree limit of General Restriction 2.
+  EXPECT_THROW(Arc({0, 0}, {10, 0}, 5.01), Error);
+  // Relaxing the limit admits it.
+  EXPECT_NO_THROW(Arc({0, 0}, {10, 0}, 5.01, 180.0));
+}
+
+TEST(ArcTest, ExactNinetyDegreesAllowed) {
+  EXPECT_NO_THROW(Arc({1, 0}, {0, 1}, 1.0));
+}
+
+TEST(ArcTest, CoincidentEndsThrow) {
+  EXPECT_THROW(Arc({1, 1}, {1, 1}, 1.0), Error);
+}
+
+TEST(ArcTest, NegativeRadiusThrows) {
+  EXPECT_THROW(Arc({0, 0}, {1, 0}, -1.0), Error);
+}
+
+TEST(ArcTest, CrossesAtan2SeamCleanly) {
+  // Arc in the left half-plane whose angles straddle +pi/-pi: from 150 to
+  // 210 degrees about the origin.
+  const double r = 4.0;
+  const Vec2 e1 = {r * std::cos(150.0 * kPi / 180), r * std::sin(150.0 * kPi / 180)};
+  const Vec2 e2 = {r * std::cos(210.0 * kPi / 180), r * std::sin(210.0 * kPi / 180)};
+  const Arc a(e1, e2, r);
+  EXPECT_NEAR(a.sweep() * 180 / kPi, 60.0, 1e-9);
+  EXPECT_TRUE(almost_equal(a.center(), {0, 0}, 1e-9));
+  // Midpoint sits on the -x axis.
+  EXPECT_TRUE(almost_equal(a.point_at(0.5), {-r, 0}, 1e-9));
+}
+
+TEST(ArcTest, TinyChordLargeRadius) {
+  // Nearly-straight arc: numerical stability of the centre construction.
+  const Arc a({0, 0}, {0.001, 0}, 1000.0);
+  EXPECT_NEAR(a.sweep(), 0.001 / 1000.0, 1e-9);
+  EXPECT_NEAR(a.point_at(0.5).y, -1.25e-10, 1e-12);  // sagitta c^2/(8R)
+}
+
+// Sweep property over a family of arcs: sampled points all lie on the
+// circle, and consecutive spacing is uniform.
+class ArcSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ArcSweepTest, PointsLieOnCircle) {
+  const double angle = GetParam();  // subtended angle in degrees
+  const double r = 7.0;
+  const Vec2 e1{r, 0};
+  const Vec2 e2{r * std::cos(angle * kPi / 180.0),
+                r * std::sin(angle * kPi / 180.0)};
+  const Arc a(e1, e2, r, 90.0);
+  EXPECT_NEAR(a.sweep() * 180.0 / kPi, angle, 1e-9);
+  for (const Vec2& p : a.sample(11)) {
+    EXPECT_NEAR(distance(p, a.center()), r, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, ArcSweepTest,
+                         ::testing::Values(5.0, 15.0, 30.0, 45.0, 60.0, 75.0,
+                                           89.0, 90.0));
+
+// ---- Polyline -----------------------------------------------------------
+
+TEST(PolylineTest, LengthAndMidpoint) {
+  const Polyline p({{0, 0}, {3, 0}, {3, 4}});
+  EXPECT_DOUBLE_EQ(p.length(), 7.0);
+  EXPECT_EQ(p.point_at(0.0), (Vec2{0, 0}));
+  EXPECT_EQ(p.point_at(1.0), (Vec2{3, 4}));
+  // s = 3/7 lands exactly on the corner.
+  EXPECT_TRUE(almost_equal(p.point_at(3.0 / 7.0), {3, 0}, 1e-12));
+}
+
+TEST(PolylineTest, ClampsOutOfRange) {
+  const Polyline p({{0, 0}, {1, 0}});
+  EXPECT_EQ(p.point_at(-0.5), (Vec2{0, 0}));
+  EXPECT_EQ(p.point_at(1.5), (Vec2{1, 0}));
+}
+
+TEST(PolylineTest, SinglePoint) {
+  const Polyline p({{2, 3}});
+  EXPECT_DOUBLE_EQ(p.length(), 0.0);
+  EXPECT_EQ(p.point_at(0.7), (Vec2{2, 3}));
+}
+
+TEST(PolylineTest, VertexParamsProportionalToArclength) {
+  const Polyline p({{0, 0}, {1, 0}, {4, 0}});
+  const auto params = p.vertex_params();
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_DOUBLE_EQ(params[0], 0.0);
+  EXPECT_DOUBLE_EQ(params[1], 0.25);
+  EXPECT_DOUBLE_EQ(params[2], 1.0);
+}
+
+TEST(PolylineTest, DegenerateAllCoincident) {
+  const Polyline p({{1, 1}, {1, 1}, {1, 1}});
+  EXPECT_EQ(p.point_at(0.5), (Vec2{1, 1}));
+  const auto params = p.vertex_params();
+  EXPECT_DOUBLE_EQ(params[1], 0.5);
+}
+
+// ---- Polygon / BBox -----------------------------------------------------
+
+TEST(PolygonTest, AreaCcwPositive) {
+  EXPECT_DOUBLE_EQ(polygon_area({{0, 0}, {2, 0}, {2, 1}, {0, 1}}), 2.0);
+  EXPECT_DOUBLE_EQ(polygon_area({{0, 0}, {0, 1}, {2, 1}, {2, 0}}), -2.0);
+}
+
+TEST(PolygonTest, PointInPolygon) {
+  const std::vector<Vec2> square{{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  EXPECT_TRUE(point_in_polygon({2, 2}, square));
+  EXPECT_FALSE(point_in_polygon({5, 2}, square));
+  EXPECT_FALSE(point_in_polygon({-1, -1}, square));
+}
+
+TEST(PolygonTest, PointInConcavePolygon) {
+  // L-shape.
+  const std::vector<Vec2> ell{{0, 0}, {3, 0}, {3, 1}, {1, 1}, {1, 3}, {0, 3}};
+  EXPECT_TRUE(point_in_polygon({0.5, 2.5}, ell));
+  EXPECT_FALSE(point_in_polygon({2.0, 2.0}, ell));
+}
+
+TEST(BBoxTest, ExpandAndQueries) {
+  BBox b;
+  EXPECT_FALSE(b.valid());
+  b.expand({1, 2});
+  b.expand({-1, 5});
+  EXPECT_TRUE(b.valid());
+  EXPECT_DOUBLE_EQ(b.width(), 2.0);
+  EXPECT_DOUBLE_EQ(b.height(), 3.0);
+  EXPECT_EQ(b.center(), (Vec2{0, 3.5}));
+  EXPECT_TRUE(b.contains({0, 3}));
+  EXPECT_FALSE(b.contains({2, 3}));
+}
+
+TEST(BBoxTest, Inflated) {
+  BBox b{{0, 0}, {1, 1}};
+  const BBox big = b.inflated(0.5);
+  EXPECT_EQ(big.lo, (Vec2{-0.5, -0.5}));
+  EXPECT_EQ(big.hi, (Vec2{1.5, 1.5}));
+}
+
+TEST(BBoxTest, BBoxOf) {
+  const BBox b = bbox_of({{1, 1}, {3, -2}, {2, 5}});
+  EXPECT_EQ(b.lo, (Vec2{1, -2}));
+  EXPECT_EQ(b.hi, (Vec2{3, 5}));
+}
+
+}  // namespace
+}  // namespace feio::geom

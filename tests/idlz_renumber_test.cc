@@ -1,0 +1,161 @@
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "idlz/idlz.h"
+#include "idlz/renumber.h"
+#include "mesh/bandwidth.h"
+#include "mesh/validate.h"
+#include "scenarios/scenarios.h"
+
+namespace feio::idlz {
+namespace {
+
+mesh::TriMesh grid_mesh(int nx, int ny) {
+  mesh::TriMesh m;
+  for (int j = 0; j <= ny; ++j) {
+    for (int i = 0; i <= nx; ++i) {
+      m.add_node({static_cast<double>(i), static_cast<double>(j)});
+    }
+  }
+  auto id = [nx](int i, int j) { return j * (nx + 1) + i; };
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      m.add_element(id(i, j), id(i + 1, j), id(i + 1, j + 1));
+      m.add_element(id(i, j), id(i + 1, j + 1), id(i, j + 1));
+    }
+  }
+  return m;
+}
+
+mesh::TriMesh shuffled(mesh::TriMesh m, unsigned seed) {
+  std::vector<int> perm(static_cast<size_t>(m.num_nodes()));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::mt19937 rng(seed);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  m.renumber_nodes(perm);
+  return m;
+}
+
+TEST(PermutationTest, IsBijection) {
+  const mesh::TriMesh m = shuffled(grid_mesh(6, 4), 1);
+  const std::vector<int> perm = cuthill_mckee_permutation(m, false);
+  std::vector<char> seen(perm.size(), 0);
+  for (int p : perm) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, static_cast<int>(perm.size()));
+    ASSERT_FALSE(seen[static_cast<size_t>(p)]);
+    seen[static_cast<size_t>(p)] = 1;
+  }
+}
+
+TEST(RenumberTest, ReducesShuffledBandwidth) {
+  mesh::TriMesh m = shuffled(grid_mesh(8, 4), 7);
+  const int before = mesh::bandwidth(m);
+  const RenumberReport rep = renumber(m);
+  EXPECT_TRUE(rep.applied);
+  EXPECT_LT(rep.bandwidth_after, before);
+  EXPECT_EQ(rep.bandwidth_after, mesh::bandwidth(m));
+  // A narrow strip graph should come close to its natural bandwidth.
+  EXPECT_LE(rep.bandwidth_after, 8);
+  EXPECT_TRUE(mesh::validate(m).ok());
+}
+
+TEST(RenumberTest, KeepsOptimalNumbering) {
+  // A 1 x n strip numbered along its length is already near-optimal.
+  mesh::TriMesh m = grid_mesh(1, 10);
+  const int before = mesh::bandwidth(m);
+  const RenumberReport rep = renumber(m);
+  EXPECT_LE(rep.bandwidth_after, before);
+  EXPECT_EQ(rep.bandwidth_before, before);
+}
+
+TEST(RenumberTest, GeometryUnchanged) {
+  mesh::TriMesh m = shuffled(grid_mesh(5, 5), 3);
+  double area_before = 0.0;
+  m.orient_ccw();
+  for (int e = 0; e < m.num_elements(); ++e) area_before += m.signed_area(e);
+  renumber(m);
+  double area_after = 0.0;
+  for (int e = 0; e < m.num_elements(); ++e) {
+    area_after += std::abs(m.signed_area(e));
+  }
+  EXPECT_NEAR(area_before, area_after, 1e-9);
+}
+
+TEST(RenumberTest, PermutationFieldMatchesApplication) {
+  mesh::TriMesh m = shuffled(grid_mesh(6, 3), 11);
+  mesh::TriMesh copy = m;
+  const RenumberReport rep = renumber(m);
+  ASSERT_TRUE(rep.applied);
+  copy.renumber_nodes(rep.permutation);
+  for (int n = 0; n < m.num_nodes(); ++n) {
+    EXPECT_EQ(m.pos(n), copy.pos(n));
+  }
+}
+
+TEST(RenumberTest, SchemesSelectable) {
+  mesh::TriMesh m1 = shuffled(grid_mesh(7, 3), 5);
+  mesh::TriMesh m2 = m1;
+  const RenumberReport cm = renumber(m1, NumberingScheme::kCuthillMcKee);
+  const RenumberReport rcm =
+      renumber(m2, NumberingScheme::kReverseCuthillMcKee);
+  EXPECT_EQ(cm.bandwidth_after, rcm.bandwidth_after);  // reversal preserves bw
+  // RCM profile is never worse than CM's (George's theorem).
+  EXPECT_LE(rcm.profile_after, cm.profile_after);
+}
+
+TEST(RenumberTest, DisconnectedComponentsHandled) {
+  mesh::TriMesh m = grid_mesh(3, 3);
+  const int base = m.num_nodes();
+  // Second component far away.
+  for (int i = 0; i < 3; ++i) m.add_node({100.0 + i, 100.0});
+  m.add_element(base, base + 1, base + 2);
+  mesh::TriMesh sh = shuffled(m, 2);
+  EXPECT_NO_THROW(renumber(sh));
+}
+
+TEST(PseudoPeripheralTest, PicksStripEnd) {
+  // In a path graph the pseudo-peripheral node is an end.
+  std::vector<std::vector<int>> adj{{1}, {0, 2}, {1, 3}, {2, 4}, {3}};
+  const int p = pseudo_peripheral_node(adj, 2);
+  EXPECT_TRUE(p == 0 || p == 4);
+}
+
+TEST(PseudoPeripheralTest, IsolatedNode) {
+  std::vector<std::vector<int>> adj{{}};
+  EXPECT_EQ(pseudo_peripheral_node(adj, 0), 0);
+}
+
+TEST(RenumberTest, PipelineNonumbEquivalent) {
+  // NONUMB=0 keeps the assembly numbering; NONUMB=1 never does worse.
+  IdlzCase c = scenarios::fig09_dsrv_hatch();
+  c.options.renumber_nodes = false;
+  const IdlzResult plain = run(c);
+  c.options.renumber_nodes = true;
+  const IdlzResult renum = run(c);
+  EXPECT_LE(renum.renumbering.bandwidth_after,
+            plain.renumbering.bandwidth_after);
+  EXPECT_EQ(plain.mesh.num_nodes(), renum.mesh.num_nodes());
+  EXPECT_EQ(plain.mesh.num_elements(), renum.mesh.num_elements());
+}
+
+// The renumbering claim across the gallery: NONUMB=1 never increases the
+// bandwidth, and the permutation keeps the mesh valid.
+class RenumberSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RenumberSweep, NeverWorse) {
+  const auto cases = scenarios::all_idealizations();
+  auto c = cases[static_cast<size_t>(GetParam())].c;
+  c.options.renumber_nodes = true;
+  const IdlzResult r = run(c);
+  EXPECT_LE(r.renumbering.bandwidth_after, r.renumbering.bandwidth_before);
+  EXPECT_TRUE(mesh::validate(r.mesh).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFigures, RenumberSweep, ::testing::Range(0, 22));
+
+}  // namespace
+}  // namespace feio::idlz

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "idlz/subdivision.h"
+#include "util/error.h"
+
+namespace feio::idlz {
+namespace {
+
+Subdivision make(int k1, int l1, int k2, int l2, int ntaprw = 0,
+                 int ntapcm = 0) {
+  Subdivision s;
+  s.id = 1;
+  s.k1 = k1;
+  s.l1 = l1;
+  s.k2 = k2;
+  s.l2 = l2;
+  s.ntaprw = ntaprw;
+  s.ntapcm = ntapcm;
+  return s;
+}
+
+TEST(SubdivisionTest, RectangleBasics) {
+  const Subdivision s = make(2, 3, 5, 7);
+  EXPECT_TRUE(s.is_rectangle());
+  EXPECT_EQ(s.rows(), 5);
+  EXPECT_EQ(s.cols(), 4);
+  EXPECT_EQ(s.strip_count(), 5);
+  for (int st = 0; st < 5; ++st) EXPECT_EQ(s.strip_width(st), 4);
+  EXPECT_EQ(s.grid_points().size(), 20u);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(SubdivisionTest, RectangleStripNodes) {
+  const Subdivision s = make(2, 3, 5, 7);
+  EXPECT_EQ(s.strip_node(0, 0), (GridPoint{2, 3}));
+  EXPECT_EQ(s.strip_node(0, 3), (GridPoint{5, 3}));
+  EXPECT_EQ(s.strip_node(4, 0), (GridPoint{2, 7}));
+}
+
+TEST(SubdivisionTest, RowTrapezoidTopLonger) {
+  // NTAPRW=+1: widths from bottom to top: 1, 3, 5, 7, 9.
+  const Subdivision s = make(1, 1, 9, 5, +1);
+  EXPECT_TRUE(s.is_row_trapezoid());
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_EQ(s.strip_width(0), 1);
+  EXPECT_EQ(s.strip_width(2), 5);
+  EXPECT_EQ(s.strip_width(4), 9);
+  EXPECT_EQ(s.strip_node(0, 0), (GridPoint{5, 1}));  // centred point
+  EXPECT_EQ(s.strip_node(4, 0), (GridPoint{1, 5}));
+  EXPECT_TRUE(s.is_triangle());
+}
+
+TEST(SubdivisionTest, RowTrapezoidBottomLonger) {
+  const Subdivision s = make(1, 1, 9, 3, -2);
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_EQ(s.strip_width(0), 9);
+  EXPECT_EQ(s.strip_width(1), 5);
+  EXPECT_EQ(s.strip_width(2), 1);
+  EXPECT_EQ(s.strip_node(1, 0), (GridPoint{3, 2}));
+}
+
+TEST(SubdivisionTest, ColTrapezoidRightLonger) {
+  // NTAPCM=+1: left side short.
+  const Subdivision s = make(1, 1, 5, 9, 0, +1);
+  EXPECT_TRUE(s.is_col_trapezoid());
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_EQ(s.strip_count(), 5);  // strips are columns
+  EXPECT_EQ(s.strip_width(0), 1);
+  EXPECT_EQ(s.strip_width(4), 9);
+  EXPECT_EQ(s.strip_node(0, 0), (GridPoint{1, 5}));
+  EXPECT_EQ(s.strip_node(4, 8), (GridPoint{5, 9}));
+}
+
+TEST(SubdivisionTest, ColTrapezoidLeftLonger) {
+  const Subdivision s = make(1, 1, 3, 9, 0, -2);
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_EQ(s.strip_width(0), 9);
+  EXPECT_EQ(s.strip_width(1), 5);
+  EXPECT_EQ(s.strip_width(2), 1);
+}
+
+TEST(SubdivisionTest, NonDegenerateTrapezoidIsNotTriangle) {
+  const Subdivision s = make(1, 1, 9, 2, +1);  // widths 7, 9
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_FALSE(s.is_triangle());
+}
+
+TEST(SubdivisionTest, Contains) {
+  const Subdivision s = make(1, 1, 9, 3, -2);  // widths 9, 5, 1
+  EXPECT_TRUE(s.contains(1, 1));
+  EXPECT_TRUE(s.contains(9, 1));
+  EXPECT_TRUE(s.contains(5, 3));
+  EXPECT_FALSE(s.contains(1, 3));   // shrunk away
+  EXPECT_FALSE(s.contains(4, 3));
+  EXPECT_FALSE(s.contains(0, 1));   // outside the box
+  EXPECT_FALSE(s.contains(5, 4));
+}
+
+TEST(SubdivisionTest, GridPointCounts) {
+  EXPECT_EQ(make(1, 1, 9, 5, +1).grid_points().size(), 1u + 3 + 5 + 7 + 9);
+  EXPECT_EQ(make(1, 1, 3, 9, 0, -2).grid_points().size(), 9u + 5 + 1);
+}
+
+TEST(SubdivisionTest, ValidateRejectsBadCorners) {
+  EXPECT_THROW(make(5, 1, 2, 4).validate(), Error);   // k2 < k1
+  EXPECT_THROW(make(1, 5, 4, 2).validate(), Error);   // l2 < l1
+  EXPECT_THROW(make(0, 1, 4, 4).validate(), Error);   // zero coordinate
+}
+
+TEST(SubdivisionTest, ValidateRejectsBothIndicators) {
+  EXPECT_THROW(make(1, 1, 9, 5, 1, 1).validate(), Error);
+}
+
+TEST(SubdivisionTest, ValidateRejectsOverShrunkTrapezoid) {
+  // widths would go 9, 5, 1, -3.
+  EXPECT_THROW(make(1, 1, 9, 4, -2).validate(), Error);
+}
+
+TEST(SubdivisionTest, SidePointsRectangle) {
+  const Subdivision s = make(1, 1, 3, 4);
+  EXPECT_EQ(side_points(s, Side::kParallelLow),
+            (std::vector<GridPoint>{{1, 1}, {2, 1}, {3, 1}}));
+  EXPECT_EQ(side_points(s, Side::kParallelHigh),
+            (std::vector<GridPoint>{{1, 4}, {2, 4}, {3, 4}}));
+  EXPECT_EQ(side_points(s, Side::kCrossLow),
+            (std::vector<GridPoint>{{1, 1}, {1, 2}, {1, 3}, {1, 4}}));
+  EXPECT_EQ(side_points(s, Side::kCrossHigh),
+            (std::vector<GridPoint>{{3, 1}, {3, 2}, {3, 3}, {3, 4}}));
+}
+
+TEST(SubdivisionTest, SidePointsRowTrapezoidSlant) {
+  const Subdivision s = make(1, 1, 9, 3, -2);  // widths 9, 5, 1
+  // The cross-low side follows the slant.
+  EXPECT_EQ(side_points(s, Side::kCrossLow),
+            (std::vector<GridPoint>{{1, 1}, {3, 2}, {5, 3}}));
+  EXPECT_EQ(side_points(s, Side::kCrossHigh),
+            (std::vector<GridPoint>{{9, 1}, {7, 2}, {5, 3}}));
+  EXPECT_EQ(side_points(s, Side::kParallelHigh),
+            (std::vector<GridPoint>{{5, 3}}));
+}
+
+TEST(SubdivisionTest, SidePointsColTrapezoid) {
+  // NTAPCM=+1, k 1..3, l 1..5: columns of 1, 3, 5 nodes.
+  const Subdivision s = make(1, 1, 3, 5, 0, +1);
+  // Parallel sides are the left/right columns.
+  EXPECT_EQ(side_points(s, Side::kParallelLow),
+            (std::vector<GridPoint>{{1, 3}}));
+  EXPECT_EQ(side_points(s, Side::kParallelHigh),
+            (std::vector<GridPoint>{{3, 1}, {3, 2}, {3, 3}, {3, 4}, {3, 5}}));
+  // Cross sides walk the slants, one node per column.
+  EXPECT_EQ(side_points(s, Side::kCrossLow),
+            (std::vector<GridPoint>{{1, 3}, {2, 2}, {3, 1}}));
+  EXPECT_EQ(side_points(s, Side::kCrossHigh),
+            (std::vector<GridPoint>{{1, 3}, {2, 4}, {3, 5}}));
+}
+
+// Property sweep: every admissible (rows, taper) combination keeps strip
+// widths positive, symmetric about the centreline, and grid point counts
+// consistent.
+struct TaperParam {
+  int span;   // long-side node count
+  int strips;
+  int taper;  // |NTAPRW| or |NTAPCM|
+};
+
+class TaperSweep : public ::testing::TestWithParam<TaperParam> {};
+
+TEST_P(TaperSweep, RowTrapezoidConsistent) {
+  const auto [span, strips, taper] = GetParam();
+  const int short_side = span - 2 * taper * (strips - 1);
+  if (short_side < 1) GTEST_SKIP() << "inadmissible combination";
+  for (int sign : {+1, -1}) {
+    const Subdivision s = make(1, 1, span, strips, sign * taper);
+    ASSERT_NO_THROW(s.validate());
+    size_t total = 0;
+    for (int st = 0; st < s.strip_count(); ++st) {
+      const int w = s.strip_width(st);
+      EXPECT_GE(w, 1);
+      int lo, hi;
+      s.strip_span(st, lo, hi);
+      // Isosceles: the strip is centred on the subdivision's centreline.
+      EXPECT_EQ(lo - 1, span - hi);
+      total += static_cast<size_t>(w);
+    }
+    EXPECT_EQ(s.grid_points().size(), total);
+    EXPECT_EQ(s.is_triangle(), short_side == 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tapers, TaperSweep,
+    ::testing::Values(TaperParam{9, 5, 1}, TaperParam{9, 3, 2},
+                      TaperParam{13, 13, 0}, TaperParam{13, 3, 3},
+                      TaperParam{7, 4, 1}, TaperParam{11, 6, 1},
+                      TaperParam{21, 6, 2}, TaperParam{15, 8, 1}));
+
+}  // namespace
+}  // namespace feio::idlz

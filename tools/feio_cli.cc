@@ -1,0 +1,161 @@
+// feio — command-line front end combining the two 1970 production programs.
+//
+//   feio idlz <deck> [--out DIR]      idealize from an Appendix B card deck
+//   feio ospl <deck> [--out DIR]      iso-plot from an Appendix C card deck
+//   feio figures [--out DIR]          regenerate every paper figure
+//   feio mesh <deck> --off FILE       idealize and export the mesh as OFF
+//   feio help
+//
+// Exit status 0 on success, 1 on any input error (message on stderr).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "feio.h"
+#include "scenarios/scenarios.h"
+
+using namespace feio;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string deck;
+  std::string out_dir = "out";
+  std::string off_path;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  feio idlz <deck> [--out DIR]\n"
+               "  feio ospl <deck> [--out DIR]\n"
+               "  feio figures [--out DIR]\n"
+               "  feio mesh <deck> --off FILE\n");
+  return 1;
+}
+
+bool parse(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--out" && i + 1 < argc) {
+      args.out_dir = argv[++i];
+    } else if (a == "--off" && i + 1 < argc) {
+      args.off_path = argv[++i];
+    } else if (!a.empty() && a[0] != '-' && args.deck.empty()) {
+      args.deck = a;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<idlz::IdlzCase> load_idlz(const std::string& path) {
+  std::ifstream in(path);
+  FEIO_REQUIRE(in.good(), "cannot open deck '" + path + "'");
+  return idlz::read_deck(in);
+}
+
+int run_idlz(const Args& args) {
+  if (args.deck.empty()) return usage();
+  int set = 0;
+  for (const idlz::IdlzCase& c : load_idlz(args.deck)) {
+    ++set;
+    const idlz::IdlzResult r = idlz::run(c);
+    std::printf("%s", idlz::summarize(r).c_str());
+    const std::string stem = args.out_dir + "/set" + std::to_string(set);
+    if (c.options.make_plots) {
+      for (size_t p = 0; p < r.plots.size(); ++p) {
+        plot::write_svg(r.plots[p],
+                        stem + "_plot" + std::to_string(p) + ".svg");
+      }
+      std::printf("wrote %zu plots to %s_plot*.svg\n", r.plots.size(),
+                  stem.c_str());
+    }
+    if (c.options.punch_output) {
+      std::ofstream(stem + "_nodal.cards") << r.nodal_cards;
+      std::ofstream(stem + "_element.cards") << r.element_cards;
+      std::printf("punched %s_nodal.cards / %s_element.cards\n",
+                  stem.c_str(), stem.c_str());
+    }
+    std::ofstream(stem + "_listing.txt") << idlz::print_listing(r);
+    std::printf("listing %s_listing.txt\n", stem.c_str());
+  }
+  return 0;
+}
+
+int run_ospl(const Args& args) {
+  if (args.deck.empty()) return usage();
+  std::ifstream in(args.deck);
+  FEIO_REQUIRE(in.good(), "cannot open deck '" + args.deck + "'");
+  const ospl::OsplCase c = ospl::read_deck(in);
+  const ospl::OsplResult r = ospl::run(c);
+  std::printf("%s\nvalues %g..%g, %s, %zu segments, %zu labels\n",
+              c.title1.c_str(), r.vmin, r.vmax,
+              ospl::interval_caption(r.delta).c_str(), r.segments.size(),
+              r.labels.accepted.size());
+  const std::string path = args.out_dir + "/ospl.svg";
+  plot::write_svg(r.plot, path);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+int run_figures(const Args& args) {
+  for (const auto& nc : scenarios::all_idealizations()) {
+    const idlz::IdlzResult r = idlz::run(nc.c);
+    plot::write_svg(plot::plot_mesh(r.mesh, nc.c.title),
+                    args.out_dir + "/" + nc.id + "_final.svg");
+    std::printf("%-8s %4d nodes %4d elements -> %s/%s_final.svg\n",
+                nc.id.c_str(), r.mesh.num_nodes(), r.mesh.num_elements(),
+                args.out_dir.c_str(), nc.id.c_str());
+  }
+  for (const auto& a : scenarios::all_analyses()) {
+    for (const auto& f : a.fields) {
+      ospl::OsplCase c;
+      c.mesh = a.idlz.mesh;
+      c.values = f.values;
+      c.title1 = a.title;
+      c.delta = f.suggested_delta;
+      const ospl::OsplResult r = ospl::run(c);
+      std::string slug = f.name;
+      for (char& ch : slug) ch = ch == ' ' || ch == ',' ? '_' : ch;
+      plot::write_svg(r.plot,
+                      args.out_dir + "/" + a.id + "_" + slug + ".svg");
+    }
+    std::printf("%-8s analysis plots written\n", a.id.c_str());
+  }
+  return 0;
+}
+
+int run_mesh(const Args& args) {
+  if (args.deck.empty() || args.off_path.empty()) return usage();
+  const auto cases = load_idlz(args.deck);
+  FEIO_REQUIRE(!cases.empty(), "deck has no data sets");
+  const idlz::IdlzResult r = idlz::run(cases.front());
+  mesh::write_off(r.mesh, args.off_path);
+  std::printf("wrote %s (%d nodes, %d elements)\n", args.off_path.c_str(),
+              r.mesh.num_nodes(), r.mesh.num_elements());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) return usage();
+  try {
+    if (args.command == "idlz") return run_idlz(args);
+    if (args.command == "ospl") return run_ospl(args);
+    if (args.command == "figures") return run_figures(args);
+    if (args.command == "mesh") return run_mesh(args);
+    return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
