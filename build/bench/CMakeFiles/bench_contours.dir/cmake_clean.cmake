@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_contours.dir/bench_contours.cc.o"
+  "CMakeFiles/bench_contours.dir/bench_contours.cc.o.d"
+  "bench_contours"
+  "bench_contours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

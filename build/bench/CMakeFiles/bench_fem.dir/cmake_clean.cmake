@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fem.dir/bench_fem.cc.o"
+  "CMakeFiles/bench_fem.dir/bench_fem.cc.o.d"
+  "bench_fem"
+  "bench_fem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

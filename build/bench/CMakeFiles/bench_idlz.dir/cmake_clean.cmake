@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_idlz.dir/bench_idlz.cc.o"
+  "CMakeFiles/bench_idlz.dir/bench_idlz.cc.o.d"
+  "bench_idlz"
+  "bench_idlz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_idlz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

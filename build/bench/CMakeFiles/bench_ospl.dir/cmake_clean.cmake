@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ospl.dir/bench_ospl.cc.o"
+  "CMakeFiles/bench_ospl.dir/bench_ospl.cc.o.d"
+  "bench_ospl"
+  "bench_ospl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ospl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

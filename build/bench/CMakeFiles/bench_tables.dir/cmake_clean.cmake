@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables.dir/bench_tables.cc.o"
+  "CMakeFiles/bench_tables.dir/bench_tables.cc.o.d"
+  "bench_tables"
+  "bench_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

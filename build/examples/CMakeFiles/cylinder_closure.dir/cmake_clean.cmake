@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cylinder_closure.dir/cylinder_closure.cpp.o"
+  "CMakeFiles/cylinder_closure.dir/cylinder_closure.cpp.o.d"
+  "cylinder_closure"
+  "cylinder_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cylinder_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

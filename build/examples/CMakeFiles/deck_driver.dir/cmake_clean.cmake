@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deck_driver.dir/deck_driver.cpp.o"
+  "CMakeFiles/deck_driver.dir/deck_driver.cpp.o.d"
+  "deck_driver"
+  "deck_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deck_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

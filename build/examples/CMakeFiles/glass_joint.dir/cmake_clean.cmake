@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glass_joint.dir/glass_joint.cpp.o"
+  "CMakeFiles/glass_joint.dir/glass_joint.cpp.o.d"
+  "glass_joint"
+  "glass_joint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glass_joint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for glass_joint.
+# This may be replaced when dependencies are built.

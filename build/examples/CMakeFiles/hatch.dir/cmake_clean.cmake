@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hatch.dir/hatch.cpp.o"
+  "CMakeFiles/hatch.dir/hatch.cpp.o.d"
+  "hatch"
+  "hatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

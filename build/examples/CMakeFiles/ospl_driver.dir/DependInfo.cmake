@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ospl_driver.cpp" "examples/CMakeFiles/ospl_driver.dir/ospl_driver.cpp.o" "gcc" "examples/CMakeFiles/ospl_driver.dir/ospl_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/feio_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_idlz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_ospl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_plot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_cards.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

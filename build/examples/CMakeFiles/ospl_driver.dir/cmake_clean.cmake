@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ospl_driver.dir/ospl_driver.cpp.o"
+  "CMakeFiles/ospl_driver.dir/ospl_driver.cpp.o.d"
+  "ospl_driver"
+  "ospl_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ospl_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plate_with_hole.dir/plate_with_hole.cpp.o"
+  "CMakeFiles/plate_with_hole.dir/plate_with_hole.cpp.o.d"
+  "plate_with_hole"
+  "plate_with_hole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plate_with_hole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

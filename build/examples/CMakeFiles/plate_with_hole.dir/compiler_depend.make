@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for plate_with_hole.
+# This may be replaced when dependencies are built.

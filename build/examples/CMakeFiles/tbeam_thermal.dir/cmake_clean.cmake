@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbeam_thermal.dir/tbeam_thermal.cpp.o"
+  "CMakeFiles/tbeam_thermal.dir/tbeam_thermal.cpp.o.d"
+  "tbeam_thermal"
+  "tbeam_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbeam_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cards/card_io.cc" "src/CMakeFiles/feio_cards.dir/cards/card_io.cc.o" "gcc" "src/CMakeFiles/feio_cards.dir/cards/card_io.cc.o.d"
+  "/root/repo/src/cards/format.cc" "src/CMakeFiles/feio_cards.dir/cards/format.cc.o" "gcc" "src/CMakeFiles/feio_cards.dir/cards/format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/feio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feio_cards.dir/cards/card_io.cc.o"
+  "CMakeFiles/feio_cards.dir/cards/card_io.cc.o.d"
+  "CMakeFiles/feio_cards.dir/cards/format.cc.o"
+  "CMakeFiles/feio_cards.dir/cards/format.cc.o.d"
+  "libfeio_cards.a"
+  "libfeio_cards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feio_cards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fem/assembly.cc" "src/CMakeFiles/feio_fem.dir/fem/assembly.cc.o" "gcc" "src/CMakeFiles/feio_fem.dir/fem/assembly.cc.o.d"
+  "/root/repo/src/fem/banded.cc" "src/CMakeFiles/feio_fem.dir/fem/banded.cc.o" "gcc" "src/CMakeFiles/feio_fem.dir/fem/banded.cc.o.d"
+  "/root/repo/src/fem/contact.cc" "src/CMakeFiles/feio_fem.dir/fem/contact.cc.o" "gcc" "src/CMakeFiles/feio_fem.dir/fem/contact.cc.o.d"
+  "/root/repo/src/fem/element.cc" "src/CMakeFiles/feio_fem.dir/fem/element.cc.o" "gcc" "src/CMakeFiles/feio_fem.dir/fem/element.cc.o.d"
+  "/root/repo/src/fem/material.cc" "src/CMakeFiles/feio_fem.dir/fem/material.cc.o" "gcc" "src/CMakeFiles/feio_fem.dir/fem/material.cc.o.d"
+  "/root/repo/src/fem/solver.cc" "src/CMakeFiles/feio_fem.dir/fem/solver.cc.o" "gcc" "src/CMakeFiles/feio_fem.dir/fem/solver.cc.o.d"
+  "/root/repo/src/fem/stress.cc" "src/CMakeFiles/feio_fem.dir/fem/stress.cc.o" "gcc" "src/CMakeFiles/feio_fem.dir/fem/stress.cc.o.d"
+  "/root/repo/src/fem/thermal.cc" "src/CMakeFiles/feio_fem.dir/fem/thermal.cc.o" "gcc" "src/CMakeFiles/feio_fem.dir/fem/thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/feio_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

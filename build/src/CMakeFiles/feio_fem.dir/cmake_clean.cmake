@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feio_fem.dir/fem/assembly.cc.o"
+  "CMakeFiles/feio_fem.dir/fem/assembly.cc.o.d"
+  "CMakeFiles/feio_fem.dir/fem/banded.cc.o"
+  "CMakeFiles/feio_fem.dir/fem/banded.cc.o.d"
+  "CMakeFiles/feio_fem.dir/fem/contact.cc.o"
+  "CMakeFiles/feio_fem.dir/fem/contact.cc.o.d"
+  "CMakeFiles/feio_fem.dir/fem/element.cc.o"
+  "CMakeFiles/feio_fem.dir/fem/element.cc.o.d"
+  "CMakeFiles/feio_fem.dir/fem/material.cc.o"
+  "CMakeFiles/feio_fem.dir/fem/material.cc.o.d"
+  "CMakeFiles/feio_fem.dir/fem/solver.cc.o"
+  "CMakeFiles/feio_fem.dir/fem/solver.cc.o.d"
+  "CMakeFiles/feio_fem.dir/fem/stress.cc.o"
+  "CMakeFiles/feio_fem.dir/fem/stress.cc.o.d"
+  "CMakeFiles/feio_fem.dir/fem/thermal.cc.o"
+  "CMakeFiles/feio_fem.dir/fem/thermal.cc.o.d"
+  "libfeio_fem.a"
+  "libfeio_fem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feio_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

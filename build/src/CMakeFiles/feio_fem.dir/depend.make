@@ -1,0 +1,2 @@
+# Empty dependencies file for feio_fem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/arc.cc" "src/CMakeFiles/feio_geom.dir/geom/arc.cc.o" "gcc" "src/CMakeFiles/feio_geom.dir/geom/arc.cc.o.d"
+  "/root/repo/src/geom/polygon.cc" "src/CMakeFiles/feio_geom.dir/geom/polygon.cc.o" "gcc" "src/CMakeFiles/feio_geom.dir/geom/polygon.cc.o.d"
+  "/root/repo/src/geom/polyline.cc" "src/CMakeFiles/feio_geom.dir/geom/polyline.cc.o" "gcc" "src/CMakeFiles/feio_geom.dir/geom/polyline.cc.o.d"
+  "/root/repo/src/geom/vec2.cc" "src/CMakeFiles/feio_geom.dir/geom/vec2.cc.o" "gcc" "src/CMakeFiles/feio_geom.dir/geom/vec2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/feio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feio_geom.dir/geom/arc.cc.o"
+  "CMakeFiles/feio_geom.dir/geom/arc.cc.o.d"
+  "CMakeFiles/feio_geom.dir/geom/polygon.cc.o"
+  "CMakeFiles/feio_geom.dir/geom/polygon.cc.o.d"
+  "CMakeFiles/feio_geom.dir/geom/polyline.cc.o"
+  "CMakeFiles/feio_geom.dir/geom/polyline.cc.o.d"
+  "CMakeFiles/feio_geom.dir/geom/vec2.cc.o"
+  "CMakeFiles/feio_geom.dir/geom/vec2.cc.o.d"
+  "libfeio_geom.a"
+  "libfeio_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feio_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

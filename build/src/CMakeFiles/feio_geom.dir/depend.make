@@ -1,0 +1,2 @@
+# Empty dependencies file for feio_geom.
+# This may be replaced when dependencies are built.

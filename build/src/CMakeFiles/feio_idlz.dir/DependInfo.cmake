@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idlz/assembler.cc" "src/CMakeFiles/feio_idlz.dir/idlz/assembler.cc.o" "gcc" "src/CMakeFiles/feio_idlz.dir/idlz/assembler.cc.o.d"
+  "/root/repo/src/idlz/deck.cc" "src/CMakeFiles/feio_idlz.dir/idlz/deck.cc.o" "gcc" "src/CMakeFiles/feio_idlz.dir/idlz/deck.cc.o.d"
+  "/root/repo/src/idlz/idlz.cc" "src/CMakeFiles/feio_idlz.dir/idlz/idlz.cc.o" "gcc" "src/CMakeFiles/feio_idlz.dir/idlz/idlz.cc.o.d"
+  "/root/repo/src/idlz/listing.cc" "src/CMakeFiles/feio_idlz.dir/idlz/listing.cc.o" "gcc" "src/CMakeFiles/feio_idlz.dir/idlz/listing.cc.o.d"
+  "/root/repo/src/idlz/punch.cc" "src/CMakeFiles/feio_idlz.dir/idlz/punch.cc.o" "gcc" "src/CMakeFiles/feio_idlz.dir/idlz/punch.cc.o.d"
+  "/root/repo/src/idlz/reform.cc" "src/CMakeFiles/feio_idlz.dir/idlz/reform.cc.o" "gcc" "src/CMakeFiles/feio_idlz.dir/idlz/reform.cc.o.d"
+  "/root/repo/src/idlz/renumber.cc" "src/CMakeFiles/feio_idlz.dir/idlz/renumber.cc.o" "gcc" "src/CMakeFiles/feio_idlz.dir/idlz/renumber.cc.o.d"
+  "/root/repo/src/idlz/shaping.cc" "src/CMakeFiles/feio_idlz.dir/idlz/shaping.cc.o" "gcc" "src/CMakeFiles/feio_idlz.dir/idlz/shaping.cc.o.d"
+  "/root/repo/src/idlz/smooth.cc" "src/CMakeFiles/feio_idlz.dir/idlz/smooth.cc.o" "gcc" "src/CMakeFiles/feio_idlz.dir/idlz/smooth.cc.o.d"
+  "/root/repo/src/idlz/stats.cc" "src/CMakeFiles/feio_idlz.dir/idlz/stats.cc.o" "gcc" "src/CMakeFiles/feio_idlz.dir/idlz/stats.cc.o.d"
+  "/root/repo/src/idlz/subdivision.cc" "src/CMakeFiles/feio_idlz.dir/idlz/subdivision.cc.o" "gcc" "src/CMakeFiles/feio_idlz.dir/idlz/subdivision.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/feio_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_cards.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_plot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feio_idlz.dir/idlz/assembler.cc.o"
+  "CMakeFiles/feio_idlz.dir/idlz/assembler.cc.o.d"
+  "CMakeFiles/feio_idlz.dir/idlz/deck.cc.o"
+  "CMakeFiles/feio_idlz.dir/idlz/deck.cc.o.d"
+  "CMakeFiles/feio_idlz.dir/idlz/idlz.cc.o"
+  "CMakeFiles/feio_idlz.dir/idlz/idlz.cc.o.d"
+  "CMakeFiles/feio_idlz.dir/idlz/listing.cc.o"
+  "CMakeFiles/feio_idlz.dir/idlz/listing.cc.o.d"
+  "CMakeFiles/feio_idlz.dir/idlz/punch.cc.o"
+  "CMakeFiles/feio_idlz.dir/idlz/punch.cc.o.d"
+  "CMakeFiles/feio_idlz.dir/idlz/reform.cc.o"
+  "CMakeFiles/feio_idlz.dir/idlz/reform.cc.o.d"
+  "CMakeFiles/feio_idlz.dir/idlz/renumber.cc.o"
+  "CMakeFiles/feio_idlz.dir/idlz/renumber.cc.o.d"
+  "CMakeFiles/feio_idlz.dir/idlz/shaping.cc.o"
+  "CMakeFiles/feio_idlz.dir/idlz/shaping.cc.o.d"
+  "CMakeFiles/feio_idlz.dir/idlz/smooth.cc.o"
+  "CMakeFiles/feio_idlz.dir/idlz/smooth.cc.o.d"
+  "CMakeFiles/feio_idlz.dir/idlz/stats.cc.o"
+  "CMakeFiles/feio_idlz.dir/idlz/stats.cc.o.d"
+  "CMakeFiles/feio_idlz.dir/idlz/subdivision.cc.o"
+  "CMakeFiles/feio_idlz.dir/idlz/subdivision.cc.o.d"
+  "libfeio_idlz.a"
+  "libfeio_idlz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feio_idlz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

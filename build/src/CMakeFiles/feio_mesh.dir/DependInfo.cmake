@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/bandwidth.cc" "src/CMakeFiles/feio_mesh.dir/mesh/bandwidth.cc.o" "gcc" "src/CMakeFiles/feio_mesh.dir/mesh/bandwidth.cc.o.d"
+  "/root/repo/src/mesh/io.cc" "src/CMakeFiles/feio_mesh.dir/mesh/io.cc.o" "gcc" "src/CMakeFiles/feio_mesh.dir/mesh/io.cc.o.d"
+  "/root/repo/src/mesh/quality.cc" "src/CMakeFiles/feio_mesh.dir/mesh/quality.cc.o" "gcc" "src/CMakeFiles/feio_mesh.dir/mesh/quality.cc.o.d"
+  "/root/repo/src/mesh/refine.cc" "src/CMakeFiles/feio_mesh.dir/mesh/refine.cc.o" "gcc" "src/CMakeFiles/feio_mesh.dir/mesh/refine.cc.o.d"
+  "/root/repo/src/mesh/topology.cc" "src/CMakeFiles/feio_mesh.dir/mesh/topology.cc.o" "gcc" "src/CMakeFiles/feio_mesh.dir/mesh/topology.cc.o.d"
+  "/root/repo/src/mesh/tri_mesh.cc" "src/CMakeFiles/feio_mesh.dir/mesh/tri_mesh.cc.o" "gcc" "src/CMakeFiles/feio_mesh.dir/mesh/tri_mesh.cc.o.d"
+  "/root/repo/src/mesh/validate.cc" "src/CMakeFiles/feio_mesh.dir/mesh/validate.cc.o" "gcc" "src/CMakeFiles/feio_mesh.dir/mesh/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/feio_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feio_mesh.dir/mesh/bandwidth.cc.o"
+  "CMakeFiles/feio_mesh.dir/mesh/bandwidth.cc.o.d"
+  "CMakeFiles/feio_mesh.dir/mesh/io.cc.o"
+  "CMakeFiles/feio_mesh.dir/mesh/io.cc.o.d"
+  "CMakeFiles/feio_mesh.dir/mesh/quality.cc.o"
+  "CMakeFiles/feio_mesh.dir/mesh/quality.cc.o.d"
+  "CMakeFiles/feio_mesh.dir/mesh/refine.cc.o"
+  "CMakeFiles/feio_mesh.dir/mesh/refine.cc.o.d"
+  "CMakeFiles/feio_mesh.dir/mesh/topology.cc.o"
+  "CMakeFiles/feio_mesh.dir/mesh/topology.cc.o.d"
+  "CMakeFiles/feio_mesh.dir/mesh/tri_mesh.cc.o"
+  "CMakeFiles/feio_mesh.dir/mesh/tri_mesh.cc.o.d"
+  "CMakeFiles/feio_mesh.dir/mesh/validate.cc.o"
+  "CMakeFiles/feio_mesh.dir/mesh/validate.cc.o.d"
+  "libfeio_mesh.a"
+  "libfeio_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feio_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feio_ospl.dir/ospl/contour.cc.o"
+  "CMakeFiles/feio_ospl.dir/ospl/contour.cc.o.d"
+  "CMakeFiles/feio_ospl.dir/ospl/deck.cc.o"
+  "CMakeFiles/feio_ospl.dir/ospl/deck.cc.o.d"
+  "CMakeFiles/feio_ospl.dir/ospl/interval.cc.o"
+  "CMakeFiles/feio_ospl.dir/ospl/interval.cc.o.d"
+  "CMakeFiles/feio_ospl.dir/ospl/labels.cc.o"
+  "CMakeFiles/feio_ospl.dir/ospl/labels.cc.o.d"
+  "CMakeFiles/feio_ospl.dir/ospl/ospl.cc.o"
+  "CMakeFiles/feio_ospl.dir/ospl/ospl.cc.o.d"
+  "libfeio_ospl.a"
+  "libfeio_ospl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feio_ospl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

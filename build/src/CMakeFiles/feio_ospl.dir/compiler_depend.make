@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for feio_ospl.
+# This may be replaced when dependencies are built.

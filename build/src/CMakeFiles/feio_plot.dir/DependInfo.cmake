@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plot/ascii.cc" "src/CMakeFiles/feio_plot.dir/plot/ascii.cc.o" "gcc" "src/CMakeFiles/feio_plot.dir/plot/ascii.cc.o.d"
+  "/root/repo/src/plot/deformed.cc" "src/CMakeFiles/feio_plot.dir/plot/deformed.cc.o" "gcc" "src/CMakeFiles/feio_plot.dir/plot/deformed.cc.o.d"
+  "/root/repo/src/plot/mesh_plot.cc" "src/CMakeFiles/feio_plot.dir/plot/mesh_plot.cc.o" "gcc" "src/CMakeFiles/feio_plot.dir/plot/mesh_plot.cc.o.d"
+  "/root/repo/src/plot/plot_file.cc" "src/CMakeFiles/feio_plot.dir/plot/plot_file.cc.o" "gcc" "src/CMakeFiles/feio_plot.dir/plot/plot_file.cc.o.d"
+  "/root/repo/src/plot/svg.cc" "src/CMakeFiles/feio_plot.dir/plot/svg.cc.o" "gcc" "src/CMakeFiles/feio_plot.dir/plot/svg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/feio_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/feio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

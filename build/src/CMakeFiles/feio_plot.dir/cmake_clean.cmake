@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feio_plot.dir/plot/ascii.cc.o"
+  "CMakeFiles/feio_plot.dir/plot/ascii.cc.o.d"
+  "CMakeFiles/feio_plot.dir/plot/deformed.cc.o"
+  "CMakeFiles/feio_plot.dir/plot/deformed.cc.o.d"
+  "CMakeFiles/feio_plot.dir/plot/mesh_plot.cc.o"
+  "CMakeFiles/feio_plot.dir/plot/mesh_plot.cc.o.d"
+  "CMakeFiles/feio_plot.dir/plot/plot_file.cc.o"
+  "CMakeFiles/feio_plot.dir/plot/plot_file.cc.o.d"
+  "CMakeFiles/feio_plot.dir/plot/svg.cc.o"
+  "CMakeFiles/feio_plot.dir/plot/svg.cc.o.d"
+  "libfeio_plot.a"
+  "libfeio_plot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feio_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

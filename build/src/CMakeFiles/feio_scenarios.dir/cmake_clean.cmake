@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feio_scenarios.dir/scenarios/analysis.cc.o"
+  "CMakeFiles/feio_scenarios.dir/scenarios/analysis.cc.o.d"
+  "CMakeFiles/feio_scenarios.dir/scenarios/geometry.cc.o"
+  "CMakeFiles/feio_scenarios.dir/scenarios/geometry.cc.o.d"
+  "libfeio_scenarios.a"
+  "libfeio_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feio_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

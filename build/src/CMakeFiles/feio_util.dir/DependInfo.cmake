@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/error.cc" "src/CMakeFiles/feio_util.dir/util/error.cc.o" "gcc" "src/CMakeFiles/feio_util.dir/util/error.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/feio_util.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/feio_util.dir/util/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

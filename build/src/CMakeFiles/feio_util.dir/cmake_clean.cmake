@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feio_util.dir/util/error.cc.o"
+  "CMakeFiles/feio_util.dir/util/error.cc.o.d"
+  "CMakeFiles/feio_util.dir/util/strings.cc.o"
+  "CMakeFiles/feio_util.dir/util/strings.cc.o.d"
+  "libfeio_util.a"
+  "libfeio_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feio_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

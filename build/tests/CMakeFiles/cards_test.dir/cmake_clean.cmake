@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cards_test.dir/cards_test.cc.o"
+  "CMakeFiles/cards_test.dir/cards_test.cc.o.d"
+  "cards_test"
+  "cards_test.pdb"
+  "cards_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cards_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem_banded_test.dir/fem_banded_test.cc.o"
+  "CMakeFiles/fem_banded_test.dir/fem_banded_test.cc.o.d"
+  "fem_banded_test"
+  "fem_banded_test.pdb"
+  "fem_banded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem_banded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem_contact_test.dir/fem_contact_test.cc.o"
+  "CMakeFiles/fem_contact_test.dir/fem_contact_test.cc.o.d"
+  "fem_contact_test"
+  "fem_contact_test.pdb"
+  "fem_contact_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem_contact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

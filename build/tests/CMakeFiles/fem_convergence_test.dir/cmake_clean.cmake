@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem_convergence_test.dir/fem_convergence_test.cc.o"
+  "CMakeFiles/fem_convergence_test.dir/fem_convergence_test.cc.o.d"
+  "fem_convergence_test"
+  "fem_convergence_test.pdb"
+  "fem_convergence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem_convergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

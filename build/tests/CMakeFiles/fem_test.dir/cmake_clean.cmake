@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem_test.dir/fem_test.cc.o"
+  "CMakeFiles/fem_test.dir/fem_test.cc.o.d"
+  "fem_test"
+  "fem_test.pdb"
+  "fem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlz_assembler_test.dir/idlz_assembler_test.cc.o"
+  "CMakeFiles/idlz_assembler_test.dir/idlz_assembler_test.cc.o.d"
+  "idlz_assembler_test"
+  "idlz_assembler_test.pdb"
+  "idlz_assembler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlz_assembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

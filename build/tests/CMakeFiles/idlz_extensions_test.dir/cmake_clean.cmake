@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlz_extensions_test.dir/idlz_extensions_test.cc.o"
+  "CMakeFiles/idlz_extensions_test.dir/idlz_extensions_test.cc.o.d"
+  "idlz_extensions_test"
+  "idlz_extensions_test.pdb"
+  "idlz_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlz_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlz_pipeline_test.dir/idlz_pipeline_test.cc.o"
+  "CMakeFiles/idlz_pipeline_test.dir/idlz_pipeline_test.cc.o.d"
+  "idlz_pipeline_test"
+  "idlz_pipeline_test.pdb"
+  "idlz_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlz_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlz_reform_test.dir/idlz_reform_test.cc.o"
+  "CMakeFiles/idlz_reform_test.dir/idlz_reform_test.cc.o.d"
+  "idlz_reform_test"
+  "idlz_reform_test.pdb"
+  "idlz_reform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlz_reform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlz_renumber_test.dir/idlz_renumber_test.cc.o"
+  "CMakeFiles/idlz_renumber_test.dir/idlz_renumber_test.cc.o.d"
+  "idlz_renumber_test"
+  "idlz_renumber_test.pdb"
+  "idlz_renumber_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlz_renumber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

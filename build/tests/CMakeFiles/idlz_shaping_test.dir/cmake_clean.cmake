@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlz_shaping_test.dir/idlz_shaping_test.cc.o"
+  "CMakeFiles/idlz_shaping_test.dir/idlz_shaping_test.cc.o.d"
+  "idlz_shaping_test"
+  "idlz_shaping_test.pdb"
+  "idlz_shaping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlz_shaping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

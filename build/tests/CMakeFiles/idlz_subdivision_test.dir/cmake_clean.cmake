@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlz_subdivision_test.dir/idlz_subdivision_test.cc.o"
+  "CMakeFiles/idlz_subdivision_test.dir/idlz_subdivision_test.cc.o.d"
+  "idlz_subdivision_test"
+  "idlz_subdivision_test.pdb"
+  "idlz_subdivision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlz_subdivision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for idlz_subdivision_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_io_test.dir/mesh_io_test.cc.o"
+  "CMakeFiles/mesh_io_test.dir/mesh_io_test.cc.o.d"
+  "mesh_io_test"
+  "mesh_io_test.pdb"
+  "mesh_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

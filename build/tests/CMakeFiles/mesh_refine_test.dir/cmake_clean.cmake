@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_refine_test.dir/mesh_refine_test.cc.o"
+  "CMakeFiles/mesh_refine_test.dir/mesh_refine_test.cc.o.d"
+  "mesh_refine_test"
+  "mesh_refine_test.pdb"
+  "mesh_refine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_refine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_test.dir/mesh_test.cc.o"
+  "CMakeFiles/mesh_test.dir/mesh_test.cc.o.d"
+  "mesh_test"
+  "mesh_test.pdb"
+  "mesh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ospl_test.dir/ospl_test.cc.o"
+  "CMakeFiles/ospl_test.dir/ospl_test.cc.o.d"
+  "ospl_test"
+  "ospl_test.pdb"
+  "ospl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ospl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

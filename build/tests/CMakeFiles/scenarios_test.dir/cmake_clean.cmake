@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenarios_test.dir/scenarios_test.cc.o"
+  "CMakeFiles/scenarios_test.dir/scenarios_test.cc.o.d"
+  "scenarios_test"
+  "scenarios_test.pdb"
+  "scenarios_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

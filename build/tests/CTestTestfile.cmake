@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_test[1]_include.cmake")
+include("/root/repo/build/tests/cards_test[1]_include.cmake")
+include("/root/repo/build/tests/plot_test[1]_include.cmake")
+include("/root/repo/build/tests/idlz_subdivision_test[1]_include.cmake")
+include("/root/repo/build/tests/idlz_assembler_test[1]_include.cmake")
+include("/root/repo/build/tests/idlz_shaping_test[1]_include.cmake")
+include("/root/repo/build/tests/idlz_reform_test[1]_include.cmake")
+include("/root/repo/build/tests/idlz_renumber_test[1]_include.cmake")
+include("/root/repo/build/tests/idlz_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/ospl_test[1]_include.cmake")
+include("/root/repo/build/tests/fem_banded_test[1]_include.cmake")
+include("/root/repo/build/tests/fem_test[1]_include.cmake")
+include("/root/repo/build/tests/fem_thermal_test[1]_include.cmake")
+include("/root/repo/build/tests/scenarios_test[1]_include.cmake")
+include("/root/repo/build/tests/idlz_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/fem_convergence_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_io_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_test[1]_include.cmake")
+include("/root/repo/build/tests/fem_contact_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_refine_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feio_cli.dir/feio_cli.cc.o"
+  "CMakeFiles/feio_cli.dir/feio_cli.cc.o.d"
+  "feio"
+  "feio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feio_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
