@@ -1,6 +1,7 @@
 #include "cards/card_io.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.h"
 
@@ -25,6 +26,59 @@ std::vector<Field> decode(std::string_view card, const Format& format) {
       case EditKind::kFixed:
       case EditKind::kExp:
         out.emplace_back(read_real_field(field, d.decimals));
+        break;
+      case EditKind::kAlpha: {
+        std::string text(field);
+        text.resize(static_cast<size_t>(d.width), ' ');
+        out.emplace_back(std::move(text));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Field> decode(std::string_view card, const Format& format,
+                          DiagSink& sink, const SourceLoc& where) {
+  std::vector<Field> out;
+  out.reserve(static_cast<size_t>(format.field_count()));
+  size_t col = 0;
+  for (const EditDescriptor& d : format.descriptors()) {
+    std::string_view field;
+    if (col < card.size()) {
+      field = card.substr(col, static_cast<size_t>(d.width));
+    }
+    SourceLoc at = where;
+    at.col_begin = static_cast<int>(col) + 1;
+    at.col_end = static_cast<int>(col) + d.width;
+    col += static_cast<size_t>(d.width);
+    switch (d.kind) {
+      case EditKind::kSkip:
+        break;
+      case EditKind::kInt:
+        try {
+          out.emplace_back(read_int_field(field));
+        } catch (const Error& e) {
+          sink.error("E-CARD-001", e.what(), at);
+          out.emplace_back(0L);
+        }
+        break;
+      case EditKind::kFixed:
+      case EditKind::kExp:
+        try {
+          const double v = read_real_field(field, d.decimals);
+          if (!std::isfinite(v)) {
+            sink.error("E-CARD-004",
+                       "non-finite real field '" + std::string(field) + "'",
+                       at);
+            out.emplace_back(0.0);
+          } else {
+            out.emplace_back(v);
+          }
+        } catch (const Error& e) {
+          sink.error("E-CARD-002", e.what(), at);
+          out.emplace_back(0.0);
+        }
         break;
       case EditKind::kAlpha: {
         std::string text(field);
@@ -83,7 +137,8 @@ std::string encode(const std::vector<Field>& values, const Format& format) {
   return card;
 }
 
-CardReader::CardReader(std::istream& in) : in_(in) {}
+CardReader::CardReader(std::istream& in, std::string deck_name)
+    : in_(in), deck_name_(std::move(deck_name)) {}
 
 std::optional<std::string> CardReader::next_card() {
   std::string line;
@@ -106,6 +161,17 @@ std::vector<Field> CardReader::read(const Format& format) {
   } catch (const Error& e) {
     fail(e.what(), "card " + std::to_string(card_number_));
   }
+}
+
+std::optional<std::vector<Field>> CardReader::try_read(const Format& format,
+                                                       DiagSink& sink) {
+  auto card = next_card();
+  if (!card.has_value()) {
+    sink.error("E-CARD-003", "deck ended while more cards were expected",
+               {deck_name_, card_number_, 0, 0});
+    return std::nullopt;
+  }
+  return decode(*card, format, sink, loc());
 }
 
 void CardWriter::write(const std::vector<Field>& values, const Format& format) {

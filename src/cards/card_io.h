@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cards/format.h"
+#include "util/diag.h"
 
 namespace feio::cards {
 
@@ -24,6 +25,15 @@ using Field = std::variant<long, double, std::string>;
 // Decodes one card image against a format. Missing columns (short card)
 // read as blanks, matching card-reader behaviour.
 std::vector<Field> decode(std::string_view card, const Format& format);
+
+// Recovering decode: a malformed field is reported to `sink` — with `where`
+// refined to the field's column range — and read as zero (numeric) so the
+// caller always gets one value per format field and can keep going.
+// Non-finite reals (NAN/INF punched into a card) are likewise diagnosed and
+// replaced by zero. Codes: E-CARD-001 (integer), E-CARD-002 (real),
+// E-CARD-004 (non-finite real).
+std::vector<Field> decode(std::string_view card, const Format& format,
+                          DiagSink& sink, const SourceLoc& where);
 
 // Encodes values against a format into a (>= format.record_width()) card
 // image, padded with blanks to kCardWidth when shorter. Value/field type
@@ -37,7 +47,8 @@ std::string encode(const std::vector<Field>& values, const Format& format);
 // decks, handy for annotated fixtures).
 class CardReader {
  public:
-  explicit CardReader(std::istream& in);
+  // `deck_name` labels diagnostics ("decks/fig02.b"; defaults to "<deck>").
+  explicit CardReader(std::istream& in, std::string deck_name = "<deck>");
 
   // Next card image, or nullopt at end of deck.
   std::optional<std::string> next_card();
@@ -46,11 +57,21 @@ class CardReader {
   // context) when the deck ends early or a field is malformed.
   std::vector<Field> read(const Format& format);
 
+  // Recovering read: malformed fields are reported to `sink` (with card and
+  // column context) and read as zeros. Returns nullopt only when the deck
+  // has ended, after reporting E-CARD-003.
+  std::optional<std::vector<Field>> try_read(const Format& format,
+                                             DiagSink& sink);
+
   // 1-based number of the most recently returned card.
   int card_number() const { return card_number_; }
 
+  // Location of the most recently returned card.
+  SourceLoc loc() const { return {deck_name_, card_number_, 0, 0}; }
+
  private:
   std::istream& in_;
+  std::string deck_name_;
   int card_number_ = 0;
 };
 

@@ -38,4 +38,5 @@
 #include "plot/deformed.h"    // IWYU pragma: export
 #include "plot/mesh_plot.h"   // IWYU pragma: export
 #include "plot/svg.h"         // IWYU pragma: export
+#include "util/diag.h"        // IWYU pragma: export
 #include "util/error.h"       // IWYU pragma: export

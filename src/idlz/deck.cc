@@ -4,6 +4,7 @@
 
 #include "cards/card_io.h"
 #include "idlz/punch.h"
+#include "util/error.h"
 #include "util/strings.h"
 
 namespace feio::idlz {
@@ -15,6 +16,12 @@ using cards::as_real;
 using cards::CardReader;
 using cards::CardWriter;
 using cards::Format;
+
+// Structural sanity caps: a count outside these cannot come from a valid
+// deck, and trusting it would desynchronize (or unboundedly grow) the parse.
+constexpr long kMaxSets = 10000;
+constexpr long kMaxSubdivisionsPerSet = 1000;
+constexpr long kMaxLinesPerSubdivision = 100000;
 
 const Format& fmt_i5() {
   static const Format f = Format::parse("(I5)");
@@ -41,86 +48,174 @@ const Format& fmt_type6() {
   return f;
 }
 
-std::string read_title(CardReader& reader) {
-  const auto fields = reader.read(fmt_title());
+std::string join_title(const std::vector<cards::Field>& fields) {
   std::string title;
   for (const auto& f : fields) title += as_alpha(f);
   return std::string(trim(title));
 }
 
+// Reads a type-7 FORMAT card; malformed user FORMATs are diagnosed
+// (E-FMT-001) and replaced by `fallback` so the set stays usable.
+bool read_format_card(CardReader& reader, DiagSink& sink,
+                      const char* fallback, std::string& out) {
+  const auto fields = reader.try_read(fmt_title(), sink);
+  if (!fields) return false;
+  out = join_title(*fields);
+  if (out.empty()) {
+    out = fallback;
+    return true;
+  }
+  try {
+    Format::parse(out);
+  } catch (const Error& e) {
+    sink.error("E-FMT-001",
+               std::string(e.what()) + " in user FORMAT '" + out + "'",
+               reader.loc());
+    out = fallback;
+  }
+  return true;
+}
+
 }  // namespace
 
-std::vector<IdlzCase> read_deck(std::istream& in) {
-  CardReader reader(in);
-  const int nset = static_cast<int>(as_int(reader.read(fmt_i5())[0]));
-  FEIO_REQUIRE(nset >= 1, "NSET must be at least 1");
-  FEIO_REQUIRE(nset <= 10000, "unreasonable NSET");
-
+std::vector<IdlzCase> read_deck(std::istream& in, DiagSink& sink,
+                                const std::string& deck_name) {
+  CardReader reader(in, deck_name);
   std::vector<IdlzCase> cases;
+
+  const auto t1 = reader.try_read(fmt_i5(), sink);
+  if (!t1) return cases;
+  const long nset = as_int((*t1)[0]);
+  if (nset < 1 || nset > kMaxSets) {
+    sink.error("E-IDLZ-001",
+               "NSET must be in 1.." + std::to_string(kMaxSets) + ", got " +
+                   std::to_string(nset),
+               reader.loc());
+    return cases;
+  }
+
   cases.reserve(static_cast<size_t>(nset));
-  for (int set = 0; set < nset; ++set) {
+  for (long set = 0; set < nset; ++set) {
+    if (sink.capped()) {
+      sink.note("N-DIAG-001",
+                "diagnostic cap reached; remaining cards not examined",
+                reader.loc());
+      return cases;
+    }
     IdlzCase c;
-    c.title = read_title(reader);
+    const auto title = reader.try_read(fmt_title(), sink);
+    if (!title) return cases;
+    c.title = join_title(*title);
 
-    const auto t3 = reader.read(fmt_type3());
-    c.options.make_plots = as_int(t3[0]) != 0;
-    c.options.renumber_nodes = as_int(t3[1]) != 0;
-    c.options.punch_output = as_int(t3[2]) != 0;
-    const int nsbdvn = static_cast<int>(as_int(t3[3]));
-    FEIO_REQUIRE(nsbdvn >= 1, "NSBDVN must be at least 1");
+    const auto t3 = reader.try_read(fmt_type3(), sink);
+    if (!t3) return cases;
+    c.options.make_plots = as_int((*t3)[0]) != 0;
+    c.options.renumber_nodes = as_int((*t3)[1]) != 0;
+    c.options.punch_output = as_int((*t3)[2]) != 0;
+    const long nsbdvn = as_int((*t3)[3]);
+    if (nsbdvn < 1 || nsbdvn > kMaxSubdivisionsPerSet) {
+      sink.error("E-IDLZ-002",
+                 "NSBDVN must be in 1.." +
+                     std::to_string(kMaxSubdivisionsPerSet) + ", got " +
+                     std::to_string(nsbdvn),
+                 reader.loc());
+      sink.note("N-IDLZ-001",
+                "cannot locate the remaining cards of this set; deck "
+                "abandoned",
+                reader.loc());
+      return cases;
+    }
 
-    for (int i = 0; i < nsbdvn; ++i) {
-      const auto t4 = reader.read(fmt_type4());
+    for (long i = 0; i < nsbdvn; ++i) {
+      const auto t4 = reader.try_read(fmt_type4(), sink);
+      if (!t4) return cases;
       Subdivision s;
-      s.id = static_cast<int>(as_int(t4[0]));
-      s.k1 = static_cast<int>(as_int(t4[1]));
-      s.l1 = static_cast<int>(as_int(t4[2]));
-      s.k2 = static_cast<int>(as_int(t4[3]));
-      s.l2 = static_cast<int>(as_int(t4[4]));
-      s.ntaprw = static_cast<int>(as_int(t4[5]));
-      s.ntapcm = static_cast<int>(as_int(t4[6]));
+      s.id = static_cast<int>(as_int((*t4)[0]));
+      s.k1 = static_cast<int>(as_int((*t4)[1]));
+      s.l1 = static_cast<int>(as_int((*t4)[2]));
+      s.k2 = static_cast<int>(as_int((*t4)[3]));
+      s.l2 = static_cast<int>(as_int((*t4)[4]));
+      s.ntaprw = static_cast<int>(as_int((*t4)[5]));
+      s.ntapcm = static_cast<int>(as_int((*t4)[6]));
+      try {
+        s.validate();
+      } catch (const Error& e) {
+        sink.error("E-IDLZ-004", e.what(), reader.loc());
+      }
       c.subdivisions.push_back(s);
     }
 
-    for (int i = 0; i < nsbdvn; ++i) {
-      const auto t5 = reader.read(fmt_type5());
+    for (long i = 0; i < nsbdvn; ++i) {
+      const auto t5 = reader.try_read(fmt_type5(), sink);
+      if (!t5) return cases;
       ShapingSpec spec;
-      spec.subdivision_id = static_cast<int>(as_int(t5[0]));
-      const int nlines = static_cast<int>(as_int(t5[1]));
-      FEIO_REQUIRE(nlines >= 1,
+      spec.subdivision_id = static_cast<int>(as_int((*t5)[0]));
+      bool known = false;
+      for (const Subdivision& s : c.subdivisions) {
+        if (s.id == spec.subdivision_id) known = true;
+      }
+      if (!known) {
+        sink.error("E-IDLZ-005",
+                   "shaping cards name unknown subdivision " +
+                       std::to_string(spec.subdivision_id),
+                   reader.loc());
+      }
+      const long nlines = as_int((*t5)[1]);
+      if (nlines < 1 || nlines > kMaxLinesPerSubdivision) {
+        sink.error("E-IDLZ-003",
                    "at least one line segment must be used to deform each "
-                   "subdivision (General Restriction 3)");
-      for (int j = 0; j < nlines; ++j) {
-        const auto t6 = reader.read(fmt_type6());
+                   "subdivision (General Restriction 3); got NLINES " +
+                       std::to_string(nlines),
+                   reader.loc());
+        // Resynchronize at the next type-5 card: read no type-6 cards.
+        continue;
+      }
+      for (long j = 0; j < nlines; ++j) {
+        const auto t6 = reader.try_read(fmt_type6(), sink);
+        if (!t6) return cases;
         ShapeLine line;
-        line.k1 = static_cast<int>(as_int(t6[0]));
-        line.l1 = static_cast<int>(as_int(t6[1]));
-        line.k2 = static_cast<int>(as_int(t6[2]));
-        line.l2 = static_cast<int>(as_int(t6[3]));
-        line.p1 = {as_real(t6[4]), as_real(t6[5])};
-        line.p2 = {as_real(t6[6]), as_real(t6[7])};
-        line.radius = as_real(t6[8]);
+        line.k1 = static_cast<int>(as_int((*t6)[0]));
+        line.l1 = static_cast<int>(as_int((*t6)[1]));
+        line.k2 = static_cast<int>(as_int((*t6)[2]));
+        line.l2 = static_cast<int>(as_int((*t6)[3]));
+        line.p1 = {as_real((*t6)[4]), as_real((*t6)[5])};
+        line.p2 = {as_real((*t6)[6]), as_real((*t6)[7])};
+        line.radius = as_real((*t6)[8]);
         spec.lines.push_back(line);
       }
       c.shaping.push_back(std::move(spec));
     }
 
-    c.options.nodal_format = std::string(trim(read_title(reader)));
-    c.options.element_format = std::string(trim(read_title(reader)));
-    if (c.options.nodal_format.empty()) {
-      c.options.nodal_format = kDefaultNodalFormat;
+    if (!read_format_card(reader, sink, kDefaultNodalFormat,
+                          c.options.nodal_format)) {
+      return cases;
     }
-    if (c.options.element_format.empty()) {
-      c.options.element_format = kDefaultElementFormat;
+    if (!read_format_card(reader, sink, kDefaultElementFormat,
+                          c.options.element_format)) {
+      return cases;
     }
     cases.push_back(std::move(c));
   }
   return cases;
 }
 
+std::vector<IdlzCase> read_deck(std::istream& in) {
+  DiagSink sink;
+  auto cases = read_deck(in, sink);
+  sink.throw_if_errors();
+  return cases;
+}
+
 std::vector<IdlzCase> read_deck_string(const std::string& deck) {
   std::istringstream in(deck);
   return read_deck(in);
+}
+
+std::vector<IdlzCase> read_deck_string(const std::string& deck,
+                                       DiagSink& sink,
+                                       const std::string& deck_name) {
+  std::istringstream in(deck);
+  return read_deck(in, sink, deck_name);
 }
 
 std::string write_deck(const std::vector<IdlzCase>& cases) {

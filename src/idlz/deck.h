@@ -18,15 +18,29 @@
 #include <vector>
 
 #include "idlz/idlz.h"
+#include "util/diag.h"
 
 namespace feio::idlz {
 
-// Parses a full deck (possibly several data sets). Throws feio::Error with
-// card context on malformed decks.
+// Recovering parser: malformed cards are reported to `sink` (codes
+// E-CARD-* / E-FMT-* / E-IDLZ-*, each with deck name and card number) and
+// parsing resynchronizes at the next card-type boundary, so one pass
+// reports every problem in the deck and clean data sets in a dirty deck
+// still come back usable. Returns the cases parsed so far when the deck
+// structure becomes unrecoverable (corrupt set counts, early end of deck).
+std::vector<IdlzCase> read_deck(std::istream& in, DiagSink& sink,
+                                const std::string& deck_name = "<deck>");
+
+// Fail-fast wrapper over the recovering parser: throws feio::Error built
+// from the first diagnostic when the deck has any error.
 std::vector<IdlzCase> read_deck(std::istream& in);
 
 // Convenience: parse a deck held in a string.
 std::vector<IdlzCase> read_deck_string(const std::string& deck);
+std::vector<IdlzCase> read_deck_string(const std::string& deck,
+                                       DiagSink& sink,
+                                       const std::string& deck_name =
+                                           "<deck>");
 
 // Writes the cases back out as a card deck (for round-trip testing and for
 // generating fixture decks programmatically).

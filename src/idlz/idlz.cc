@@ -7,6 +7,7 @@
 #include "idlz/punch.h"
 #include "mesh/bandwidth.h"
 #include "mesh/quality.h"
+#include "mesh/validate.h"
 #include "plot/mesh_plot.h"
 #include "util/strings.h"
 
@@ -106,6 +107,24 @@ IdlzResult run(const IdlzCase& c) {
     r.element_cards = punch_element_cards(r.mesh, c.options.element_format);
   }
   return r;
+}
+
+std::optional<IdlzResult> run_checked(const IdlzCase& c, DiagSink& sink) {
+  const std::string prefix =
+      c.title.empty() ? std::string() : "set '" + c.title + "': ";
+  try {
+    IdlzResult r = run(c);
+    mesh::validate(r.mesh).merge_into(sink);
+    return r;
+  } catch (const Error& e) {
+    sink.error("E-IDLZ-006", prefix + e.what());
+    return std::nullopt;
+  } catch (const std::exception& e) {
+    // Anything but feio::Error is a bug, but a check run should still end
+    // with a report rather than a dead process.
+    sink.error("E-IDLZ-007", prefix + "internal error: " + e.what());
+    return std::nullopt;
+  }
 }
 
 std::string summarize(const IdlzResult& r) {

@@ -8,6 +8,7 @@
 // "data set" of the deck; run() executes the full pipeline for it.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "idlz/shaping.h"
 #include "idlz/stats.h"
 #include "plot/plot_file.h"
+#include "util/diag.h"
 
 namespace feio::idlz {
 
@@ -76,6 +78,12 @@ struct IdlzResult {
 
 // Runs the IDLZ pipeline on one case. Throws feio::Error on invalid input.
 IdlzResult run(const IdlzCase& c);
+
+// Diagnosing variant: a pipeline failure becomes an E-IDLZ-006 record in
+// `sink` (nullopt returned) instead of a throw, and mesh-validation
+// findings on a successful run are merged into the same sink — so deck,
+// geometry and quality problems all land in one report.
+std::optional<IdlzResult> run_checked(const IdlzCase& c, DiagSink& sink);
 
 // Human-readable run summary (node/element counts, bandwidth before/after,
 // data-volume ratio) — the "printed listing" portion of IDLZ output.

@@ -14,7 +14,49 @@ namespace {
 
 std::string elem_str(int e) { return "element " + std::to_string(e); }
 
+void error(ValidationReport& rep, const char* code, std::string message) {
+  rep.diags.push_back({Severity::kError, code, std::move(message), {}});
+}
+
+void warning(ValidationReport& rep, const char* code, std::string message) {
+  rep.diags.push_back({Severity::kWarning, code, std::move(message), {}});
+}
+
 }  // namespace
+
+bool ValidationReport::ok() const {
+  for (const Diag& d : diags) {
+    if (d.severity == Severity::kError) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> ValidationReport::errors() const {
+  std::vector<std::string> out;
+  for (const Diag& d : diags) {
+    if (d.severity == Severity::kError) out.push_back(d.message);
+  }
+  return out;
+}
+
+std::vector<std::string> ValidationReport::warnings() const {
+  std::vector<std::string> out;
+  for (const Diag& d : diags) {
+    if (d.severity == Severity::kWarning) out.push_back(d.message);
+  }
+  return out;
+}
+
+std::vector<std::string> ValidationReport::to_strings() const {
+  std::vector<std::string> out;
+  out.reserve(diags.size());
+  for (const Diag& d : diags) out.push_back(d.to_string());
+  return out;
+}
+
+void ValidationReport::merge_into(DiagSink& sink) const {
+  for (const Diag& d : diags) sink.add(d);
+}
 
 ValidationReport validate(const TriMesh& mesh) {
   ValidationReport rep;
@@ -25,29 +67,30 @@ ValidationReport validate(const TriMesh& mesh) {
     bool in_range = true;
     for (int n : el.n) {
       if (n < 0 || n >= mesh.num_nodes()) {
-        rep.errors.push_back(elem_str(e) + ": node index out of range");
+        error(rep, "E-MESH-001", elem_str(e) + ": node index out of range");
         in_range = false;
       }
     }
     if (!in_range) continue;
     if (el.n[0] == el.n[1] || el.n[1] == el.n[2] || el.n[0] == el.n[2]) {
-      rep.errors.push_back(elem_str(e) + ": repeated node index");
+      error(rep, "E-MESH-002", elem_str(e) + ": repeated node index");
       continue;
     }
     std::array<int, 3> key{el.n[0], el.n[1], el.n[2]};
     std::sort(key.begin(), key.end());
     if (!seen.insert(key).second) {
-      rep.errors.push_back(elem_str(e) + ": duplicate of an earlier element");
+      error(rep, "E-MESH-003",
+            elem_str(e) + ": duplicate of an earlier element");
     }
     const double area = mesh.signed_area(e);
     if (area == 0.0) {
-      rep.errors.push_back(elem_str(e) + ": zero area");
+      error(rep, "E-MESH-004", elem_str(e) + ": zero area");
     } else if (area < 0.0) {
-      rep.warnings.push_back(elem_str(e) + ": clockwise orientation");
+      warning(rep, "W-MESH-005", elem_str(e) + ": clockwise orientation");
     }
   }
 
-  if (!rep.errors.empty()) return rep;  // topology needs valid indices
+  if (!rep.ok()) return rep;  // topology needs valid indices
 
   const Topology topo(mesh);
 
@@ -61,9 +104,9 @@ ValidationReport validate(const TriMesh& mesh) {
   }
   for (const auto& [edge, count] : edge_count) {
     if (count > 2) {
-      rep.errors.push_back("edge (" + std::to_string(edge.a) + "," +
-                           std::to_string(edge.b) + ") shared by " +
-                           std::to_string(count) + " elements");
+      error(rep, "E-MESH-006",
+            "edge (" + std::to_string(edge.a) + "," + std::to_string(edge.b) +
+                ") shared by " + std::to_string(count) + " elements");
     }
   }
 
@@ -72,16 +115,17 @@ ValidationReport validate(const TriMesh& mesh) {
   copy.classify_boundary();
   for (int i = 0; i < mesh.num_nodes(); ++i) {
     if (mesh.node(i).boundary != copy.node(i).boundary) {
-      rep.warnings.push_back("node " + std::to_string(i) +
-                             ": boundary flag inconsistent with topology");
+      warning(rep, "W-MESH-007",
+              "node " + std::to_string(i) +
+                  ": boundary flag inconsistent with topology");
     }
   }
 
   // Isolated nodes.
   for (int i = 0; i < mesh.num_nodes(); ++i) {
     if (topo.elements_of(i).empty()) {
-      rep.warnings.push_back("node " + std::to_string(i) +
-                             " belongs to no element");
+      warning(rep, "W-MESH-008",
+              "node " + std::to_string(i) + " belongs to no element");
     }
   }
 
@@ -106,7 +150,8 @@ ValidationReport validate(const TriMesh& mesh) {
       }
       for (int i = 0; i < mesh.num_nodes(); ++i) {
         if (!visited[static_cast<size_t>(i)] && !topo.elements_of(i).empty()) {
-          rep.warnings.push_back("mesh has more than one connected component");
+          warning(rep, "W-MESH-009",
+                  "mesh has more than one connected component");
           break;
         }
       }

@@ -5,14 +5,26 @@
 #include <vector>
 
 #include "mesh/tri_mesh.h"
+#include "util/diag.h"
 
 namespace feio::mesh {
 
+// Validation findings as structured diagnostics (codes E-MESH-* for fatal
+// problems, W-MESH-* for quality concerns) so they merge into a run's
+// DiagSink alongside the deck readers' reports.
 struct ValidationReport {
-  std::vector<std::string> errors;    // must be empty for a usable mesh
-  std::vector<std::string> warnings;  // quality concerns, not fatal
+  std::vector<Diag> diags;
 
-  bool ok() const { return errors.empty(); }
+  bool ok() const;  // no error-severity findings
+
+  // Legacy string views of the findings (messages only, codes stripped).
+  std::vector<std::string> errors() const;
+  std::vector<std::string> warnings() const;
+  // All findings rendered one per line ("error E-MESH-003: ...").
+  std::vector<std::string> to_strings() const;
+
+  // Appends every finding to `sink`.
+  void merge_into(DiagSink& sink) const;
 };
 
 // Checks: node indices in range, no repeated nodes in an element, no

@@ -33,64 +33,120 @@ const Format& fmt_type4() {
   return f;
 }
 
-std::string read_title(CardReader& reader) {
-  const auto fields = reader.read(fmt_title());
+std::string read_title_card(CardReader& reader, DiagSink& sink, bool& ok) {
+  const auto fields = reader.try_read(fmt_title(), sink);
+  if (!fields) {
+    ok = false;
+    return {};
+  }
   std::string title;
-  for (const auto& f : fields) title += as_alpha(f);
+  for (const auto& f : *fields) title += as_alpha(f);
   return std::string(trim(title));
 }
 
+// Structural sanity caps; both counts come from I5 fields, so 99999 is the
+// largest value a valid card can even punch.
+constexpr long kMaxNodes = 100000;
+constexpr long kMaxElements = 100000;
+
 }  // namespace
 
-OsplCase read_deck(std::istream& in) {
-  CardReader reader(in);
+OsplCase read_deck(std::istream& in, DiagSink& sink,
+                   const std::string& deck_name) {
+  CardReader reader(in, deck_name);
   OsplCase c;
 
-  const auto t1 = reader.read(fmt_type1());
-  const int nn = static_cast<int>(as_int(t1[0]));
-  const int ne = static_cast<int>(as_int(t1[1]));
-  FEIO_REQUIRE(nn >= 1, "NN must be at least 1");
-  FEIO_REQUIRE(ne >= 1, "NE must be at least 1");
-  const double xmx = as_real(t1[2]);
-  const double xmn = as_real(t1[3]);
-  const double ymx = as_real(t1[4]);
-  const double ymn = as_real(t1[5]);
-  c.delta = as_real(t1[6]);
+  const auto t1 = reader.try_read(fmt_type1(), sink);
+  if (!t1) return c;
+  const long nn = as_int((*t1)[0]);
+  const long ne = as_int((*t1)[1]);
+  if (nn < 1 || nn > kMaxNodes) {
+    sink.error("E-OSPL-001",
+               "NN must be in 1.." + std::to_string(kMaxNodes) + ", got " +
+                   std::to_string(nn),
+               reader.loc());
+    return c;
+  }
+  if (ne < 1 || ne > kMaxElements) {
+    sink.error("E-OSPL-002",
+               "NE must be in 1.." + std::to_string(kMaxElements) + ", got " +
+                   std::to_string(ne),
+               reader.loc());
+    return c;
+  }
+  const double xmx = as_real((*t1)[2]);
+  const double xmn = as_real((*t1)[3]);
+  const double ymx = as_real((*t1)[4]);
+  const double ymn = as_real((*t1)[5]);
+  c.delta = as_real((*t1)[6]);
   if (xmx > xmn || ymx > ymn) {
     c.window.lo = {xmn, ymn};
     c.window.hi = {xmx, ymx};
   }
 
-  c.title1 = read_title(reader);
-  c.title2 = read_title(reader);
+  bool ok = true;
+  c.title1 = read_title_card(reader, sink, ok);
+  if (!ok) return c;
+  c.title2 = read_title_card(reader, sink, ok);
+  if (!ok) return c;
 
   c.values.reserve(static_cast<size_t>(nn));
-  for (int i = 0; i < nn; ++i) {
-    const auto t3 = reader.read(fmt_type3());
-    const geom::Vec2 pos{as_real(t3[0]), as_real(t3[1])};
-    c.values.push_back(as_real(t3[2]));
-    const long flag = as_int(t3[3]);
-    FEIO_REQUIRE(flag >= 0 && flag <= 2,
-                 "nodal boundary flag N(I) must be 0, 1 or 2");
+  for (long i = 0; i < nn; ++i) {
+    const auto t3 = reader.try_read(fmt_type3(), sink);
+    if (!t3) return c;
+    const geom::Vec2 pos{as_real((*t3)[0]), as_real((*t3)[1])};
+    c.values.push_back(as_real((*t3)[2]));
+    long flag = as_int((*t3)[3]);
+    if (flag < 0 || flag > 2) {
+      sink.error("E-OSPL-003",
+                 "nodal boundary flag N(I) must be 0, 1 or 2, got " +
+                     std::to_string(flag),
+                 reader.loc());
+      flag = 0;
+    }
     c.mesh.add_node(pos, static_cast<mesh::BoundaryKind>(flag));
   }
 
-  for (int e = 0; e < ne; ++e) {
-    const auto t4 = reader.read(fmt_type4());
-    const int n1 = static_cast<int>(as_int(t4[0]));
-    const int n2 = static_cast<int>(as_int(t4[1]));
-    const int n3 = static_cast<int>(as_int(t4[2]));
-    FEIO_REQUIRE(n1 >= 1 && n1 <= nn && n2 >= 1 && n2 <= nn && n3 >= 1 &&
-                     n3 <= nn,
-                 "element card references a node number outside 1..NN");
-    c.mesh.add_element(n1 - 1, n2 - 1, n3 - 1);
+  for (long e = 0; e < ne; ++e) {
+    const auto t4 = reader.try_read(fmt_type4(), sink);
+    if (!t4) return c;
+    const long n1 = as_int((*t4)[0]);
+    const long n2 = as_int((*t4)[1]);
+    const long n3 = as_int((*t4)[2]);
+    if (n1 < 1 || n1 > nn || n2 < 1 || n2 > nn || n3 < 1 || n3 > nn) {
+      sink.error("E-OSPL-004",
+                 "element card references a node number outside 1.." +
+                     std::to_string(nn),
+                 reader.loc());
+      continue;  // skip the element, keep reading
+    }
+    if (n1 == n2 || n2 == n3 || n1 == n3) {
+      sink.error("E-OSPL-004", "element card repeats a node number",
+                 reader.loc());
+      continue;  // skip the element, keep reading
+    }
+    c.mesh.add_element(static_cast<int>(n1) - 1, static_cast<int>(n2) - 1,
+                       static_cast<int>(n3) - 1);
   }
+  return c;
+}
+
+OsplCase read_deck(std::istream& in) {
+  DiagSink sink;
+  OsplCase c = read_deck(in, sink);
+  sink.throw_if_errors();
   return c;
 }
 
 OsplCase read_deck_string(const std::string& deck) {
   std::istringstream in(deck);
   return read_deck(in);
+}
+
+OsplCase read_deck_string(const std::string& deck, DiagSink& sink,
+                          const std::string& deck_name) {
+  std::istringstream in(deck);
+  return read_deck(in, sink, deck_name);
 }
 
 std::string write_deck(const OsplCase& c) {

@@ -16,12 +16,23 @@
 #include <string>
 
 #include "ospl/ospl.h"
+#include "util/diag.h"
 
 namespace feio::ospl {
 
-// Parses one OSPL data set. Throws feio::Error with card context.
+// Recovering parser: malformed cards are reported to `sink` (codes
+// E-CARD-* / E-OSPL-*, each with deck name and card number) and parsing
+// continues — a bad boundary flag is clamped, an element card naming a
+// node outside 1..NN is skipped — so one pass reports every problem in
+// the deck.
+OsplCase read_deck(std::istream& in, DiagSink& sink,
+                   const std::string& deck_name = "<deck>");
+
+// Fail-fast wrapper: throws feio::Error built from the first diagnostic.
 OsplCase read_deck(std::istream& in);
 OsplCase read_deck_string(const std::string& deck);
+OsplCase read_deck_string(const std::string& deck, DiagSink& sink,
+                          const std::string& deck_name = "<deck>");
 
 // Writes a case as a card deck (fixture generation / round-trip tests).
 std::string write_deck(const OsplCase& c);

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "mesh/topology.h"
+#include "mesh/validate.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -106,6 +107,24 @@ OsplResult run(const OsplCase& c) {
     r.plot.text(lab.at, lab.text, 0.9);
   }
   return r;
+}
+
+std::optional<OsplResult> run_checked(const OsplCase& c, DiagSink& sink) {
+  const mesh::ValidationReport rep = mesh::validate(c.mesh);
+  rep.merge_into(sink);
+  if (!rep.ok()) {
+    sink.error("E-OSPL-005", "mesh failed validation; iso-plot not produced");
+    return std::nullopt;
+  }
+  try {
+    return run(c);
+  } catch (const Error& e) {
+    sink.error("E-OSPL-005", e.what());
+    return std::nullopt;
+  } catch (const std::exception& e) {
+    sink.error("E-OSPL-006", std::string("internal error: ") + e.what());
+    return std::nullopt;
+  }
 }
 
 }  // namespace feio::ospl

@@ -7,6 +7,7 @@
 // carrying the complete drawing.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "ospl/interval.h"
 #include "ospl/labels.h"
 #include "plot/plot_file.h"
+#include "util/diag.h"
 
 namespace feio::ospl {
 
@@ -58,6 +60,12 @@ struct OsplResult {
 // Runs the full pipeline. Throws feio::Error on size violations or
 // malformed input (value count mismatch, empty mesh).
 OsplResult run(const OsplCase& c);
+
+// Diagnosing variant: the input mesh is validated first (findings merged
+// into `sink`; errors suppress the run), and a pipeline failure becomes an
+// E-OSPL-005 record instead of a throw. Returns nullopt when the case did
+// not run.
+std::optional<OsplResult> run_checked(const OsplCase& c, DiagSink& sink);
 
 // Report line matching the plots' footer, e.g.
 // "CONTOUR INTERVAL IS 2500." — used in plot subtitles.

@@ -1,0 +1,189 @@
+#include "util/diag.h"
+
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace feio {
+namespace {
+
+std::string plural(int n, const char* noun) {
+  return std::to_string(n) + " " + noun + (n == 1 ? "" : "s");
+}
+
+}  // namespace
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "error";
+}
+
+std::string SourceLoc::to_string() const {
+  std::string out;
+  if (!deck.empty()) out = deck;
+  if (card > 0) {
+    if (!out.empty()) out += ": ";
+    out += "card " + std::to_string(card);
+    if (col_begin > 0) {
+      out += ", cols " + std::to_string(col_begin);
+      if (col_end > col_begin) out += "-" + std::to_string(col_end);
+    }
+  }
+  return out;
+}
+
+std::string Diag::to_string() const {
+  std::string out;
+  const std::string where = loc.to_string();
+  if (!where.empty()) out += where + ": ";
+  out += std::string(severity_name(severity)) + " " + code + ": " + message;
+  return out;
+}
+
+DiagSink::DiagSink(int cap) : cap_(cap < 1 ? 1 : cap) {}
+
+void DiagSink::add(Diag d) {
+  ++counts_[static_cast<int>(d.severity)];
+  if (static_cast<int>(diags_.size()) >= cap_) {
+    capped_ = true;
+    return;
+  }
+  diags_.push_back(std::move(d));
+}
+
+void DiagSink::error(std::string code, std::string message, SourceLoc loc) {
+  add({Severity::kError, std::move(code), std::move(message), std::move(loc)});
+}
+
+void DiagSink::warning(std::string code, std::string message, SourceLoc loc) {
+  add({Severity::kWarning, std::move(code), std::move(message),
+       std::move(loc)});
+}
+
+void DiagSink::note(std::string code, std::string message, SourceLoc loc) {
+  add({Severity::kNote, std::move(code), std::move(message), std::move(loc)});
+}
+
+int DiagSink::count(Severity s) const {
+  return counts_[static_cast<int>(s)];
+}
+
+const Diag* DiagSink::first_error() const {
+  for (const Diag& d : diags_) {
+    if (d.severity == Severity::kError) return &d;
+  }
+  return nullptr;
+}
+
+void DiagSink::merge(const DiagSink& other) {
+  int kept[3] = {0, 0, 0};
+  for (const Diag& d : other.diags_) {
+    ++kept[static_cast<int>(d.severity)];
+    add(d);
+  }
+  // Records the other sink dropped at its cap still deserve counting here.
+  for (int s = 0; s < 3; ++s) counts_[s] += other.counts_[s] - kept[s];
+  if (other.capped_) capped_ = true;
+}
+
+std::string DiagSink::render_text() const {
+  std::string out;
+  for (const Diag& d : diags_) {
+    out += d.to_string();
+    out += '\n';
+  }
+  const int ne = error_count();
+  const int nw = warning_count();
+  const int nn = count(Severity::kNote);
+  if (ne == 0 && nw == 0 && nn == 0) {
+    out += "no diagnostics.\n";
+    return out;
+  }
+  std::string summary;
+  if (ne > 0) summary += plural(ne, "error");
+  if (nw > 0) summary += (summary.empty() ? "" : ", ") + plural(nw, "warning");
+  if (nn > 0) summary += (summary.empty() ? "" : ", ") + plural(nn, "note");
+  out += summary + ".";
+  if (capped_) {
+    out += " (report capped at " + std::to_string(cap_) + " diagnostics)";
+  }
+  out += '\n';
+  return out;
+}
+
+std::string DiagSink::render_json() const {
+  std::string out = "{\n";
+  out += std::string("  \"ok\": ") + (ok() ? "true" : "false") + ",\n";
+  out += "  \"errors\": " + std::to_string(error_count()) + ",\n";
+  out += "  \"warnings\": " + std::to_string(warning_count()) + ",\n";
+  out += "  \"notes\": " + std::to_string(count(Severity::kNote)) + ",\n";
+  out += std::string("  \"capped\": ") + (capped_ ? "true" : "false") + ",\n";
+  out += "  \"diagnostics\": [";
+  for (size_t i = 0; i < diags_.size(); ++i) {
+    const Diag& d = diags_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"severity\": \"" + std::string(severity_name(d.severity)) +
+           "\", \"code\": \"" + json_escape(d.code) + "\", \"message\": \"" +
+           json_escape(d.message) + "\", \"deck\": \"" +
+           json_escape(d.loc.deck) + "\", \"card\": " +
+           std::to_string(d.loc.card) + ", \"colBegin\": " +
+           std::to_string(d.loc.col_begin) + ", \"colEnd\": " +
+           std::to_string(d.loc.col_end) + "}";
+  }
+  out += diags_.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+void DiagSink::throw_if_errors() const {
+  const Diag* first = first_error();
+  if (!first) return;
+  std::string context;
+  if (first->loc.card > 0) {
+    context = "card " + std::to_string(first->loc.card);
+  }
+  throw Error(first->code + ": " + first->message, context);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace feio

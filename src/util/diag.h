@@ -1,0 +1,107 @@
+// Structured diagnostics for deck processing.
+//
+// A 1970 batch run that dies on the first bad card wastes a full turnaround,
+// so every input layer reports problems as Diag records — severity, a stable
+// code such as "E-CARD-003", a message, and a SourceLoc pointing at the deck,
+// card and column range — collected into a DiagSink. Parsers recover and
+// continue after recording a diagnostic, so one run reports *all* deck
+// problems; the sink renders the result as a human report or as JSON for
+// machine consumption (`feio check --json`, `--diag-json`).
+//
+// The catalog of codes lives in docs/DIAGNOSTICS.md; codes are stable across
+// releases (messages may be reworded, codes may not be renumbered).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace feio {
+
+enum class Severity {
+  kNote = 0,
+  kWarning = 1,
+  kError = 2,
+};
+
+// "note", "warning" or "error".
+std::string_view severity_name(Severity s);
+
+// Where a diagnostic points: deck name (path or "<string>"), 1-based card
+// number and 1-based inclusive column range. Zero means "unknown"; a
+// default-constructed SourceLoc means the diagnostic is not card-related.
+struct SourceLoc {
+  std::string deck;
+  int card = 0;
+  int col_begin = 0;
+  int col_end = 0;
+
+  bool known() const { return !deck.empty() || card > 0; }
+  // "deck.b: card 12, cols 6-10" (omitting unknown parts).
+  std::string to_string() const;
+};
+
+struct Diag {
+  Severity severity = Severity::kError;
+  std::string code;     // stable, e.g. "E-CARD-003"
+  std::string message;  // human-readable, no trailing period
+  SourceLoc loc;
+
+  // One report line: "deck.b: card 4, cols 6-10: error E-CARD-001: ...".
+  std::string to_string() const;
+};
+
+// Collects diagnostics. Bounded: after `cap` records further diagnostics are
+// counted but dropped, and capped() turns true so recovering parsers can
+// stop chasing cascade errors on a hopeless deck.
+class DiagSink {
+ public:
+  static constexpr int kDefaultCap = 200;
+
+  explicit DiagSink(int cap = kDefaultCap);
+
+  void add(Diag d);
+  void error(std::string code, std::string message, SourceLoc loc = {});
+  void warning(std::string code, std::string message, SourceLoc loc = {});
+  void note(std::string code, std::string message, SourceLoc loc = {});
+
+  const std::vector<Diag>& diags() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+
+  // Counts include diagnostics dropped by the cap.
+  int count(Severity s) const;
+  int error_count() const { return count(Severity::kError); }
+  int warning_count() const { return count(Severity::kWarning); }
+  bool ok() const { return error_count() == 0; }
+  bool capped() const { return capped_; }
+
+  // First error-severity record, or nullptr when ok().
+  const Diag* first_error() const;
+
+  // Appends another sink's records (this sink's cap still applies).
+  void merge(const DiagSink& other);
+
+  // Human-readable report: one line per diagnostic plus a summary line
+  // ("2 errors, 1 warning."). Empty sink renders as "no diagnostics.".
+  std::string render_text() const;
+
+  // Machine-readable JSON document (object with "ok", "errors", "warnings",
+  // "notes", "capped" and a "diagnostics" array).
+  std::string render_json() const;
+
+  // Legacy bridge: throws feio::Error built from the first error when not
+  // ok(). Lets the historical fail-fast APIs wrap the recovering parsers.
+  void throw_if_errors() const;
+
+ private:
+  std::vector<Diag> diags_;
+  int cap_;
+  bool capped_ = false;
+  int counts_[3] = {0, 0, 0};
+};
+
+// Escapes a string for embedding in a JSON string literal (quotes not
+// included). Exposed for the CLI's ad-hoc JSON needs and for tests.
+std::string json_escape(std::string_view s);
+
+}  // namespace feio

@@ -1,0 +1,164 @@
+// Minimal JSON syntax validator for tests: accepts exactly one JSON value
+// (object/array/string/number/true/false/null) spanning the whole input.
+// Used to assert that DiagSink::render_json() and the CLI's --json output
+// are machine-parseable without pulling in a JSON library dependency.
+#pragma once
+
+#include <cctype>
+#include <string_view>
+
+namespace json_check {
+namespace detail {
+
+struct Parser {
+  std::string_view s;
+  size_t pos = 0;
+  int depth = 0;
+
+  bool done() const { return pos >= s.size(); }
+  char peek() const { return s[pos]; }
+
+  void skip_ws() {
+    while (!done() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                       peek() == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (s.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (done() || peek() != '"') return false;
+    ++pos;
+    while (!done()) {
+      const char c = s[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (done()) return false;
+        const char e = s[pos++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (done() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+              return false;
+            }
+            ++pos;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (done() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return false;
+    }
+    while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    return true;
+  }
+
+  bool number() {
+    if (!done() && peek() == '-') ++pos;
+    if (!digits()) return false;
+    if (!done() && peek() == '.') {
+      ++pos;
+      if (!digits()) return false;
+    }
+    if (!done() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!done() && (peek() == '+' || peek() == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth > 64) return false;
+    skip_ws();
+    if (done()) return false;
+    bool ok = false;
+    switch (peek()) {
+      case '{': {
+        ++pos;
+        skip_ws();
+        if (!done() && peek() == '}') {
+          ++pos;
+          ok = true;
+          break;
+        }
+        while (true) {
+          skip_ws();
+          if (!string()) return false;
+          skip_ws();
+          if (done() || s[pos++] != ':') return false;
+          if (!value()) return false;
+          skip_ws();
+          if (done()) return false;
+          const char c = s[pos++];
+          if (c == '}') {
+            ok = true;
+            break;
+          }
+          if (c != ',') return false;
+        }
+        break;
+      }
+      case '[': {
+        ++pos;
+        skip_ws();
+        if (!done() && peek() == ']') {
+          ++pos;
+          ok = true;
+          break;
+        }
+        while (true) {
+          if (!value()) return false;
+          skip_ws();
+          if (done()) return false;
+          const char c = s[pos++];
+          if (c == ']') {
+            ok = true;
+            break;
+          }
+          if (c != ',') return false;
+        }
+        break;
+      }
+      case '"':
+        ok = string();
+        break;
+      case 't':
+        ok = literal("true");
+        break;
+      case 'f':
+        ok = literal("false");
+        break;
+      case 'n':
+        ok = literal("null");
+        break;
+      default:
+        ok = number();
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace detail
+
+inline bool valid(std::string_view s) {
+  detail::Parser p{s};
+  if (!p.value()) return false;
+  p.skip_ws();
+  return p.done();
+}
+
+}  // namespace json_check

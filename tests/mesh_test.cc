@@ -254,8 +254,8 @@ TEST(ValidateTest, GoodMeshPasses) {
   TriMesh m = grid_mesh(3);
   m.classify_boundary();
   const ValidationReport rep = validate(m);
-  EXPECT_TRUE(rep.ok()) << (rep.errors.empty() ? "" : rep.errors[0]);
-  EXPECT_TRUE(rep.warnings.empty());
+  EXPECT_TRUE(rep.ok()) << (rep.errors().empty() ? "" : rep.errors()[0]);
+  EXPECT_TRUE(rep.warnings().empty());
 }
 
 TEST(ValidateTest, DetectsDuplicateElement) {
@@ -263,7 +263,7 @@ TEST(ValidateTest, DetectsDuplicateElement) {
   m.add_element(2, 0, 1);  // same nodes as element 0, rotated
   const ValidationReport rep = validate(m);
   ASSERT_FALSE(rep.ok());
-  EXPECT_NE(rep.errors[0].find("duplicate"), std::string::npos);
+  EXPECT_NE(rep.errors()[0].find("duplicate"), std::string::npos);
 }
 
 TEST(ValidateTest, DetectsZeroArea) {
@@ -287,7 +287,7 @@ TEST(ValidateTest, DetectsNonManifoldEdge) {
   m.add_element(0, 1, 4);  // edge (0,1) now in three elements
   const ValidationReport rep = validate(m);
   ASSERT_FALSE(rep.ok());
-  EXPECT_NE(rep.errors[0].find("shared by 3"), std::string::npos);
+  EXPECT_NE(rep.errors()[0].find("shared by 3"), std::string::npos);
 }
 
 TEST(ValidateTest, WarnsOnWrongBoundaryFlag) {
@@ -296,7 +296,7 @@ TEST(ValidateTest, WarnsOnWrongBoundaryFlag) {
   m.node(0).boundary = BoundaryKind::kInterior;  // wrong on purpose
   const ValidationReport rep = validate(m);
   EXPECT_TRUE(rep.ok());
-  EXPECT_FALSE(rep.warnings.empty());
+  EXPECT_FALSE(rep.warnings().empty());
 }
 
 TEST(ValidateTest, WarnsOnIsolatedNode) {
@@ -306,7 +306,7 @@ TEST(ValidateTest, WarnsOnIsolatedNode) {
   const ValidationReport rep = validate(m);
   EXPECT_TRUE(rep.ok());
   bool found = false;
-  for (const auto& w : rep.warnings) {
+  for (const auto& w : rep.warnings()) {
     if (w.find("no element") != std::string::npos) found = true;
   }
   EXPECT_TRUE(found);
@@ -322,7 +322,7 @@ TEST(ValidateTest, WarnsOnDisconnectedComponents) {
   const ValidationReport rep = validate(m);
   EXPECT_TRUE(rep.ok());
   bool found = false;
-  for (const auto& w : rep.warnings) {
+  for (const auto& w : rep.warnings()) {
     if (w.find("connected component") != std::string::npos) found = true;
   }
   EXPECT_TRUE(found);

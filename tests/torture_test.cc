@@ -1,0 +1,232 @@
+// Randomized torture harness: seeded mutations of valid Appendix B / C
+// fixture decks — truncation, byte corruption, card transposition and
+// deletion, out-of-range counts, NaN-ish reals — driven through the full
+// recovering parse + pipeline. The contract under test: the pipeline never
+// crashes, never hangs, and always ends with a structured report whose
+// JSON form parses. Run under ASan/UBSan in CI.
+#include <chrono>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "idlz/deck.h"
+#include "idlz/idlz.h"
+#include "json_check.h"
+#include "ospl/deck.h"
+#include "ospl/ospl.h"
+#include "scenarios/scenarios.h"
+#include "util/diag.h"
+
+namespace feio {
+namespace {
+
+constexpr int kIdlzSeeds = 350;
+constexpr int kOsplSeeds = 200;
+// Generous per-deck budget: mutated fixtures are tiny, so even under
+// sanitizers a healthy run takes milliseconds. Tripping this means a hang
+// regression, and the failing seed reproduces it.
+constexpr double kMaxSecondsPerDeck = 20.0;
+
+std::string base_idlz_deck() {
+  return idlz::write_deck(
+      {scenarios::fig02_rectangle(), scenarios::fig01_glass_joint()});
+}
+
+std::string base_ospl_deck() {
+  ospl::OsplCase c;
+  std::vector<double>* values = &c.values;
+  const int n = 5;
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      c.mesh.add_node({static_cast<double>(i), static_cast<double>(j)});
+      values->push_back(static_cast<double>(i + j));
+    }
+  }
+  for (int j = 0; j + 1 < n; ++j) {
+    for (int i = 0; i + 1 < n; ++i) {
+      const int a = j * n + i;
+      c.mesh.add_element(a, a + 1, a + n);
+      c.mesh.add_element(a + 1, a + n + 1, a + n);
+    }
+  }
+  c.mesh.classify_boundary();
+  c.title1 = "TORTURE BASE";
+  c.title2 = "5 X 5 GRID";
+  return ospl::write_deck(c);
+}
+
+std::vector<std::string> to_lines(const std::string& deck) {
+  std::vector<std::string> lines;
+  std::istringstream in(deck);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string from_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+size_t pick(std::mt19937& rng, size_t n) {
+  return n == 0 ? 0 : std::uniform_int_distribution<size_t>(0, n - 1)(rng);
+}
+
+// One random structural or textual mutation.
+std::string mutate_once(std::string deck, std::mt19937& rng) {
+  static const char kNoise[] =
+      "XZ*?-+.e 0123456789\t\x01\x7f()NAI";  // letters feed NAN/INF too
+  static const char* kSplices[] = {"NAN",   "INF",    "1E+99", "-.-",
+                                   "99999", "-99999", "+",     "1.2.3"};
+  switch (pick(rng, 10)) {
+    case 0: {  // truncate the deck
+      deck.resize(pick(rng, deck.size() + 1));
+      return deck;
+    }
+    case 1: {  // corrupt a few bytes
+      const size_t n = 1 + pick(rng, 8);
+      for (size_t i = 0; i < n && !deck.empty(); ++i) {
+        deck[pick(rng, deck.size())] = kNoise[pick(rng, sizeof kNoise - 1)];
+      }
+      return deck;
+    }
+    case 2: {  // delete a card
+      auto lines = to_lines(deck);
+      if (!lines.empty()) lines.erase(lines.begin() + static_cast<long>(pick(rng, lines.size())));
+      return from_lines(lines);
+    }
+    case 3: {  // duplicate a card
+      auto lines = to_lines(deck);
+      if (!lines.empty()) {
+        const size_t i = pick(rng, lines.size());
+        lines.insert(lines.begin() + static_cast<long>(i), lines[i]);
+      }
+      return from_lines(lines);
+    }
+    case 4: {  // transpose two cards
+      auto lines = to_lines(deck);
+      if (lines.size() >= 2) {
+        std::swap(lines[pick(rng, lines.size())],
+                  lines[pick(rng, lines.size())]);
+      }
+      return from_lines(lines);
+    }
+    case 5: {  // overwrite a 5-column field with an extreme integer
+      auto lines = to_lines(deck);
+      if (!lines.empty()) {
+        std::string& l = lines[pick(rng, lines.size())];
+        if (l.size() >= 5) {
+          const size_t col = 5 * pick(rng, l.size() / 5);
+          l.replace(col, 5, pick(rng, 2) ? "99999" : "-9999");
+        }
+      }
+      return from_lines(lines);
+    }
+    case 6: {  // splice a NaN-ish token at a random position
+      const char* token = kSplices[pick(rng, 8)];
+      const size_t at = pick(rng, deck.size() + 1);
+      deck.replace(at, std::min(std::char_traits<char>::length(token),
+                                deck.size() - at),
+                   token);
+      return deck;
+    }
+    case 7: {  // blank out a card
+      auto lines = to_lines(deck);
+      if (!lines.empty()) lines[pick(rng, lines.size())].clear();
+      return from_lines(lines);
+    }
+    case 8: {  // append garbage cards
+      const size_t n = 1 + pick(rng, 3);
+      for (size_t i = 0; i < n; ++i) {
+        deck += std::string(1 + pick(rng, 80), kNoise[pick(rng, sizeof kNoise - 1)]);
+        deck += '\n';
+      }
+      return deck;
+    }
+    default: {  // shift a line left by a column (field misalignment)
+      auto lines = to_lines(deck);
+      if (!lines.empty()) {
+        std::string& l = lines[pick(rng, lines.size())];
+        if (!l.empty()) l.erase(0, 1 + pick(rng, 3));
+      }
+      return from_lines(lines);
+    }
+  }
+}
+
+std::string mutate(const std::string& base, std::mt19937& rng) {
+  std::string deck = base;
+  const size_t rounds = 1 + pick(rng, 3);
+  for (size_t i = 0; i < rounds; ++i) deck = mutate_once(std::move(deck), rng);
+  return deck;
+}
+
+// The invariant every mutated deck must satisfy: the run finishes, in
+// bounded time, with a renderable report whose JSON form is valid.
+void expect_structured_report(const DiagSink& sink, int seed,
+                              double elapsed_s) {
+  EXPECT_LT(elapsed_s, kMaxSecondsPerDeck) << "hang at seed " << seed;
+  const std::string json = sink.render_json();
+  ASSERT_TRUE(json_check::valid(json)) << "seed " << seed << "\n" << json;
+  sink.render_text();  // must not throw either
+}
+
+TEST(TortureTest, IdlzSurvivesMutatedDecks) {
+  const std::string base = base_idlz_deck();
+  for (int seed = 0; seed < kIdlzSeeds; ++seed) {
+    std::mt19937 rng(static_cast<unsigned>(seed));
+    const std::string deck = mutate(base, rng);
+    const auto t0 = std::chrono::steady_clock::now();
+    DiagSink sink;
+    const auto cases = idlz::read_deck_string(deck, sink, "torture.b");
+    for (const auto& c : cases) {
+      if (sink.capped()) break;
+      idlz::run_checked(c, sink);
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    expect_structured_report(sink, seed, elapsed);
+  }
+}
+
+TEST(TortureTest, OsplSurvivesMutatedDecks) {
+  const std::string base = base_ospl_deck();
+  for (int seed = 0; seed < kOsplSeeds; ++seed) {
+    std::mt19937 rng(static_cast<unsigned>(1000000 + seed));
+    const std::string deck = mutate(base, rng);
+    const auto t0 = std::chrono::steady_clock::now();
+    DiagSink sink;
+    const ospl::OsplCase c = ospl::read_deck_string(deck, sink, "torture.c");
+    if (sink.ok()) ospl::run_checked(c, sink);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    expect_structured_report(sink, seed, elapsed);
+  }
+}
+
+// The unmutated fixtures themselves must be clean, or the tests above are
+// torturing an already-broken baseline.
+TEST(TortureTest, BaselinesAreClean) {
+  DiagSink sink;
+  const auto cases = idlz::read_deck_string(base_idlz_deck(), sink, "base.b");
+  EXPECT_EQ(cases.size(), 2u);
+  for (const auto& c : cases) idlz::run_checked(c, sink);
+  EXPECT_TRUE(sink.ok()) << sink.render_text();
+
+  DiagSink csink;
+  const ospl::OsplCase c = ospl::read_deck_string(base_ospl_deck(), csink);
+  ospl::run_checked(c, csink);
+  EXPECT_TRUE(csink.ok()) << csink.render_text();
+}
+
+}  // namespace
+}  // namespace feio

@@ -1,15 +1,23 @@
 // feio — command-line front end combining the two 1970 production programs.
 //
-//   feio idlz <deck> [--out DIR]      idealize from an Appendix B card deck
-//   feio ospl <deck> [--out DIR]      iso-plot from an Appendix C card deck
+//   feio idlz <deck> [--out DIR] [--diag-json FILE]
+//       idealize from an Appendix B card deck
+//   feio ospl <deck> [--out DIR] [--diag-json FILE]
+//       iso-plot from an Appendix C card deck
+//   feio check <deck> [--ospl] [--json] [--diag-json FILE]
+//       lint a deck without producing output: parse with error recovery,
+//       run the pipeline per data set, and report every problem found
 //   feio figures [--out DIR]          regenerate every paper figure
 //   feio mesh <deck> --off FILE       idealize and export the mesh as OFF
-//   feio help
+//   feio help | --help | -h
 //
-// Exit status 0 on success, 1 on any input error (message on stderr).
+// Exit status: 0 on success, 1 on input/deck errors (diagnostic report on
+// stderr), 2 on usage errors.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,21 +28,63 @@ using namespace feio;
 
 namespace {
 
+constexpr int kExitOk = 0;
+constexpr int kExitInput = 1;
+constexpr int kExitUsage = 2;
+
 struct Args {
   std::string command;
   std::string deck;
   std::string out_dir = "out";
   std::string off_path;
+  std::string diag_json_path;
+  bool check_ospl = false;
+  bool json = false;
 };
 
-int usage() {
-  std::fprintf(stderr,
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
                "usage:\n"
-               "  feio idlz <deck> [--out DIR]\n"
-               "  feio ospl <deck> [--out DIR]\n"
+               "  feio idlz <deck> [--out DIR] [--diag-json FILE]\n"
+               "  feio ospl <deck> [--out DIR] [--diag-json FILE]\n"
+               "  feio check <deck> [--ospl] [--json] [--diag-json FILE]\n"
                "  feio figures [--out DIR]\n"
-               "  feio mesh <deck> --off FILE\n");
-  return 1;
+               "  feio mesh <deck> --off FILE\n"
+               "  feio help\n"
+               "exit status: 0 success, 1 input/deck error, 2 usage error\n");
+}
+
+int usage() {
+  print_usage(stderr);
+  return kExitUsage;
+}
+
+// An ifstream on a directory opens "good" on Linux and only fails at the
+// first read; catch that up front so the report says E-IO-001, not a
+// misleading deck-truncation error.
+bool open_deck(const std::string& path, std::ifstream& in, DiagSink& sink) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) {
+    sink.error("E-IO-001", "cannot open deck '" + path + "'");
+    return false;
+  }
+  in.open(path);
+  if (!in.good()) {
+    sink.error("E-IO-001", "cannot open deck '" + path + "'");
+    return false;
+  }
+  return true;
+}
+
+bool ensure_out_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot create output directory '%s': %s\n",
+                 dir.c_str(), ec.message().c_str());
+    return false;
+  }
+  return true;
 }
 
 bool parse(int argc, char** argv, Args& args) {
@@ -46,6 +96,12 @@ bool parse(int argc, char** argv, Args& args) {
       args.out_dir = argv[++i];
     } else if (a == "--off" && i + 1 < argc) {
       args.off_path = argv[++i];
+    } else if (a == "--diag-json" && i + 1 < argc) {
+      args.diag_json_path = argv[++i];
+    } else if (a == "--ospl") {
+      args.check_ospl = true;
+    } else if (a == "--json") {
+      args.json = true;
     } else if (!a.empty() && a[0] != '-' && args.deck.empty()) {
       args.deck = a;
     } else {
@@ -55,57 +111,109 @@ bool parse(int argc, char** argv, Args& args) {
   return true;
 }
 
-std::vector<idlz::IdlzCase> load_idlz(const std::string& path) {
-  std::ifstream in(path);
-  FEIO_REQUIRE(in.good(), "cannot open deck '" + path + "'");
-  return idlz::read_deck(in);
+// Writes the JSON report when --diag-json was given; failure to write is
+// itself an input error worth reporting.
+bool write_diag_json(const Args& args, const DiagSink& sink) {
+  if (args.diag_json_path.empty()) return true;
+  std::ofstream out(args.diag_json_path);
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot write '%s'\n",
+                 args.diag_json_path.c_str());
+    return false;
+  }
+  out << sink.render_json();
+  return true;
+}
+
+// Prints the text report to stderr and returns the command's exit status.
+int finish(const Args& args, const DiagSink& sink) {
+  const bool wrote = write_diag_json(args, sink);
+  if (!sink.empty() || !sink.ok()) {
+    std::fprintf(stderr, "%s", sink.render_text().c_str());
+  }
+  if (!sink.ok() || !wrote) return kExitInput;
+  return kExitOk;
 }
 
 int run_idlz(const Args& args) {
-  if (args.deck.empty()) return usage();
+  DiagSink sink;
+  std::ifstream in;
+  if (!open_deck(args.deck, in, sink)) return finish(args, sink);
+  if (!ensure_out_dir(args.out_dir)) return kExitInput;
+  const std::vector<idlz::IdlzCase> cases =
+      idlz::read_deck(in, sink, args.deck);
   int set = 0;
-  for (const idlz::IdlzCase& c : load_idlz(args.deck)) {
+  for (const idlz::IdlzCase& c : cases) {
     ++set;
-    const idlz::IdlzResult r = idlz::run(c);
-    std::printf("%s", idlz::summarize(r).c_str());
+    const auto r = idlz::run_checked(c, sink);
+    if (!r) continue;  // failure recorded; keep processing later sets
+    std::printf("%s", idlz::summarize(*r).c_str());
     const std::string stem = args.out_dir + "/set" + std::to_string(set);
     if (c.options.make_plots) {
-      for (size_t p = 0; p < r.plots.size(); ++p) {
-        plot::write_svg(r.plots[p],
+      for (size_t p = 0; p < r->plots.size(); ++p) {
+        plot::write_svg(r->plots[p],
                         stem + "_plot" + std::to_string(p) + ".svg");
       }
-      std::printf("wrote %zu plots to %s_plot*.svg\n", r.plots.size(),
+      std::printf("wrote %zu plots to %s_plot*.svg\n", r->plots.size(),
                   stem.c_str());
     }
     if (c.options.punch_output) {
-      std::ofstream(stem + "_nodal.cards") << r.nodal_cards;
-      std::ofstream(stem + "_element.cards") << r.element_cards;
-      std::printf("punched %s_nodal.cards / %s_element.cards\n",
-                  stem.c_str(), stem.c_str());
+      std::ofstream(stem + "_nodal.cards") << r->nodal_cards;
+      std::ofstream(stem + "_element.cards") << r->element_cards;
+      std::printf("punched %s_nodal.cards / %s_element.cards\n", stem.c_str(),
+                  stem.c_str());
     }
-    std::ofstream(stem + "_listing.txt") << idlz::print_listing(r);
+    std::ofstream(stem + "_listing.txt") << idlz::print_listing(*r);
     std::printf("listing %s_listing.txt\n", stem.c_str());
   }
-  return 0;
+  return finish(args, sink);
 }
 
 int run_ospl(const Args& args) {
-  if (args.deck.empty()) return usage();
-  std::ifstream in(args.deck);
-  FEIO_REQUIRE(in.good(), "cannot open deck '" + args.deck + "'");
-  const ospl::OsplCase c = ospl::read_deck(in);
-  const ospl::OsplResult r = ospl::run(c);
+  DiagSink sink;
+  std::ifstream in;
+  if (!open_deck(args.deck, in, sink)) return finish(args, sink);
+  if (!ensure_out_dir(args.out_dir)) return kExitInput;
+  const ospl::OsplCase c = ospl::read_deck(in, sink, args.deck);
+  if (!sink.ok()) return finish(args, sink);
+  const auto r = ospl::run_checked(c, sink);
+  if (!r) return finish(args, sink);
   std::printf("%s\nvalues %g..%g, %s, %zu segments, %zu labels\n",
-              c.title1.c_str(), r.vmin, r.vmax,
-              ospl::interval_caption(r.delta).c_str(), r.segments.size(),
-              r.labels.accepted.size());
+              c.title1.c_str(), r->vmin, r->vmax,
+              ospl::interval_caption(r->delta).c_str(), r->segments.size(),
+              r->labels.accepted.size());
   const std::string path = args.out_dir + "/ospl.svg";
-  plot::write_svg(r.plot, path);
+  plot::write_svg(r->plot, path);
   std::printf("wrote %s\n", path.c_str());
-  return 0;
+  return finish(args, sink);
+}
+
+int run_check(const Args& args) {
+  DiagSink sink;
+  std::ifstream in;
+  if (!open_deck(args.deck, in, sink)) {
+    // fall through to the report below
+  } else if (args.check_ospl) {
+    const ospl::OsplCase c = ospl::read_deck(in, sink, args.deck);
+    if (sink.ok()) ospl::run_checked(c, sink);
+  } else {
+    const auto cases = idlz::read_deck(in, sink, args.deck);
+    for (const idlz::IdlzCase& c : cases) {
+      if (sink.capped()) break;
+      idlz::run_checked(c, sink);
+    }
+  }
+  if (!write_diag_json(args, sink)) return kExitInput;
+  if (args.json) {
+    std::printf("%s", sink.render_json().c_str());
+  } else {
+    std::printf("%s", sink.render_text().c_str());
+  }
+  return sink.ok() ? kExitOk : kExitInput;
 }
 
 int run_figures(const Args& args) {
+  if (!ensure_out_dir(args.out_dir)) return kExitInput;
   for (const auto& nc : scenarios::all_idealizations()) {
     const idlz::IdlzResult r = idlz::run(nc.c);
     plot::write_svg(plot::plot_mesh(r.mesh, nc.c.title),
@@ -124,23 +232,25 @@ int run_figures(const Args& args) {
       const ospl::OsplResult r = ospl::run(c);
       std::string slug = f.name;
       for (char& ch : slug) ch = ch == ' ' || ch == ',' ? '_' : ch;
-      plot::write_svg(r.plot,
-                      args.out_dir + "/" + a.id + "_" + slug + ".svg");
+      plot::write_svg(r.plot, args.out_dir + "/" + a.id + "_" + slug + ".svg");
     }
     std::printf("%-8s analysis plots written\n", a.id.c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
 int run_mesh(const Args& args) {
-  if (args.deck.empty() || args.off_path.empty()) return usage();
-  const auto cases = load_idlz(args.deck);
+  const auto cases = [&] {
+    std::ifstream in(args.deck);
+    FEIO_REQUIRE(in.good(), "cannot open deck '" + args.deck + "'");
+    return idlz::read_deck(in);
+  }();
   FEIO_REQUIRE(!cases.empty(), "deck has no data sets");
   const idlz::IdlzResult r = idlz::run(cases.front());
   mesh::write_off(r.mesh, args.off_path);
   std::printf("wrote %s (%d nodes, %d elements)\n", args.off_path.c_str(),
               r.mesh.num_nodes(), r.mesh.num_elements());
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
@@ -148,14 +258,32 @@ int run_mesh(const Args& args) {
 int main(int argc, char** argv) {
   Args args;
   if (!parse(argc, argv, args)) return usage();
+  if (args.command == "help" || args.command == "--help" ||
+      args.command == "-h") {
+    print_usage(stdout);
+    return kExitOk;
+  }
   try {
-    if (args.command == "idlz") return run_idlz(args);
-    if (args.command == "ospl") return run_ospl(args);
+    if (args.command == "idlz") {
+      if (args.deck.empty()) return usage();
+      return run_idlz(args);
+    }
+    if (args.command == "ospl") {
+      if (args.deck.empty()) return usage();
+      return run_ospl(args);
+    }
+    if (args.command == "check") {
+      if (args.deck.empty()) return usage();
+      return run_check(args);
+    }
     if (args.command == "figures") return run_figures(args);
-    if (args.command == "mesh") return run_mesh(args);
+    if (args.command == "mesh") {
+      if (args.deck.empty() || args.off_path.empty()) return usage();
+      return run_mesh(args);
+    }
     return usage();
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitInput;
   }
 }
