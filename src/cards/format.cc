@@ -198,6 +198,21 @@ double read_real_field(std::string_view field, int implied_decimals) {
   return v;
 }
 
+bool int_field_fits(long value, int width) {
+  char buf[64];
+  return std::snprintf(buf, sizeof buf, "%ld", value) <= width;
+}
+
+bool fixed_field_fits(double value, int width, int decimals) {
+  char buf[128];
+  return std::snprintf(buf, sizeof buf, "%.*f", decimals, value) <= width;
+}
+
+bool exp_field_fits(double value, int width, int decimals) {
+  char buf[128];
+  return std::snprintf(buf, sizeof buf, "%.*E", decimals, value) <= width;
+}
+
 std::string write_int_field(long value, int width) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%*ld", width, value);

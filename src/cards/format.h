@@ -70,6 +70,13 @@ double read_real_field(std::string_view field, int implied_decimals);
 
 // --- Field-level writing -------------------------------------------------
 
+// Whether a value can be written into its field without overflowing to
+// asterisks. Exposed so punch and the lint FORMAT checker can predict
+// overflow before a single corrupt card is emitted.
+bool int_field_fits(long value, int width);
+bool fixed_field_fits(double value, int width, int decimals);
+bool exp_field_fits(double value, int width, int decimals);
+
 // Right-justified integer in `width` columns; returns all asterisks when the
 // value does not fit (FORTRAN overflow convention).
 std::string write_int_field(long value, int width);

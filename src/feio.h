@@ -26,6 +26,9 @@
 #include "idlz/listing.h"     // IWYU pragma: export
 #include "idlz/punch.h"       // IWYU pragma: export
 #include "idlz/smooth.h"      // IWYU pragma: export
+#include "lint/lint.h"        // IWYU pragma: export
+#include "lint/rule.h"        // IWYU pragma: export
+#include "lint/sarif.h"       // IWYU pragma: export
 #include "mesh/bandwidth.h"   // IWYU pragma: export
 #include "mesh/io.h"          // IWYU pragma: export
 #include "mesh/quality.h"     // IWYU pragma: export

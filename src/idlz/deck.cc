@@ -103,6 +103,7 @@ std::vector<IdlzCase> read_deck(std::istream& in, DiagSink& sink,
       return cases;
     }
     IdlzCase c;
+    c.deck_name = deck_name;
     const auto title = reader.try_read(fmt_title(), sink);
     if (!title) return cases;
     c.title = join_title(*title);
@@ -137,6 +138,7 @@ std::vector<IdlzCase> read_deck(std::istream& in, DiagSink& sink,
       s.l2 = static_cast<int>(as_int((*t4)[4]));
       s.ntaprw = static_cast<int>(as_int((*t4)[5]));
       s.ntapcm = static_cast<int>(as_int((*t4)[6]));
+      s.card = reader.card_number();
       try {
         s.validate();
       } catch (const Error& e) {
@@ -150,6 +152,7 @@ std::vector<IdlzCase> read_deck(std::istream& in, DiagSink& sink,
       if (!t5) return cases;
       ShapingSpec spec;
       spec.subdivision_id = static_cast<int>(as_int((*t5)[0]));
+      spec.card = reader.card_number();
       bool known = false;
       for (const Subdivision& s : c.subdivisions) {
         if (s.id == spec.subdivision_id) known = true;
@@ -181,6 +184,7 @@ std::vector<IdlzCase> read_deck(std::istream& in, DiagSink& sink,
         line.p1 = {as_real((*t6)[4]), as_real((*t6)[5])};
         line.p2 = {as_real((*t6)[6]), as_real((*t6)[7])};
         line.radius = as_real((*t6)[8]);
+        line.card = reader.card_number();
         spec.lines.push_back(line);
       }
       c.shaping.push_back(std::move(spec));
@@ -190,10 +194,12 @@ std::vector<IdlzCase> read_deck(std::istream& in, DiagSink& sink,
                           c.options.nodal_format)) {
       return cases;
     }
+    c.options.nodal_format_card = reader.card_number();
     if (!read_format_card(reader, sink, kDefaultElementFormat,
                           c.options.element_format)) {
       return cases;
     }
+    c.options.element_format_card = reader.card_number();
     cases.push_back(std::move(c));
   }
   return cases;

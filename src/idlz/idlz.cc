@@ -115,6 +115,17 @@ std::optional<IdlzResult> run_checked(const IdlzCase& c, DiagSink& sink) {
   try {
     IdlzResult r = run(c);
     mesh::validate(r.mesh).merge_into(sink);
+    // Re-punch through the diagnosing overloads: a value too wide for its
+    // user FORMAT field becomes E-PUNCH-001 (pointing at the type-7 card)
+    // instead of a silently corrupt card in the output.
+    if (c.options.punch_output) {
+      r.nodal_cards = punch_nodal_cards(
+          r.mesh, c.options.nodal_format, sink,
+          {c.deck_name, c.options.nodal_format_card, 0, 0});
+      r.element_cards = punch_element_cards(
+          r.mesh, c.options.element_format, sink,
+          {c.deck_name, c.options.element_format_card, 0, 0});
+    }
     return r;
   } catch (const Error& e) {
     sink.error("E-IDLZ-006", prefix + e.what());

@@ -35,6 +35,10 @@ struct IdlzOptions {
   Limits limits = Limits::paper();
   std::string nodal_format = "(2F9.5,51X,I3,5X,I3)";
   std::string element_format = "(3I5,62X,I3)";
+  // 1-based deck card numbers of the two type-7 FORMAT cards (0 when the
+  // case was built programmatically); lint and punch diagnostics point here.
+  int nodal_format_card = 0;
+  int element_format_card = 0;
 };
 
 // One data set: a titled assemblage plus its shaping cards.
@@ -43,6 +47,9 @@ struct IdlzCase {
   IdlzOptions options;
   std::vector<Subdivision> subdivisions;
   std::vector<ShapingSpec> shaping;
+  // Name of the deck this case was read from ("<deck>" default label, a file
+  // path, or empty for programmatic cases); used to label diagnostics.
+  std::string deck_name;
 };
 
 struct IdlzResult {

@@ -1,43 +1,198 @@
 #include "idlz/punch.h"
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "cards/card_io.h"
 #include "util/error.h"
 
 namespace feio::idlz {
+namespace {
 
-std::string punch_nodal_cards(const mesh::TriMesh& mesh,
-                              const std::string& format) {
+// Overflow bookkeeping for one value-bearing FORMAT field across a whole
+// punch run: cards are punched by the hundreds, so the report aggregates to
+// one E-PUNCH-001 per field rather than one per corrupt card.
+struct FieldOverflow {
+  int count = 0;
+  int first_entity = 0;     // 1-based node/element number of first overflow
+  cards::Field first_value; // the value that did not fit
+};
+
+bool value_fits(const cards::Field& value, const cards::EditDescriptor& d) {
+  using cards::EditKind;
+  switch (d.kind) {
+    case EditKind::kInt:
+      if (std::holds_alternative<long>(value)) {
+        return cards::int_field_fits(std::get<long>(value), d.width);
+      }
+      return true;  // type mismatch is reported by encode(), not here
+    case EditKind::kFixed:
+    case EditKind::kExp: {
+      double v = 0.0;
+      if (std::holds_alternative<double>(value)) {
+        v = std::get<double>(value);
+      } else if (std::holds_alternative<long>(value)) {
+        v = static_cast<double>(std::get<long>(value));
+      } else {
+        return true;
+      }
+      return d.kind == EditKind::kFixed
+                 ? cards::fixed_field_fits(v, d.width, d.decimals)
+                 : cards::exp_field_fits(v, d.width, d.decimals);
+    }
+    default:
+      return true;
+  }
+}
+
+std::string field_value_string(const cards::Field& f) {
+  if (std::holds_alternative<long>(f)) {
+    return std::to_string(std::get<long>(f));
+  }
+  if (std::holds_alternative<double>(f)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%g", std::get<double>(f));
+    return buf;
+  }
+  return std::get<std::string>(f);
+}
+
+std::string descriptor_name(const cards::EditDescriptor& d) {
+  using cards::EditKind;
+  switch (d.kind) {
+    case EditKind::kInt:
+      return "I" + std::to_string(d.width);
+    case EditKind::kFixed:
+      return "F" + std::to_string(d.width) + "." + std::to_string(d.decimals);
+    case EditKind::kExp:
+      return "E" + std::to_string(d.width) + "." + std::to_string(d.decimals);
+    case EditKind::kAlpha:
+      return "A" + std::to_string(d.width);
+    default:
+      return std::to_string(d.width) + "X";
+  }
+}
+
+// Punches one card per entity, tracking per-field overflow when `overflow`
+// is supplied (one slot per value-bearing field).
+void punch_card(const std::vector<cards::Field>& values,
+                const cards::Format& fmt, int entity, cards::CardWriter& out,
+                std::vector<FieldOverflow>* overflow) {
+  if (overflow) {
+    size_t vi = 0;
+    for (const cards::EditDescriptor& d : fmt.descriptors()) {
+      if (d.kind == cards::EditKind::kSkip) continue;
+      const size_t field = vi++;
+      if (value_fits(values[field], d)) continue;
+      FieldOverflow& o = (*overflow)[field];
+      if (o.count == 0) {
+        o.first_entity = entity;
+        o.first_value = values[field];
+      }
+      ++o.count;
+    }
+  }
+  out.write(values, fmt);
+}
+
+// One E-PUNCH-001 per overflowing field, e.g. "element number 128 does not
+// fit I2 (field 4 of the element FORMAT); 29 of 128 cards punched as
+// asterisks".
+void report_overflow(const std::vector<FieldOverflow>& overflow,
+                     const cards::Format& fmt, const char* card_kind,
+                     const char* const field_names[], int total_cards,
+                     DiagSink& sink, const SourceLoc& loc) {
+  size_t vi = 0;
+  for (const cards::EditDescriptor& d : fmt.descriptors()) {
+    if (d.kind == cards::EditKind::kSkip) continue;
+    const size_t field = vi++;
+    const FieldOverflow& o = overflow[field];
+    if (o.count == 0) continue;
+    sink.error("E-PUNCH-001",
+               std::string(field_names[field]) + " " +
+                   field_value_string(o.first_value) + " of " + card_kind +
+                   " " + std::to_string(o.first_entity) + " does not fit " +
+                   descriptor_name(d) + " (field " +
+                   std::to_string(field + 1) + " of the " + card_kind +
+                   " FORMAT); " + std::to_string(o.count) + " of " +
+                   std::to_string(total_cards) +
+                   " cards punched as asterisks",
+               loc);
+  }
+}
+
+std::string punch_nodal(const mesh::TriMesh& mesh, const std::string& format,
+                        DiagSink* sink, const SourceLoc& loc) {
   const cards::Format fmt = cards::Format::parse(format);
   FEIO_REQUIRE(fmt.field_count() == 4,
                "nodal card FORMAT must carry 4 fields (X, Y, boundary, "
                "node number); got " +
                    std::to_string(fmt.field_count()));
   cards::CardWriter out;
+  std::vector<FieldOverflow> overflow(4);
   for (int i = 0; i < mesh.num_nodes(); ++i) {
     const mesh::Node& n = mesh.node(i);
-    out.write({n.pos.x, n.pos.y,
-               static_cast<long>(static_cast<int>(n.boundary)),
-               static_cast<long>(i + 1)},
-              fmt);
+    punch_card({n.pos.x, n.pos.y,
+                static_cast<long>(static_cast<int>(n.boundary)),
+                static_cast<long>(i + 1)},
+               fmt, i + 1, out, sink ? &overflow : nullptr);
+  }
+  if (sink) {
+    static const char* const kNames[] = {"X coordinate", "Y coordinate",
+                                         "boundary flag", "node number"};
+    report_overflow(overflow, fmt, "nodal", kNames, mesh.num_nodes(), *sink,
+                    loc);
   }
   return out.str();
 }
 
-std::string punch_element_cards(const mesh::TriMesh& mesh,
-                                const std::string& format) {
+std::string punch_element(const mesh::TriMesh& mesh, const std::string& format,
+                          DiagSink* sink, const SourceLoc& loc) {
   const cards::Format fmt = cards::Format::parse(format);
   FEIO_REQUIRE(fmt.field_count() == 4,
                "element card FORMAT must carry 4 fields (3 node numbers + "
                "element number); got " +
                    std::to_string(fmt.field_count()));
   cards::CardWriter out;
+  std::vector<FieldOverflow> overflow(4);
   for (int e = 0; e < mesh.num_elements(); ++e) {
     const mesh::Element& el = mesh.element(e);
-    out.write({static_cast<long>(el.n[0] + 1), static_cast<long>(el.n[1] + 1),
-               static_cast<long>(el.n[2] + 1), static_cast<long>(e + 1)},
-              fmt);
+    punch_card({static_cast<long>(el.n[0] + 1), static_cast<long>(el.n[1] + 1),
+                static_cast<long>(el.n[2] + 1), static_cast<long>(e + 1)},
+               fmt, e + 1, out, sink ? &overflow : nullptr);
+  }
+  if (sink) {
+    static const char* const kNames[] = {"node number", "node number",
+                                         "node number", "element number"};
+    report_overflow(overflow, fmt, "element", kNames, mesh.num_elements(),
+                    *sink, loc);
   }
   return out.str();
+}
+
+}  // namespace
+
+std::string punch_nodal_cards(const mesh::TriMesh& mesh,
+                              const std::string& format) {
+  return punch_nodal(mesh, format, nullptr, {});
+}
+
+std::string punch_element_cards(const mesh::TriMesh& mesh,
+                                const std::string& format) {
+  return punch_element(mesh, format, nullptr, {});
+}
+
+std::string punch_nodal_cards(const mesh::TriMesh& mesh,
+                              const std::string& format, DiagSink& sink,
+                              const SourceLoc& format_loc) {
+  return punch_nodal(mesh, format, &sink, format_loc);
+}
+
+std::string punch_element_cards(const mesh::TriMesh& mesh,
+                                const std::string& format, DiagSink& sink,
+                                const SourceLoc& format_loc) {
+  return punch_element(mesh, format, &sink, format_loc);
 }
 
 }  // namespace feio::idlz

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "mesh/tri_mesh.h"
+#include "util/diag.h"
 
 namespace feio::idlz {
 
@@ -28,5 +29,20 @@ std::string punch_nodal_cards(const mesh::TriMesh& mesh,
 std::string punch_element_cards(
     const mesh::TriMesh& mesh,
     const std::string& format = kDefaultElementFormat);
+
+// Diagnosing variants: a value that does not fit its FORMAT field is
+// reported as E-PUNCH-001 — one record per overflowing field, carrying the
+// first offending value and the total count — instead of silently punching
+// an asterisk-filled (and therefore unreadable) card. `format_loc` should
+// point at the type-7 card that supplied the FORMAT so the report leads the
+// analyst to the card to fix. The overflowing fields are still punched as
+// asterisks (the FORTRAN convention), but the error in the sink marks the
+// deck's punched output as unusable.
+std::string punch_nodal_cards(const mesh::TriMesh& mesh,
+                              const std::string& format, DiagSink& sink,
+                              const SourceLoc& format_loc = {});
+std::string punch_element_cards(const mesh::TriMesh& mesh,
+                                const std::string& format, DiagSink& sink,
+                                const SourceLoc& format_loc = {});
 
 }  // namespace feio::idlz

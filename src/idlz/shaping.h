@@ -29,12 +29,16 @@ struct ShapeLine {
   geom::Vec2 p1;            // actual location of end 1
   geom::Vec2 p2;            // actual location of end 2
   double radius = 0.0;      // 0 => straight; else CCW arc from end 1 to 2
+  // 1-based deck card number of this type-6 card (0 when programmatic).
+  int card = 0;
 };
 
 // The "type 5/6" cards for one subdivision.
 struct ShapingSpec {
   int subdivision_id = 0;   // matches Subdivision::id
   std::vector<ShapeLine> lines;
+  // 1-based deck card number of the type-5 header card (0 when programmatic).
+  int card = 0;
 };
 
 struct ShapingReport {

@@ -39,6 +39,9 @@ struct Subdivision {
   int l2 = 0;   // upper-right integer Y
   int ntaprw = 0;
   int ntapcm = 0;
+  // 1-based number of the type-4 card this subdivision came from; 0 when the
+  // case was built programmatically. Lets the lint rules point at the card.
+  int card = 0;
 
   int rows() const { return l2 - l1 + 1; }
   int cols() const { return k2 - k1 + 1; }

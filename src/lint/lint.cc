@@ -1,0 +1,85 @@
+// Whole-case and whole-deck lint drivers.
+#include "lint/lint.h"
+
+#include <sstream>
+#include <string>
+
+#include "idlz/deck.h"
+#include "ospl/deck.h"
+#include "util/error.h"
+
+namespace feio::lint {
+
+void lint_case(const idlz::IdlzCase& c, const LintOptions& opts,
+               DiagSink& sink) {
+  lint_subdivisions(c.subdivisions, c.deck_name, opts, sink);
+  lint_shaping(c, opts, sink);
+
+  const mesh::TriMesh* final_mesh = nullptr;
+  std::optional<idlz::IdlzResult> result;
+  if (opts.run_pipeline) {
+    // Dry run to obtain the idealization for the mesh/width rules. Plotting
+    // and punching are irrelevant here, and the arc restriction is relaxed
+    // so an L-SUB-005 deck still produces a mesh to lint — L-SUB-005 itself
+    // was already reported statically above.
+    idlz::IdlzCase dry = c;
+    dry.options.make_plots = false;
+    dry.options.punch_output = false;
+    dry.options.limits.max_arc_subtended_deg = 180.0;
+    try {
+      result = idlz::run(dry);
+    } catch (const Error& e) {
+      sink.error("E-IDLZ-006",
+                 "pipeline failed for data set '" + c.title +
+                     "': " + e.what(),
+                 {c.deck_name, 0, 0, 0});
+    } catch (const std::exception& e) {
+      sink.error("E-IDLZ-007",
+                 "internal failure for data set '" + c.title +
+                     "': " + e.what(),
+                 {c.deck_name, 0, 0, 0});
+    }
+    if (result) final_mesh = &result->mesh;
+  }
+
+  if (final_mesh) lint_mesh(*final_mesh, c, opts, sink);
+  lint_formats(c, final_mesh, opts, sink);
+}
+
+void lint_idlz_deck(std::istream& in, DiagSink& sink,
+                    const std::string& deck_name, const LintOptions& opts) {
+  const std::vector<idlz::IdlzCase> cases =
+      idlz::read_deck(in, sink, deck_name);
+  for (const idlz::IdlzCase& c : cases) {
+    if (sink.capped()) break;
+    lint_case(c, opts, sink);
+  }
+}
+
+void lint_idlz_string(const std::string& deck, DiagSink& sink,
+                      const std::string& deck_name, const LintOptions& opts) {
+  std::istringstream in(deck);
+  lint_idlz_deck(in, sink, deck_name, opts);
+}
+
+void lint_ospl_deck(std::istream& in, DiagSink& sink,
+                    const std::string& deck_name, const LintOptions& opts) {
+  const ospl::OsplCase c = ospl::read_deck(in, sink, deck_name);
+  if (c.mesh.num_nodes() > 0 && !sink.capped()) {
+    lint_ospl_case(c, opts, sink);
+  }
+}
+
+void lint_ospl_string(const std::string& deck, DiagSink& sink,
+                      const std::string& deck_name, const LintOptions& opts) {
+  std::istringstream in(deck);
+  lint_ospl_deck(in, sink, deck_name, opts);
+}
+
+int exit_code(const DiagSink& sink) {
+  if (sink.error_count() > 0) return 2;
+  if (sink.warning_count() > 0) return 1;
+  return 0;
+}
+
+}  // namespace feio::lint

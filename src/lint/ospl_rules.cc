@@ -1,0 +1,91 @@
+// L-OSPL-*: lints on an iso-plot case — contour interval DELTA against the
+// actual nodal-value range, and the zoom window against the mesh. A wrong
+// DELTA does not fail the OSPL run; it silently yields an empty or
+// unreadable plot, which is why these are lint findings rather than parse
+// errors.
+#include <algorithm>
+#include <string>
+
+#include "lint/lint.h"
+#include "ospl/interval.h"
+#include "util/strings.h"
+
+namespace feio::lint {
+
+void lint_ospl_case(const ospl::OsplCase& c, const LintOptions& opts,
+                    DiagSink& sink) {
+  // The type-1 header card carries DELTA in columns 51-60 and the window in
+  // columns 11-50 of (2I5,5F10.4).
+  const SourceLoc delta_loc{c.deck_name, c.header_card, 51, 60};
+  const SourceLoc window_loc{c.deck_name, c.header_card, 11, 50};
+
+  if (c.values.empty() || c.mesh.num_nodes() == 0) return;
+
+  const auto [lo_it, hi_it] =
+      std::minmax_element(c.values.begin(), c.values.end());
+  const double vmin = *lo_it;
+  const double vmax = *hi_it;
+
+  // L-OSPL-003: a negative interval never produces a level (the automatic
+  // rule only triggers on DELTA == 0).
+  if (c.delta < 0.0) {
+    sink.error("L-OSPL-003",
+               "contour interval DELTA = " + fixed(c.delta, 4) +
+                   " is negative; use 0 for the automatic interval",
+               delta_loc);
+  }
+
+  // L-OSPL-001: a flat field has no contours regardless of DELTA.
+  if (vmax <= vmin) {
+    sink.warning("L-OSPL-001",
+                 "all " + std::to_string(c.values.size()) +
+                     " nodal values equal " + fixed(vmin, 4) +
+                     "; no contours can be drawn",
+                 delta_loc);
+  } else if (c.delta > 0.0) {
+    // L-OSPL-002/004 only apply to an explicit interval; the automatic rule
+    // of Appendix D bounds the level count by construction.
+    const double lowest = ospl::lowest_contour(vmin, c.delta);
+    const double levels_in_range =
+        lowest > vmax ? 0.0 : (vmax - lowest) / c.delta + 1.0;
+    if (levels_in_range < 2.0) {
+      sink.warning(
+          "L-OSPL-002",
+          "contour interval DELTA = " + fixed(c.delta, 4) + " leaves " +
+              std::to_string(static_cast<int>(levels_in_range)) +
+              " contour level(s) inside the nodal-value range " +
+              fixed(vmin, 4) + " .. " + fixed(vmax, 4) +
+              " (automatic interval would be " +
+              fixed(ospl::auto_interval(vmin, vmax), 4) + ")",
+          delta_loc);
+    } else if (levels_in_range > opts.max_contour_levels) {
+      sink.warning(
+          "L-OSPL-004",
+          "contour interval DELTA = " + fixed(c.delta, 4) + " implies about " +
+              std::to_string(static_cast<long>(levels_in_range)) +
+              " contour levels over the range " + fixed(vmin, 4) + " .. " +
+              fixed(vmax, 4) + "; the plot will be solid ink",
+          delta_loc);
+    }
+  }
+
+  // L-OSPL-005: a window that misses the mesh clips away the entire plot.
+  if (c.window.valid() && c.mesh.num_nodes() > 0) {
+    const geom::BBox mesh_box = c.mesh.bounds();
+    const bool disjoint =
+        c.window.hi.x < mesh_box.lo.x || c.window.lo.x > mesh_box.hi.x ||
+        c.window.hi.y < mesh_box.lo.y || c.window.lo.y > mesh_box.hi.y;
+    if (disjoint) {
+      sink.warning("L-OSPL-005",
+                   "zoom window (" + fixed(c.window.lo.x, 4) + "," +
+                       fixed(c.window.lo.y, 4) + ")-(" +
+                       fixed(c.window.hi.x, 4) + "," +
+                       fixed(c.window.hi.y, 4) +
+                       ") does not intersect the mesh; the plot will be "
+                       "empty",
+                   window_loc);
+    }
+  }
+}
+
+}  // namespace feio::lint

@@ -1,0 +1,93 @@
+#include "lint/rule.h"
+
+namespace feio::lint {
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      // --- FORMAT rules: the type-7 punch FORMAT cards -------------------
+      {"L-FMT-001", Severity::kError, "format-field-arity",
+       "punch FORMAT does not carry exactly 4 value fields",
+       "Appendix B, card type 7"},
+      {"L-FMT-002", Severity::kError, "format-field-type",
+       "punch FORMAT field type cannot carry its datum (coordinate needs "
+       "F/E, counts need I)",
+       "Appendix B, card type 7"},
+      {"L-FMT-003", Severity::kError, "format-card-overflow",
+       "punch FORMAT record is wider than the 80-column card",
+       "Appendix B, card type 7"},
+      {"L-FMT-004", Severity::kError, "format-int-width",
+       "integer FORMAT field overflows at this idealization's node or "
+       "element count (punched as asterisks)",
+       "Appendix B, card type 7; Table 2"},
+      {"L-FMT-005", Severity::kWarning, "format-real-width",
+       "real FORMAT field cannot represent the mesh's coordinate range",
+       "Appendix B, card type 7"},
+      // --- Mesh rules: the idealization the deck produces ----------------
+      {"L-MESH-001", Severity::kWarning, "needle-elements",
+       "idealization contains needle-like elements the reform pass cannot "
+       "repair",
+       "Figures 9b/10a (needle-like corners)"},
+      {"L-MESH-002", Severity::kWarning, "unreferenced-nodes",
+       "nodes belong to no element",
+       "Appendix B (nodal cards feed the analysis)"},
+      {"L-MESH-003", Severity::kError, "inverted-elements",
+       "elements have clockwise (negative-area) node ordering",
+       "Appendix A (element generation)"},
+      {"L-MESH-004", Severity::kError, "duplicate-elements",
+       "two elements reference the same node set",
+       "Appendix A (element generation)"},
+      {"L-MESH-005", Severity::kWarning, "bandwidth-renumbering",
+       "a renumbering dry run cuts the coefficient-matrix bandwidth "
+       "substantially; set NONUMB = 1",
+       "section 'Numbering of nodal points' / Reference 2"},
+      // --- OSPL rules: the iso-plot deck ---------------------------------
+      {"L-OSPL-001", Severity::kWarning, "flat-field",
+       "all nodal values are equal; no contours can be drawn",
+       "Appendix D"},
+      {"L-OSPL-002", Severity::kWarning, "interval-exceeds-range",
+       "contour interval DELTA leaves fewer than two contour levels inside "
+       "the nodal-value range",
+       "Appendix C, card type 1; Appendix D"},
+      {"L-OSPL-003", Severity::kError, "negative-interval",
+       "contour interval DELTA is negative",
+       "Appendix C, card type 1"},
+      {"L-OSPL-004", Severity::kWarning, "degenerate-interval",
+       "contour interval DELTA produces an excessive number of contour "
+       "levels",
+       "Appendix C, card type 1; Appendix D"},
+      {"L-OSPL-005", Severity::kWarning, "window-misses-mesh",
+       "zoom window does not intersect the mesh",
+       "Appendix C, card type 1 (XMN/XMX/YMN/YMX)"},
+      // --- Subdivision rules: the type-4/5/6 cards -----------------------
+      {"L-SUB-001", Severity::kError, "grid-bounds",
+       "subdivision corner outside the integer grid (1..40 x 1..60)",
+       "Table 2 (NUMBER(41,61))"},
+      {"L-SUB-002", Severity::kError, "overlapping-subdivisions",
+       "two subdivisions cover common grid area (duplicate elements will be "
+       "generated)",
+       "Appendix A, General Restrictions"},
+      {"L-SUB-003", Severity::kWarning, "disconnected-assemblage",
+       "the subdivisions form more than one connected region",
+       "Appendix A (assemblage of subdivisions)"},
+      {"L-SUB-004", Severity::kWarning, "duplicate-subdivision-id",
+       "two type-4 cards carry the same subdivision number",
+       "Appendix B, card type 4"},
+      {"L-SUB-005", Severity::kError, "arc-subtends-over-90",
+       "shaping arc subtends more than 90 degrees",
+       "Appendix A, General Restriction 2"},
+      {"L-SUB-006", Severity::kError, "arc-radius-too-small",
+       "shaping arc radius is smaller than half the chord; no such arc "
+       "exists",
+       "Appendix B, card type 6"},
+  };
+  return kRules;
+}
+
+const Rule* find_rule(std::string_view code) {
+  for (const Rule& r : rules()) {
+    if (r.code == code) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace feio::lint

@@ -1,0 +1,35 @@
+// The lint rule registry.
+//
+// Every lint rule has a stable code (L-FMT-001, L-SUB-002, ...), a default
+// severity, a short kebab-case name, a one-line summary, and the paper
+// section the rule derives from. The registry is the single source of truth
+// consumed by the SARIF renderer (tool.driver.rules), by docs/LINTS.md, and
+// by tests that assert the catalog stays consistent.
+//
+// Codes are stable across releases: messages may be reworded, codes may not
+// be renumbered (same contract as docs/DIAGNOSTICS.md).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "util/diag.h"
+
+namespace feio::lint {
+
+struct Rule {
+  std::string_view code;      // "L-FMT-001"
+  Severity severity;          // default severity of findings
+  std::string_view name;      // "format-int-width" (SARIF rule name)
+  std::string_view summary;   // one-line description
+  std::string_view paper;     // provenance, e.g. "Appendix B, card type 7"
+};
+
+// All registered rules, sorted by code.
+const std::vector<Rule>& rules();
+
+// Registry lookup; nullptr for unknown codes (parse-time E-* diagnostics
+// are not lint rules and resolve to nullptr).
+const Rule* find_rule(std::string_view code);
+
+}  // namespace feio::lint

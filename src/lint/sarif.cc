@@ -1,0 +1,76 @@
+#include "lint/sarif.h"
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "lint/rule.h"
+
+namespace feio::lint {
+namespace {
+
+// SARIF levels: "error", "warning", "note".
+std::string_view sarif_level(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    default:
+      return "note";
+  }
+}
+
+void append_rules(std::ostringstream& out) {
+  out << "[";
+  bool first = true;
+  for (const Rule& r : rules()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"id\":\"" << r.code << "\",\"name\":\"" << json_escape(r.name)
+        << "\",\"shortDescription\":{\"text\":\"" << json_escape(r.summary)
+        << "\"},\"help\":{\"text\":\"" << json_escape(r.paper)
+        << "\"},\"defaultConfiguration\":{\"level\":\""
+        << sarif_level(r.severity) << "\"}}";
+  }
+  out << "]";
+}
+
+void append_result(std::ostringstream& out, const Diag& d) {
+  out << "{\"ruleId\":\"" << json_escape(d.code) << "\",\"level\":\""
+      << sarif_level(d.severity) << "\",\"message\":{\"text\":\""
+      << json_escape(d.message) << "\"}";
+  if (d.loc.known() && d.loc.card > 0) {
+    out << ",\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+        << "{\"uri\":\"" << json_escape(d.loc.deck)
+        << "\"},\"region\":{\"startLine\":" << d.loc.card;
+    if (d.loc.col_begin > 0) {
+      out << ",\"startColumn\":" << d.loc.col_begin
+          << ",\"endColumn\":" << d.loc.col_end + 1;
+    }
+    out << "}}}]";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string render_sarif(const DiagSink& sink) {
+  std::ostringstream out;
+  out << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+      << "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":"
+      << "{\"name\":\"feio-lint\",\"informationUri\":"
+      << "\"https://example.invalid/feio\",\"rules\":";
+  append_rules(out);
+  out << "}},\"results\":[";
+  bool first = true;
+  for (const Diag& d : sink.diags()) {
+    if (!first) out << ",";
+    first = false;
+    append_result(out, d);
+  }
+  out << "]}]}";
+  return out.str();
+}
+
+}  // namespace feio::lint

@@ -1,0 +1,23 @@
+// SARIF 2.1.0 rendering of a DiagSink.
+//
+// SARIF (Static Analysis Results Interchange Format) is the interchange
+// format CI systems ingest for inline annotations. One run object carries
+// the feio-lint tool with the full rule registry (lint/rule.h) and one
+// result per diagnostic; parse-time E-* diagnostics ride along as results
+// without a registered rule.
+#pragma once
+
+#include <string>
+
+#include "util/diag.h"
+
+namespace feio::lint {
+
+// Renders the sink as a complete SARIF 2.1.0 log (a single run). The
+// document is self-contained: tool.driver.rules lists every registered lint
+// rule with its default severity, and each result carries ruleId, level,
+// message, and — when the diagnostic points at a card — a physical location
+// with the deck as artifact and the card number as the region's line.
+std::string render_sarif(const DiagSink& sink);
+
+}  // namespace feio::lint

@@ -55,9 +55,11 @@ OsplCase read_deck(std::istream& in, DiagSink& sink,
                    const std::string& deck_name) {
   CardReader reader(in, deck_name);
   OsplCase c;
+  c.deck_name = deck_name;
 
   const auto t1 = reader.try_read(fmt_type1(), sink);
   if (!t1) return c;
+  c.header_card = reader.card_number();
   const long nn = as_int((*t1)[0]);
   const long ne = as_int((*t1)[1]);
   if (nn < 1 || nn > kMaxNodes) {

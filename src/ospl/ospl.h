@@ -41,6 +41,11 @@ struct OsplCase {
   double delta = 0.0;
   LabelOptions label_options;
   OsplLimits limits = OsplLimits::paper();
+  // Provenance when read from a deck (empty/0 for programmatic cases): deck
+  // label and 1-based number of the type-1 header card that carried DELTA
+  // and the window — lint diagnostics point here.
+  std::string deck_name;
+  int header_card = 0;
 };
 
 struct OsplResult {

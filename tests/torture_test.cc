@@ -15,6 +15,8 @@
 #include "idlz/deck.h"
 #include "idlz/idlz.h"
 #include "json_check.h"
+#include "lint/lint.h"
+#include "lint/sarif.h"
 #include "ospl/deck.h"
 #include "ospl/ospl.h"
 #include "scenarios/scenarios.h"
@@ -210,6 +212,47 @@ TEST(TortureTest, OsplSurvivesMutatedDecks) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     expect_structured_report(sink, seed, elapsed);
+  }
+}
+
+// The lint driver layers rule evaluation (including a pipeline dry run per
+// case) on top of the recovering parse; it must satisfy the same contract —
+// never crash, never hang, exit code in {0,1,2}, and both renderings (JSON
+// and SARIF) always valid.
+TEST(TortureTest, LintSurvivesMutatedIdlzDecks) {
+  const std::string base = base_idlz_deck();
+  for (int seed = 0; seed < kIdlzSeeds; ++seed) {
+    std::mt19937 rng(static_cast<unsigned>(2000000 + seed));
+    const std::string deck = mutate(base, rng);
+    const auto t0 = std::chrono::steady_clock::now();
+    DiagSink sink;
+    lint::lint_idlz_string(deck, sink, "torture.b");
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    expect_structured_report(sink, seed, elapsed);
+    const int code = lint::exit_code(sink);
+    EXPECT_GE(code, 0) << "seed " << seed;
+    EXPECT_LE(code, 2) << "seed " << seed;
+    ASSERT_TRUE(json_check::valid(lint::render_sarif(sink)))
+        << "seed " << seed;
+  }
+}
+
+TEST(TortureTest, LintSurvivesMutatedOsplDecks) {
+  const std::string base = base_ospl_deck();
+  for (int seed = 0; seed < kOsplSeeds; ++seed) {
+    std::mt19937 rng(static_cast<unsigned>(3000000 + seed));
+    const std::string deck = mutate(base, rng);
+    const auto t0 = std::chrono::steady_clock::now();
+    DiagSink sink;
+    lint::lint_ospl_string(deck, sink, "torture.c");
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    expect_structured_report(sink, seed, elapsed);
+    ASSERT_TRUE(json_check::valid(lint::render_sarif(sink)))
+        << "seed " << seed;
   }
 }
 

@@ -5,14 +5,19 @@
 //   feio ospl <deck> [--out DIR] [--diag-json FILE]
 //       iso-plot from an Appendix C card deck
 //   feio check <deck> [--ospl] [--json] [--diag-json FILE]
-//       lint a deck without producing output: parse with error recovery,
+//       check a deck without producing output: parse with error recovery,
 //       run the pipeline per data set, and report every problem found
+//   feio lint <deck> [--ospl] [--json | --sarif] [--diag-json FILE]
+//       static analysis: everything `check` reports plus the L-* lint
+//       rules (FORMAT overflow, overlapping subdivisions, >90-degree arcs,
+//       needle elements, bandwidth advice, contour-interval sanity)
 //   feio figures [--out DIR]          regenerate every paper figure
 //   feio mesh <deck> --off FILE       idealize and export the mesh as OFF
 //   feio help | --help | -h
 //
 // Exit status: 0 on success, 1 on input/deck errors (diagnostic report on
-// stderr), 2 on usage errors.
+// stderr), 2 on usage errors. `feio lint` refines this: 0 when the deck is
+// clean, 1 when it has warnings only, 2 when it has errors.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -40,6 +45,7 @@ struct Args {
   std::string diag_json_path;
   bool check_ospl = false;
   bool json = false;
+  bool sarif = false;
 };
 
 void print_usage(std::FILE* to) {
@@ -48,10 +54,13 @@ void print_usage(std::FILE* to) {
                "  feio idlz <deck> [--out DIR] [--diag-json FILE]\n"
                "  feio ospl <deck> [--out DIR] [--diag-json FILE]\n"
                "  feio check <deck> [--ospl] [--json] [--diag-json FILE]\n"
+               "  feio lint <deck> [--ospl] [--json | --sarif] "
+               "[--diag-json FILE]\n"
                "  feio figures [--out DIR]\n"
                "  feio mesh <deck> --off FILE\n"
                "  feio help\n"
-               "exit status: 0 success, 1 input/deck error, 2 usage error\n");
+               "exit status: 0 success, 1 input/deck error, 2 usage error\n"
+               "  feio lint: 0 clean, 1 warnings only, 2 errors\n");
 }
 
 int usage() {
@@ -102,6 +111,8 @@ bool parse(int argc, char** argv, Args& args) {
       args.check_ospl = true;
     } else if (a == "--json") {
       args.json = true;
+    } else if (a == "--sarif") {
+      args.sarif = true;
     } else if (!a.empty() && a[0] != '-' && args.deck.empty()) {
       args.deck = a;
     } else {
@@ -212,6 +223,31 @@ int run_check(const Args& args) {
   return sink.ok() ? kExitOk : kExitInput;
 }
 
+// `feio lint`: the static analyzer. Parse diagnostics and L-* lint findings
+// land in one sink and one report; the exit status encodes the worst
+// severity found (0 clean / 1 warnings / 2 errors).
+int run_lint(const Args& args) {
+  DiagSink sink;
+  std::ifstream in;
+  if (open_deck(args.deck, in, sink)) {
+    const lint::LintOptions opts;
+    if (args.check_ospl) {
+      lint::lint_ospl_deck(in, sink, args.deck, opts);
+    } else {
+      lint::lint_idlz_deck(in, sink, args.deck, opts);
+    }
+  }
+  if (!write_diag_json(args, sink)) return kExitUsage;
+  if (args.sarif) {
+    std::printf("%s", lint::render_sarif(sink).c_str());
+  } else if (args.json) {
+    std::printf("%s", sink.render_json().c_str());
+  } else {
+    std::printf("%s", sink.render_text().c_str());
+  }
+  return lint::exit_code(sink);
+}
+
 int run_figures(const Args& args) {
   if (!ensure_out_dir(args.out_dir)) return kExitInput;
   for (const auto& nc : scenarios::all_idealizations()) {
@@ -275,6 +311,10 @@ int main(int argc, char** argv) {
     if (args.command == "check") {
       if (args.deck.empty()) return usage();
       return run_check(args);
+    }
+    if (args.command == "lint") {
+      if (args.deck.empty()) return usage();
+      return run_lint(args);
     }
     if (args.command == "figures") return run_figures(args);
     if (args.command == "mesh") {
