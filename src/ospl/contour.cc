@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdint>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace feio::ospl {
 
@@ -25,24 +27,36 @@ void element_contour(const mesh::TriMesh& mesh,
     const bool j_above = sj >= level;
     if (i_above == j_above) continue;
     const double t = (level - si) / (sj - si);
+    // A crossing exactly at a corner (t = 0 or 1) must land exactly on the
+    // node position: lerp's a + (b-a)*t form can be off by an ulp, which
+    // would defeat the coincident-endpoint check below.
     pts[static_cast<size_t>(found)] =
-        geom::lerp(mesh.pos(i), mesh.pos(j), t);
+        t <= 0.0   ? mesh.pos(i)
+        : t >= 1.0 ? mesh.pos(j)
+                   : geom::lerp(mesh.pos(i), mesh.pos(j), t);
     edges[static_cast<size_t>(found)] = mesh::Edge(i, j);
     ++found;
   }
-  if (found == 2) {
+  if (found == 2 && pts[0] != pts[1]) {
+    // Coincident endpoints happen when the level equals the element's
+    // maximum at exactly one corner: both crossings collapse onto that
+    // vertex. A zero-length isogram draws nothing and would still attract
+    // a label, so it is dropped.
     out.push_back(ContourSegment{pts[0], pts[1], level, element, edges[0],
                                  edges[1]});
   }
 }
 
-std::vector<ContourSegment> extract_contours(
-    const mesh::TriMesh& mesh, const std::vector<double>& values,
-    const std::vector<double>& levels) {
-  FEIO_REQUIRE(static_cast<int>(values.size()) == mesh.num_nodes(),
-               "one value per node required");
-  std::vector<ContourSegment> out;
-  for (int e = 0; e < mesh.num_elements(); ++e) {
+namespace {
+
+// The serial per-element sweep over [begin, end): both the serial path and
+// every parallel chunk run exactly this, so the concatenation of chunk
+// buffers in chunk order is the serial output verbatim.
+void extract_range(const mesh::TriMesh& mesh,
+                   const std::vector<double>& values,
+                   const std::vector<double>& levels, int begin, int end,
+                   std::vector<ContourSegment>& out) {
+  for (int e = begin; e < end; ++e) {
     // "The number and size of the contours passing through the element are
     // determined" — skip levels outside the element's value range.
     const mesh::Element& el = mesh.element(e);
@@ -58,6 +72,35 @@ std::vector<ContourSegment> extract_contours(
       if (level < lo || level > hi) continue;
       element_contour(mesh, values, e, level, out);
     }
+  }
+}
+
+}  // namespace
+
+std::vector<ContourSegment> extract_contours(
+    const mesh::TriMesh& mesh, const std::vector<double>& values,
+    const std::vector<double>& levels, int threads) {
+  FEIO_REQUIRE(static_cast<int>(values.size()) == mesh.num_nodes(),
+               "one value per node required");
+  const int ne = mesh.num_elements();
+  const int chunks = util::chunk_count(ne, threads);
+  std::vector<ContourSegment> out;
+  if (chunks <= 1) {
+    extract_range(mesh, values, levels, 0, ne, out);
+    return out;
+  }
+  std::vector<std::vector<ContourSegment>> parts(
+      static_cast<size_t>(chunks));
+  util::parallel_chunks(
+      ne, chunks, [&](int c, std::int64_t begin, std::int64_t end) {
+        extract_range(mesh, values, levels, static_cast<int>(begin),
+                      static_cast<int>(end), parts[static_cast<size_t>(c)]);
+      });
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  out.reserve(total);
+  for (const auto& part : parts) {
+    out.insert(out.end(), part.begin(), part.end());
   }
   return out;
 }

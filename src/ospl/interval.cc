@@ -1,5 +1,6 @@
 #include "ospl/interval.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 
@@ -27,18 +28,30 @@ double auto_interval(double vmin, double vmax) {
 
 double lowest_contour(double vmin, double delta) {
   if (delta <= 0.0) return vmin;
-  return std::ceil(vmin / delta - 1e-12) * delta;
+  // The snap tolerance must scale with the ratio: for vmin ~ 1e5 and
+  // delta ~ 0.1 the ratio is ~1e6 and carries ~1e-10 of representation
+  // error, far beyond an absolute 1e-12 guard.
+  const double ratio = vmin / delta;
+  const double tol = 1e-12 * std::max(1.0, std::abs(ratio));
+  return std::ceil(ratio - tol) * delta;
 }
 
 std::vector<double> contour_levels(double vmin, double vmax, double delta,
                                    int max_levels) {
   std::vector<double> levels;
   if (delta <= 0.0 || vmax < vmin) return levels;
-  double level = lowest_contour(vmin, delta);
-  while (level <= vmax + 1e-12 * std::abs(delta) &&
-         static_cast<int>(levels.size()) < max_levels) {
+  const double lowest = lowest_contour(vmin, delta);
+  // Each level is computed directly as lowest + k*delta rather than by
+  // repeated addition: accumulated rounding on large offsets (vmin ~ 1e6,
+  // delta ~ 0.1) otherwise drifts past a delta-relative cutoff and drops
+  // the last level. The cutoff tolerance must likewise scale with the
+  // magnitude of the values, not of the interval.
+  const double tol =
+      1e-12 * std::max({std::abs(vmin), std::abs(vmax), std::abs(delta)});
+  for (int k = 0; k < max_levels; ++k) {
+    const double level = lowest + static_cast<double>(k) * delta;
+    if (level > vmax + tol) break;
     levels.push_back(level);
-    level += delta;
   }
   return levels;
 }

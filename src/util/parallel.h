@@ -1,0 +1,104 @@
+// Deterministic data parallelism for the embarrassingly parallel pipeline
+// stages (per-element contour extraction, per-subdivision assembly and
+// shaping, per-deck batch runs).
+//
+// Design rules, in priority order:
+//   1. Determinism. Work is split into a fixed number of *contiguous,
+//      index-ordered chunks*; callers merge per-chunk results in chunk
+//      order, which reconstructs exactly the serial order. Output is
+//      byte-identical for any thread count, including 1.
+//   2. No work stealing, no dynamic scheduling of chunk boundaries. The
+//      partition of [0, n) depends only on (n, chunks), never on timing.
+//   3. Exceptions propagate: every chunk runs to completion, then the
+//      exception of the *lowest-indexed* failing chunk is rethrown — the
+//      same exception a serial left-to-right sweep would have thrown first.
+//   4. Nested-free: a parallel_chunks() call made from inside a pool worker
+//      executes serially inline (same chunk partition, same order), so
+//      nested parallelism can never deadlock or oversubscribe.
+//
+// The library default is serial (default_threads() == 1): existing callers
+// see bit-identical behavior until `feio --threads N` or a programmatic
+// set_default_threads() opts in.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace feio::util {
+
+// Number of hardware execution contexts, always >= 1.
+int hardware_threads();
+
+// Process-wide default used when a `threads` argument is 0.
+//   n >= 1  use n threads;  n <= 0  use hardware_threads().
+// The initial default is 1 (serial).
+void set_default_threads(int n);
+int default_threads();
+
+// Resolves a user-facing threads argument:
+//   0 => default_threads(), negative => hardware_threads(), else n.
+int resolve_threads(int threads);
+
+// Number of chunks a range of n items is split into at a given thread
+// count: min(resolve_threads(threads), n), at least 1. Callers size their
+// per-chunk result buffers with this before calling parallel_chunks().
+int chunk_count(std::int64_t n, int threads);
+
+// A fixed-size pool of worker threads executing chunked jobs. The
+// submitting thread participates in its own job, so a pool of W workers
+// gives W+1-way parallelism and ThreadPool(0) is a valid (serial,
+// caller-only) pool.
+class ThreadPool {
+ public:
+  using ChunkBody = std::function<void(int chunk, std::int64_t begin,
+                                       std::int64_t end)>;
+
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  // Splits [0, n) into exactly `chunks` contiguous ranges (chunk c covers
+  // [n*c/chunks, n*(c+1)/chunks)) and runs body(c, begin, end) for every
+  // chunk, blocking until all complete. Empty ranges (n == 0) return
+  // without calling body. See the file comment for the exception and
+  // nesting contracts.
+  void run_chunks(std::int64_t n, int chunks, const ChunkBody& body);
+
+  // The process-wide pool used by the free functions below. Sized to
+  // hardware_threads() - 1 workers (the caller supplies the final lane).
+  static ThreadPool& shared();
+
+  // True when the calling thread is one of a ThreadPool's workers.
+  static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Runs body(c, begin, end) for each of `chunks` contiguous ranges of
+// [0, n) on the shared pool. `chunks` must come from chunk_count() (or be
+// any value >= 1); per-chunk buffers indexed by c and merged in ascending
+// c reproduce the serial order exactly.
+void parallel_chunks(std::int64_t n, int chunks,
+                     const ThreadPool::ChunkBody& body);
+
+// Runs fn(i) for every i in [0, n), chunked by chunk_count(n, threads).
+// fn must tolerate concurrent invocation for distinct i.
+void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn,
+                  int threads = 0);
+
+}  // namespace feio::util

@@ -84,6 +84,36 @@ TEST(IntervalTest, ContourLevelClamp) {
   EXPECT_EQ(contour_levels(0.0, 1e9, 1.0, 50).size(), 50u);
 }
 
+TEST(IntervalTest, LargeOffsetKeepsLastLevel) {
+  // Regression: with level += delta accumulation, drift on a 1e5 offset
+  // pushed the 5th level past the delta-relative cutoff and dropped it.
+  const auto levels = contour_levels(1e5, 1e5 + 0.4, 0.1);
+  ASSERT_EQ(levels.size(), 5u);
+  EXPECT_NEAR(levels.back(), 1e5 + 0.4, 1e-6);
+}
+
+TEST(IntervalTest, LargeOffsetLevelsAreExactMultiples) {
+  // Every level must be lowest + k*delta to machine precision relative to
+  // the value magnitude — accumulation used to lose ~1e-10 per step.
+  const auto levels = contour_levels(1e6, 1e6 + 1.0, 0.1);
+  ASSERT_EQ(levels.size(), 11u);
+  const double lowest = lowest_contour(1e6, 0.1);
+  for (size_t k = 0; k < levels.size(); ++k) {
+    EXPECT_NEAR(levels[k], lowest + static_cast<double>(k) * 0.1, 1e-7)
+        << "level " << k;
+    if (k > 0) {
+      EXPECT_GT(levels[k], levels[k - 1]) << "duplicate at " << k;
+    }
+  }
+}
+
+TEST(IntervalTest, NegativeOffsetKeepsLastLevel) {
+  const auto levels = contour_levels(-1e5 - 0.4, -1e5, 0.1);
+  ASSERT_EQ(levels.size(), 5u);
+  EXPECT_NEAR(levels.front(), -1e5 - 0.4, 1e-6);
+  EXPECT_NEAR(levels.back(), -1e5, 1e-6);
+}
+
 // ---- Figure 12: per-element contouring -----------------------------------
 
 // Triangle with values 5, 15, 32 (like the paper's ABC example): interval
@@ -154,6 +184,41 @@ TEST(ContourTest, FlatTriangleProducesNothing) {
   EXPECT_TRUE(segs.empty());
 }
 
+TEST(ContourTest, LevelAtSingleCornerMaximumEmitsNothing) {
+  // Regression: when a contour level equals the element's maximum at
+  // exactly one corner, both half-open crossings collapse onto that vertex
+  // (t = 0 on one edge, t = 1 on the other) and a zero-length segment was
+  // emitted.
+  mesh::TriMesh m;
+  m.add_node({0, 0});
+  m.add_node({1, 0});
+  m.add_node({0, 1});
+  m.add_element(0, 1, 2);
+  std::vector<ContourSegment> segs;
+  element_contour(m, {0.0, 0.0, 1.0}, 0, 1.0, segs);
+  EXPECT_TRUE(segs.empty());
+  // Same through the per-level range filter of extract_contours.
+  EXPECT_TRUE(extract_contours(m, {0.0, 0.0, 1.0}, {1.0}).empty());
+}
+
+TEST(ContourTest, LevelAtSingleCornerMinimumStillCrosses) {
+  // The mirrored case — level equals the minimum at one corner — is a real
+  // crossing under the half-open rule (the corner sits on the "above" side)
+  // and must keep producing a full-length segment.
+  mesh::TriMesh m;
+  m.add_node({0, 0});
+  m.add_node({1, 0});
+  m.add_node({0, 1});
+  m.add_element(0, 1, 2);
+  std::vector<ContourSegment> segs;
+  element_contour(m, {0.0, 1.0, 1.0}, 0, 0.0, segs);
+  EXPECT_TRUE(segs.empty());  // all corners >= level: no below side
+  segs.clear();
+  element_contour(m, {0.0, 1.0, 2.0}, 0, 1.0, segs);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_NE(segs[0].a, segs[0].b);
+}
+
 TEST(ContourTest, ContinuityAcrossSharedEdge) {
   // Two triangles sharing an edge: the contour's crossing point on the
   // shared edge is identical from both sides.
@@ -217,6 +282,33 @@ TEST(ClipTest, StraddlingClipped) {
   EXPECT_EQ(s.b, (Vec2{2, 1}));
   EXPECT_LT(s.edge_a.a, 0);                  // clipped end loses its edge
   EXPECT_EQ(s.edge_b, mesh::Edge(1, 2));     // surviving end keeps it
+}
+
+TEST(ClipTest, PointDegenerateOnWindowBoundaryKept) {
+  // A zero-length segment exactly on the window edge (and corner): every
+  // p[i] is 0, so the parallel-outside rule alone decides. On the boundary
+  // all q >= 0 and the point survives unmoved, edges intact.
+  ContourSegment s;
+  s.a = {0, 2};
+  s.b = {0, 2};
+  s.edge_a = mesh::Edge(0, 1);
+  s.edge_b = mesh::Edge(0, 1);
+  ASSERT_TRUE(clip_segment({{0, 0}, {4, 4}}, s));
+  EXPECT_EQ(s.a, (Vec2{0, 2}));
+  EXPECT_EQ(s.b, (Vec2{0, 2}));
+  EXPECT_EQ(s.edge_a, mesh::Edge(0, 1));
+
+  ContourSegment corner;
+  corner.a = {4, 4};
+  corner.b = {4, 4};
+  EXPECT_TRUE(clip_segment({{0, 0}, {4, 4}}, corner));
+}
+
+TEST(ClipTest, PointDegenerateOutsideRejected) {
+  ContourSegment s;
+  s.a = {5, 2};
+  s.b = {5, 2};
+  EXPECT_FALSE(clip_segment({{0, 0}, {4, 4}}, s));
 }
 
 TEST(ClipTest, DiagonalThrough) {

@@ -1,0 +1,246 @@
+// Tests for util::ThreadPool / parallel_chunks / parallel_for, and for the
+// determinism contract of the parallelized pipeline stages: output must be
+// byte-identical for any thread count.
+#include "util/parallel.h"
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "idlz/deck.h"
+#include "idlz/idlz.h"
+#include "idlz/listing.h"
+#include "json_check.h"
+#include "ospl/contour.h"
+#include "ospl/interval.h"
+#include "scenarios/pipeline_bench.h"
+#include "util/diag.h"
+
+using namespace feio;
+
+namespace {
+
+// Restores the process default thread count on scope exit so tests cannot
+// leak a threaded default into each other.
+class ThreadsGuard {
+ public:
+  explicit ThreadsGuard(int n) : saved_(util::default_threads()) {
+    util::set_default_threads(n);
+  }
+  ~ThreadsGuard() { util::set_default_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST(ParallelTest, ChunkCountClampsToRangeAndThreads) {
+  EXPECT_EQ(util::chunk_count(0, 8), 1);
+  EXPECT_EQ(util::chunk_count(3, 8), 3);
+  EXPECT_EQ(util::chunk_count(100, 4), 4);
+  EXPECT_EQ(util::chunk_count(100, 1), 1);
+  ThreadsGuard guard(1);
+  EXPECT_EQ(util::chunk_count(100, 0), 1);  // threads=0 -> serial default
+}
+
+TEST(ParallelTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  const int n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  util::parallel_for(
+      n, [&](std::int64_t i) { hits[static_cast<size_t>(i)]++; }, 8);
+  for (int i = 0; i < n; ++i) EXPECT_EQ(hits[static_cast<size_t>(i)], 1);
+}
+
+TEST(ParallelTest, ZeroSizedRangeNeverCallsBody) {
+  std::atomic<int> calls{0};
+  util::parallel_for(0, [&](std::int64_t) { calls++; }, 8);
+  util::ThreadPool pool(2);
+  pool.run_chunks(0, 4, [&](int, std::int64_t, std::int64_t) { calls++; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelTest, ChunksAreContiguousOrderedAndTimingIndependent) {
+  util::ThreadPool pool(3);
+  const std::int64_t n = 103;
+  const int chunks = 7;
+  std::mutex mu;
+  std::vector<std::array<std::int64_t, 3>> seen;
+  pool.run_chunks(n, chunks, [&](int c, std::int64_t begin, std::int64_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back({c, begin, end});
+  });
+  ASSERT_EQ(seen.size(), static_cast<size_t>(chunks));
+  std::sort(seen.begin(), seen.end());
+  for (int c = 0; c < chunks; ++c) {
+    // The partition depends only on (n, chunks): chunk c is
+    // [n*c/chunks, n*(c+1)/chunks).
+    EXPECT_EQ(seen[static_cast<size_t>(c)][0], c);
+    EXPECT_EQ(seen[static_cast<size_t>(c)][1], n * c / chunks);
+    EXPECT_EQ(seen[static_cast<size_t>(c)][2], n * (c + 1) / chunks);
+  }
+}
+
+TEST(ParallelTest, LowestIndexedExceptionWinsAndAllChunksComplete) {
+  util::ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  try {
+    pool.run_chunks(100, 4, [&](int c, std::int64_t, std::int64_t) {
+      if (c == 1 || c == 3) throw std::runtime_error("chunk " + std::to_string(c));
+      completed++;
+    });
+    FAIL() << "expected the chunk-1 exception to propagate";
+  } catch (const std::runtime_error& e) {
+    // Chunk 1's error is what a serial left-to-right sweep would hit first.
+    EXPECT_STREQ(e.what(), "chunk 1");
+  }
+  EXPECT_EQ(completed, 2);  // chunks 0 and 2 still ran to completion
+}
+
+TEST(ParallelTest, PoolIsReusableAfterAnException) {
+  util::ThreadPool pool(2);
+  EXPECT_THROW(pool.run_chunks(10, 2,
+                               [](int, std::int64_t, std::int64_t) {
+                                 throw std::runtime_error("boom");
+                               }),
+               std::runtime_error);
+  std::atomic<std::int64_t> sum{0};
+  pool.run_chunks(10, 2, [&](int, std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ParallelTest, NestedCallFromWorkerRunsSerialInlineWithoutDeadlock) {
+  std::atomic<std::int64_t> total{0};
+  std::atomic<int> nested_on_worker{0};
+  util::parallel_for(
+      4,
+      [&](std::int64_t) {
+        if (util::ThreadPool::on_worker_thread()) nested_on_worker++;
+        // A nested parallel_for must fall back to inline-serial on worker
+        // threads; either way it must complete and visit every index.
+        std::int64_t local = 0;
+        util::parallel_for(
+            100, [&](std::int64_t i) { local += i; }, 4);
+        total += local;
+      },
+      4);
+  EXPECT_EQ(total, 4 * 4950);
+  if (util::hardware_threads() > 1) {
+    EXPECT_GT(nested_on_worker, 0);
+  }
+}
+
+// --- Determinism of the parallelized pipeline stages ----------------------
+
+std::vector<double> synthetic_field(const mesh::TriMesh& m) {
+  std::vector<double> values;
+  for (int i = 0; i < m.num_nodes(); ++i) {
+    const geom::Vec2 p = m.pos(i);
+    values.push_back(p.x * p.x + p.y * p.y +
+                     25.0 * std::sin(0.21 * p.x) * std::cos(0.17 * p.y));
+  }
+  return values;
+}
+
+void expect_segments_identical(const std::vector<ospl::ContourSegment>& a,
+                               const std::vector<ospl::ContourSegment>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Exact comparison on purpose: the contract is byte-identical output,
+    // not merely close output.
+    EXPECT_EQ(a[i].level, b[i].level) << "segment " << i;
+    EXPECT_EQ(a[i].element, b[i].element) << "segment " << i;
+    EXPECT_TRUE(a[i].a == b[i].a && a[i].b == b[i].b) << "segment " << i;
+  }
+}
+
+TEST(ParallelDeterminismTest, ContoursIdenticalAtOneTwoAndEightThreads) {
+  ThreadsGuard guard(1);
+  const idlz::IdlzCase c = scenarios::strip_case(12, 18, 3);
+  const idlz::IdlzResult r = idlz::run(c);
+  const std::vector<double> values = synthetic_field(r.mesh);
+  const double vmin = *std::min_element(values.begin(), values.end());
+  const double vmax = *std::max_element(values.begin(), values.end());
+  const std::vector<double> levels =
+      ospl::contour_levels(vmin, vmax, ospl::auto_interval(vmin, vmax));
+  const auto serial = ospl::extract_contours(r.mesh, values, levels, 1);
+  ASSERT_FALSE(serial.empty());
+  expect_segments_identical(
+      serial, ospl::extract_contours(r.mesh, values, levels, 2));
+  expect_segments_identical(
+      serial, ospl::extract_contours(r.mesh, values, levels, 8));
+}
+
+TEST(ParallelDeterminismTest, IdlzRunIdenticalSerialVsThreaded) {
+  const idlz::IdlzCase c = scenarios::strip_case(10, 12, 2);
+  std::string serial_listing, serial_nodal, serial_element;
+  {
+    ThreadsGuard guard(1);
+    const idlz::IdlzResult r = idlz::run(c);
+    serial_listing = idlz::print_listing(r);
+    serial_nodal = r.nodal_cards;
+    serial_element = r.element_cards;
+  }
+  for (int threads : {2, 8}) {
+    ThreadsGuard guard(threads);
+    const idlz::IdlzResult r = idlz::run(c);
+    EXPECT_EQ(idlz::print_listing(r), serial_listing) << threads << " threads";
+    EXPECT_EQ(r.nodal_cards, serial_nodal) << threads << " threads";
+    EXPECT_EQ(r.element_cards, serial_element) << threads << " threads";
+  }
+}
+
+// Mirrors the CLI batch loop: per-deck sinks and captured output merged in
+// input order.
+std::string run_batch(const std::vector<std::string>& decks, int threads) {
+  std::vector<std::string> outputs(decks.size());
+  util::parallel_for(
+      static_cast<std::int64_t>(decks.size()),
+      [&](std::int64_t i) {
+        DiagSink sink;
+        const auto cases = idlz::read_deck_string(
+            decks[static_cast<size_t>(i)], sink,
+            "deck" + std::to_string(i) + ".b");
+        std::string out;
+        for (const idlz::IdlzCase& c : cases) {
+          const auto r = idlz::run_checked(c, sink);
+          if (r) out += idlz::print_listing(*r);
+        }
+        out += sink.render_json();
+        outputs[static_cast<size_t>(i)] = out;
+      },
+      threads);
+  std::string merged;
+  for (const std::string& o : outputs) merged += o;
+  return merged;
+}
+
+TEST(ParallelDeterminismTest, DeckBatchIdenticalSerialVsThreaded) {
+  const std::vector<std::string> decks = {
+      idlz::write_deck({scenarios::strip_case(8, 10, 2)}),
+      idlz::write_deck({scenarios::strip_case(6, 12, 3)}),
+      idlz::write_deck({scenarios::strip_case(9, 9, 1)}),
+  };
+  const std::string serial = run_batch(decks, 1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(run_batch(decks, 4), serial);
+  EXPECT_EQ(run_batch(decks, 8), serial);
+}
+
+TEST(ParallelDeterminismTest, QuickBenchReportIsIdenticalAndValidJson) {
+  const scenarios::PipelineBenchReport report =
+      scenarios::run_pipeline_bench(/*threads=*/2, /*quick=*/true);
+  ASSERT_EQ(report.cases.size(), 4u);  // three stages + the deck batch
+  EXPECT_TRUE(report.all_identical());
+  const std::string json = report.render_json();
+  EXPECT_TRUE(json_check::valid(json)) << json;
+  EXPECT_NE(json.find("\"schema\": \"feio.bench.pipeline/1\""),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,33 +1,46 @@
 // feio — command-line front end combining the two 1970 production programs.
 //
-//   feio idlz <deck> [--out DIR] [--diag-json FILE]
-//       idealize from an Appendix B card deck
-//   feio ospl <deck> [--out DIR] [--diag-json FILE]
-//       iso-plot from an Appendix C card deck
-//   feio check <deck> [--ospl] [--json] [--diag-json FILE]
-//       check a deck without producing output: parse with error recovery,
+//   feio idlz <deck>... [--out DIR] [--threads N] [--diag-json FILE]
+//       idealize from Appendix B card decks; several decks form a batch
+//       processed concurrently (per-deck reports merged in input order)
+//   feio ospl <deck>... [--out DIR] [--threads N] [--diag-json FILE]
+//       iso-plot from Appendix C card decks
+//   feio check <deck>... [--ospl] [--json] [--threads N] [--diag-json FILE]
+//       check decks without producing output: parse with error recovery,
 //       run the pipeline per data set, and report every problem found
-//   feio lint <deck> [--ospl] [--json | --sarif] [--diag-json FILE]
+//   feio lint <deck>... [--ospl] [--json | --sarif] [--diag-json FILE]
 //       static analysis: everything `check` reports plus the L-* lint
 //       rules (FORMAT overflow, overlapping subdivisions, >90-degree arcs,
 //       needle elements, bandwidth advice, contour-interval sanity)
+//   feio bench [--quick] [--threads N] [--out DIR]
+//       time the parallel pipeline stages serial vs N threads and write
+//       the schema-stable BENCH_pipeline.json (see docs/BENCHMARKS.md)
 //   feio figures [--out DIR]          regenerate every paper figure
 //   feio mesh <deck> --off FILE       idealize and export the mesh as OFF
 //   feio help | --help | -h
 //
+// --threads N runs the parallel pipeline stages (contour extraction,
+// assembly, shaping, batch decks) on N threads; 0 means all hardware
+// threads. Output is byte-identical to a serial run for any N.
+//
 // Exit status: 0 on success, 1 on input/deck errors (diagnostic report on
 // stderr), 2 on usage errors. `feio lint` refines this: 0 when the deck is
-// clean, 1 when it has warnings only, 2 when it has errors.
+// clean, 1 when it has warnings only, 2 when it has errors. `feio bench`
+// exits 1 when the parallel output diverges from serial.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "feio.h"
+#include "scenarios/pipeline_bench.h"
 #include "scenarios/scenarios.h"
+#include "util/parallel.h"
 
 using namespace feio;
 
@@ -39,28 +52,37 @@ constexpr int kExitUsage = 2;
 
 struct Args {
   std::string command;
-  std::string deck;
+  std::vector<std::string> decks;
   std::string out_dir = "out";
   std::string off_path;
   std::string diag_json_path;
   bool check_ospl = false;
   bool json = false;
   bool sarif = false;
+  bool quick = false;
+  int threads = 1;           // --threads N; 0 = all hardware threads
+  bool threads_set = false;  // user passed --threads
+  bool out_set = false;      // user passed --out
 };
 
 void print_usage(std::FILE* to) {
   std::fprintf(to,
                "usage:\n"
-               "  feio idlz <deck> [--out DIR] [--diag-json FILE]\n"
-               "  feio ospl <deck> [--out DIR] [--diag-json FILE]\n"
-               "  feio check <deck> [--ospl] [--json] [--diag-json FILE]\n"
-               "  feio lint <deck> [--ospl] [--json | --sarif] "
+               "  feio idlz <deck>... [--out DIR] [--threads N] "
                "[--diag-json FILE]\n"
+               "  feio ospl <deck>... [--out DIR] [--threads N] "
+               "[--diag-json FILE]\n"
+               "  feio check <deck>... [--ospl] [--json] [--threads N] "
+               "[--diag-json FILE]\n"
+               "  feio lint <deck>... [--ospl] [--json | --sarif] "
+               "[--diag-json FILE]\n"
+               "  feio bench [--quick] [--threads N] [--out DIR]\n"
                "  feio figures [--out DIR]\n"
                "  feio mesh <deck> --off FILE\n"
                "  feio help\n"
                "exit status: 0 success, 1 input/deck error, 2 usage error\n"
-               "  feio lint: 0 clean, 1 warnings only, 2 errors\n");
+               "  feio lint: 0 clean, 1 warnings only, 2 errors\n"
+               "  feio bench: 1 when parallel output diverges from serial\n");
 }
 
 int usage() {
@@ -103,18 +125,26 @@ bool parse(int argc, char** argv, Args& args) {
     const std::string a = argv[i];
     if (a == "--out" && i + 1 < argc) {
       args.out_dir = argv[++i];
+      args.out_set = true;
     } else if (a == "--off" && i + 1 < argc) {
       args.off_path = argv[++i];
     } else if (a == "--diag-json" && i + 1 < argc) {
       args.diag_json_path = argv[++i];
+    } else if (a == "--threads" && i + 1 < argc) {
+      char* end = nullptr;
+      args.threads = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      if (end == nullptr || *end != '\0' || args.threads < 0) return false;
+      args.threads_set = true;
     } else if (a == "--ospl") {
       args.check_ospl = true;
     } else if (a == "--json") {
       args.json = true;
     } else if (a == "--sarif") {
       args.sarif = true;
-    } else if (!a.empty() && a[0] != '-' && args.deck.empty()) {
-      args.deck = a;
+    } else if (a == "--quick") {
+      args.quick = true;
+    } else if (!a.empty() && a[0] != '-') {
+      args.decks.push_back(a);
     } else {
       return false;
     }
@@ -146,106 +176,204 @@ int finish(const Args& args, const DiagSink& sink) {
   return kExitOk;
 }
 
-int run_idlz(const Args& args) {
-  DiagSink sink;
+// Per-deck output-file prefix for batch runs: the deck's basename (made
+// unique when two decks share one), empty for a single deck so existing
+// single-deck file names are unchanged.
+std::vector<std::string> deck_prefixes(const std::vector<std::string>& decks) {
+  std::vector<std::string> prefixes(decks.size());
+  if (decks.size() < 2) return prefixes;
+  std::set<std::string> seen;
+  for (size_t i = 0; i < decks.size(); ++i) {
+    std::string stem = std::filesystem::path(decks[i]).stem().string();
+    if (stem.empty()) stem = "deck";
+    if (!seen.insert(stem).second) stem += "-" + std::to_string(i + 1);
+    prefixes[i] = stem + "_";
+  }
+  return prefixes;
+}
+
+// Runs `body(i, sink_i, out_i)` for every deck — concurrently under
+// --threads — then replays the captured stdout text and merges the
+// per-deck sinks in input order, so a batch report is byte-identical to
+// processing the decks one by one.
+template <typename Body>
+int for_each_deck(const Args& args, const Body& body, DiagSink& merged) {
+  const size_t n = args.decks.size();
+  std::vector<DiagSink> sinks(n);
+  std::vector<std::string> outputs(n);
+  util::parallel_for(static_cast<std::int64_t>(n), [&](std::int64_t i) {
+    std::ostringstream out;
+    body(static_cast<size_t>(i), sinks[static_cast<size_t>(i)], out);
+    outputs[static_cast<size_t>(i)] = out.str();
+  });
+  for (size_t i = 0; i < n; ++i) {
+    std::fputs(outputs[i].c_str(), stdout);
+    merged.merge(sinks[i]);
+  }
+  return finish(args, merged);
+}
+
+void process_idlz_deck(const Args& args, const std::string& deck,
+                       const std::string& prefix, DiagSink& sink,
+                       std::ostream& out) {
   std::ifstream in;
-  if (!open_deck(args.deck, in, sink)) return finish(args, sink);
-  if (!ensure_out_dir(args.out_dir)) return kExitInput;
-  const std::vector<idlz::IdlzCase> cases =
-      idlz::read_deck(in, sink, args.deck);
+  if (!open_deck(deck, in, sink)) return;
+  const std::vector<idlz::IdlzCase> cases = idlz::read_deck(in, sink, deck);
   int set = 0;
   for (const idlz::IdlzCase& c : cases) {
     ++set;
     const auto r = idlz::run_checked(c, sink);
     if (!r) continue;  // failure recorded; keep processing later sets
-    std::printf("%s", idlz::summarize(*r).c_str());
-    const std::string stem = args.out_dir + "/set" + std::to_string(set);
+    out << idlz::summarize(*r);
+    const std::string stem =
+        args.out_dir + "/" + prefix + "set" + std::to_string(set);
     if (c.options.make_plots) {
       for (size_t p = 0; p < r->plots.size(); ++p) {
         plot::write_svg(r->plots[p],
                         stem + "_plot" + std::to_string(p) + ".svg");
       }
-      std::printf("wrote %zu plots to %s_plot*.svg\n", r->plots.size(),
-                  stem.c_str());
+      out << "wrote " << r->plots.size() << " plots to " << stem
+          << "_plot*.svg\n";
     }
     if (c.options.punch_output) {
       std::ofstream(stem + "_nodal.cards") << r->nodal_cards;
       std::ofstream(stem + "_element.cards") << r->element_cards;
-      std::printf("punched %s_nodal.cards / %s_element.cards\n", stem.c_str(),
-                  stem.c_str());
+      out << "punched " << stem << "_nodal.cards / " << stem
+          << "_element.cards\n";
     }
     std::ofstream(stem + "_listing.txt") << idlz::print_listing(*r);
-    std::printf("listing %s_listing.txt\n", stem.c_str());
+    out << "listing " << stem << "_listing.txt\n";
   }
-  return finish(args, sink);
+}
+
+int run_idlz(const Args& args) {
+  if (!ensure_out_dir(args.out_dir)) return kExitInput;
+  const std::vector<std::string> prefixes = deck_prefixes(args.decks);
+  DiagSink merged;
+  return for_each_deck(
+      args,
+      [&](size_t i, DiagSink& sink, std::ostream& out) {
+        process_idlz_deck(args, args.decks[i], prefixes[i], sink, out);
+      },
+      merged);
+}
+
+void process_ospl_deck(const Args& args, const std::string& deck,
+                       const std::string& prefix, DiagSink& sink,
+                       std::ostream& out) {
+  std::ifstream in;
+  if (!open_deck(deck, in, sink)) return;
+  const ospl::OsplCase c = ospl::read_deck(in, sink, deck);
+  if (!sink.ok()) return;
+  const auto r = ospl::run_checked(c, sink);
+  if (!r) return;
+  out << c.title1 << "\nvalues " << r->vmin << ".." << r->vmax << ", "
+      << ospl::interval_caption(r->delta) << ", " << r->segments.size()
+      << " segments, " << r->labels.accepted.size() << " labels\n";
+  const std::string path = args.out_dir + "/" + prefix + "ospl.svg";
+  plot::write_svg(r->plot, path);
+  out << "wrote " << path << "\n";
 }
 
 int run_ospl(const Args& args) {
-  DiagSink sink;
-  std::ifstream in;
-  if (!open_deck(args.deck, in, sink)) return finish(args, sink);
   if (!ensure_out_dir(args.out_dir)) return kExitInput;
-  const ospl::OsplCase c = ospl::read_deck(in, sink, args.deck);
-  if (!sink.ok()) return finish(args, sink);
-  const auto r = ospl::run_checked(c, sink);
-  if (!r) return finish(args, sink);
-  std::printf("%s\nvalues %g..%g, %s, %zu segments, %zu labels\n",
-              c.title1.c_str(), r->vmin, r->vmax,
-              ospl::interval_caption(r->delta).c_str(), r->segments.size(),
-              r->labels.accepted.size());
-  const std::string path = args.out_dir + "/ospl.svg";
-  plot::write_svg(r->plot, path);
-  std::printf("wrote %s\n", path.c_str());
-  return finish(args, sink);
+  const std::vector<std::string> prefixes = deck_prefixes(args.decks);
+  DiagSink merged;
+  return for_each_deck(
+      args,
+      [&](size_t i, DiagSink& sink, std::ostream& out) {
+        process_ospl_deck(args, args.decks[i], prefixes[i], sink, out);
+      },
+      merged);
 }
 
 int run_check(const Args& args) {
-  DiagSink sink;
-  std::ifstream in;
-  if (!open_deck(args.deck, in, sink)) {
-    // fall through to the report below
-  } else if (args.check_ospl) {
-    const ospl::OsplCase c = ospl::read_deck(in, sink, args.deck);
-    if (sink.ok()) ospl::run_checked(c, sink);
-  } else {
-    const auto cases = idlz::read_deck(in, sink, args.deck);
-    for (const idlz::IdlzCase& c : cases) {
-      if (sink.capped()) break;
-      idlz::run_checked(c, sink);
+  const size_t n = args.decks.size();
+  std::vector<DiagSink> sinks(n);
+  util::parallel_for(static_cast<std::int64_t>(n), [&](std::int64_t li) {
+    const size_t i = static_cast<size_t>(li);
+    DiagSink& sink = sinks[i];
+    std::ifstream in;
+    if (!open_deck(args.decks[i], in, sink)) return;
+    if (args.check_ospl) {
+      const ospl::OsplCase c = ospl::read_deck(in, sink, args.decks[i]);
+      if (sink.ok()) ospl::run_checked(c, sink);
+    } else {
+      const auto cases = idlz::read_deck(in, sink, args.decks[i]);
+      for (const idlz::IdlzCase& c : cases) {
+        if (sink.capped()) break;
+        idlz::run_checked(c, sink);
+      }
     }
-  }
-  if (!write_diag_json(args, sink)) return kExitInput;
+  });
+  DiagSink merged;
+  for (const DiagSink& sink : sinks) merged.merge(sink);
+  if (!write_diag_json(args, merged)) return kExitInput;
   if (args.json) {
-    std::printf("%s", sink.render_json().c_str());
+    std::printf("%s", merged.render_json().c_str());
   } else {
-    std::printf("%s", sink.render_text().c_str());
+    std::printf("%s", merged.render_text().c_str());
   }
-  return sink.ok() ? kExitOk : kExitInput;
+  return merged.ok() ? kExitOk : kExitInput;
 }
 
 // `feio lint`: the static analyzer. Parse diagnostics and L-* lint findings
 // land in one sink and one report; the exit status encodes the worst
 // severity found (0 clean / 1 warnings / 2 errors).
 int run_lint(const Args& args) {
-  DiagSink sink;
-  std::ifstream in;
-  if (open_deck(args.deck, in, sink)) {
+  const size_t n = args.decks.size();
+  std::vector<DiagSink> sinks(n);
+  util::parallel_for(static_cast<std::int64_t>(n), [&](std::int64_t li) {
+    const size_t i = static_cast<size_t>(li);
+    DiagSink& sink = sinks[i];
+    std::ifstream in;
+    if (!open_deck(args.decks[i], in, sink)) return;
     const lint::LintOptions opts;
     if (args.check_ospl) {
-      lint::lint_ospl_deck(in, sink, args.deck, opts);
+      lint::lint_ospl_deck(in, sink, args.decks[i], opts);
     } else {
-      lint::lint_idlz_deck(in, sink, args.deck, opts);
+      lint::lint_idlz_deck(in, sink, args.decks[i], opts);
     }
-  }
-  if (!write_diag_json(args, sink)) return kExitUsage;
+  });
+  DiagSink merged;
+  for (const DiagSink& sink : sinks) merged.merge(sink);
+  if (!write_diag_json(args, merged)) return kExitUsage;
   if (args.sarif) {
-    std::printf("%s", lint::render_sarif(sink).c_str());
+    std::printf("%s", lint::render_sarif(merged).c_str());
   } else if (args.json) {
-    std::printf("%s", sink.render_json().c_str());
+    std::printf("%s", merged.render_json().c_str());
   } else {
-    std::printf("%s", sink.render_text().c_str());
+    std::printf("%s", merged.render_text().c_str());
   }
-  return lint::exit_code(sink);
+  return lint::exit_code(merged);
+}
+
+int run_bench(const Args& args) {
+  // Without an explicit --threads, bench compares serial against all
+  // hardware threads (a 1-vs-1 comparison would measure nothing).
+  const int threads = args.threads_set ? args.threads : 0;
+  const scenarios::PipelineBenchReport report =
+      scenarios::run_pipeline_bench(threads, args.quick);
+  std::printf("%s", report.render_table().c_str());
+  std::string path = "BENCH_pipeline.json";
+  if (args.out_set) {
+    if (!ensure_out_dir(args.out_dir)) return kExitInput;
+    path = args.out_dir + "/BENCH_pipeline.json";
+  }
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+    return kExitInput;
+  }
+  out << report.render_json();
+  std::printf("wrote %s\n", path.c_str());
+  if (!report.all_identical()) {
+    std::fprintf(stderr,
+                 "error: parallel output diverged from serial (see %s)\n",
+                 path.c_str());
+    return kExitInput;
+  }
+  return kExitOk;
 }
 
 int run_figures(const Args& args) {
@@ -277,8 +405,8 @@ int run_figures(const Args& args) {
 
 int run_mesh(const Args& args) {
   const auto cases = [&] {
-    std::ifstream in(args.deck);
-    FEIO_REQUIRE(in.good(), "cannot open deck '" + args.deck + "'");
+    std::ifstream in(args.decks.front());
+    FEIO_REQUIRE(in.good(), "cannot open deck '" + args.decks.front() + "'");
     return idlz::read_deck(in);
   }();
   FEIO_REQUIRE(!cases.empty(), "deck has no data sets");
@@ -299,26 +427,28 @@ int main(int argc, char** argv) {
     print_usage(stdout);
     return kExitOk;
   }
+  util::set_default_threads(args.threads);
   try {
     if (args.command == "idlz") {
-      if (args.deck.empty()) return usage();
+      if (args.decks.empty()) return usage();
       return run_idlz(args);
     }
     if (args.command == "ospl") {
-      if (args.deck.empty()) return usage();
+      if (args.decks.empty()) return usage();
       return run_ospl(args);
     }
     if (args.command == "check") {
-      if (args.deck.empty()) return usage();
+      if (args.decks.empty()) return usage();
       return run_check(args);
     }
     if (args.command == "lint") {
-      if (args.deck.empty()) return usage();
+      if (args.decks.empty()) return usage();
       return run_lint(args);
     }
+    if (args.command == "bench") return run_bench(args);
     if (args.command == "figures") return run_figures(args);
     if (args.command == "mesh") {
-      if (args.deck.empty() || args.off_path.empty()) return usage();
+      if (args.decks.empty() || args.off_path.empty()) return usage();
       return run_mesh(args);
     }
     return usage();
