@@ -9,6 +9,7 @@
 
 #include "cards/card_io.h"    // IWYU pragma: export
 #include "cards/format.h"     // IWYU pragma: export
+#include "feio/api.h"         // IWYU pragma: export
 #include "fem/assembly.h"     // IWYU pragma: export
 #include "fem/banded.h"       // IWYU pragma: export
 #include "fem/contact.h"      // IWYU pragma: export
@@ -43,3 +44,6 @@
 #include "plot/svg.h"         // IWYU pragma: export
 #include "util/diag.h"        // IWYU pragma: export
 #include "util/error.h"       // IWYU pragma: export
+#include "util/metrics.h"     // IWYU pragma: export
+#include "util/report.h"      // IWYU pragma: export
+#include "util/trace.h"       // IWYU pragma: export

@@ -1,0 +1,17 @@
+#include "feio/api.h"
+
+namespace feio {
+
+std::optional<idlz::IdlzResult> run_idlz(const idlz::IdlzCase& c,
+                                         DiagSink& sink,
+                                         const RunOptions& opts) {
+  return idlz::run_checked(c, sink, opts);
+}
+
+std::optional<ospl::OsplResult> run_ospl(const ospl::OsplCase& c,
+                                         DiagSink& sink,
+                                         const RunOptions& opts) {
+  return ospl::run_checked(c, sink, opts);
+}
+
+}  // namespace feio

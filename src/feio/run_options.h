@@ -1,0 +1,55 @@
+// feio::RunOptions — the one options block both pipeline entry points
+// accept (PR 4 api_redesign). Lives in its own header, below idlz/ and
+// ospl/, so idlz.h and ospl.h can declare the overloads without an include
+// cycle; the user-facing façade is feio/api.h.
+#pragma once
+
+namespace feio::util {
+class MetricsRegistry;
+class Tracer;
+}  // namespace feio::util
+
+namespace feio {
+
+// Options applied to one pipeline run. Everything here defaults to "the
+// behavior the two-argument overloads always had", so
+// run_checked(c, sink, RunOptions{}) is exactly run_checked(c, sink).
+struct RunOptions {
+  // Worker threads for the parallel stages: 0 = the process default
+  // (util::default_threads()), >= 1 explicit, < 0 all hardware threads.
+  // Scoped to the call by adjusting the process default; concurrent runs
+  // should pass the same value (the CLI does).
+  int threads = 0;
+
+  // Observability sinks, both optional. Installed (scoped) as the process
+  // tracer/registry for the duration of the run; instrumentation never
+  // changes pipeline output, so traced runs stay byte-identical to
+  // untraced ones.
+  util::Tracer* tracer = nullptr;
+  util::MetricsRegistry* metrics = nullptr;
+
+  // Diag toggle: run mesh validation inside run_checked and merge its
+  // findings into the sink. Off for callers that validate separately.
+  bool validate_mesh = true;
+
+  // Output toggles, ANDed with the case's own IdlzOptions: false forces
+  // plots/punched cards off even when the deck asked for them (the lint
+  // dry run uses this; plotting and punching are irrelevant there).
+  bool make_plots = true;
+  bool punch = true;
+};
+
+// Deprecation switch for the pre-RunOptions two-argument overloads. On (1)
+// by default for one release so existing callers build warning-free;
+// configure with -DFEIO_ALLOW_DEPRECATED=0 to surface [[deprecated]]
+// warnings at every legacy call site.
+#ifndef FEIO_ALLOW_DEPRECATED
+#define FEIO_ALLOW_DEPRECATED 1
+#endif
+#if FEIO_ALLOW_DEPRECATED
+#define FEIO_DEPRECATED(msg)
+#else
+#define FEIO_DEPRECATED(msg) [[deprecated(msg)]]
+#endif
+
+}  // namespace feio

@@ -5,7 +5,9 @@
 #include "cards/card_io.h"
 #include "idlz/punch.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/strings.h"
+#include "util/trace.h"
 
 namespace feio::idlz {
 namespace {
@@ -80,8 +82,23 @@ bool read_format_card(CardReader& reader, DiagSink& sink,
 
 std::vector<IdlzCase> read_deck(std::istream& in, DiagSink& sink,
                                 const std::string& deck_name) {
+  FEIO_TRACE_SPAN(span, "idlz.read_deck");
+  span.arg("deck", deck_name);
   CardReader reader(in, deck_name);
   std::vector<IdlzCase> cases;
+  // Count whatever was parsed on every exit path, including recovery exits.
+  struct CountOnExit {
+    const std::vector<IdlzCase>& cases;
+    const CardReader& reader;
+    util::TraceSpan& span;
+    ~CountOnExit() {
+      FEIO_METRIC_ADD("idlz.cases_read",
+                      static_cast<std::int64_t>(cases.size()));
+      FEIO_METRIC_ADD("idlz.cards_read", reader.card_number());
+      span.arg("cases", static_cast<std::int64_t>(cases.size()));
+      span.arg("cards", reader.card_number());
+    }
+  } count_on_exit{cases, reader, span};
 
   const auto t1 = reader.try_read(fmt_i5(), sink);
   if (!t1) return cases;

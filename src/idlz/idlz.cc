@@ -9,32 +9,64 @@
 #include "mesh/quality.h"
 #include "mesh/validate.h"
 #include "plot/mesh_plot.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
 #include "util/strings.h"
+#include "util/trace.h"
 
 namespace feio::idlz {
 
-IdlzResult run(const IdlzCase& c) {
+IdlzResult run(const IdlzCase& c, const RunOptions& opts) {
+  util::ScopedTracerInstall tracer_scope(opts.tracer);
+  util::ScopedMetricsInstall metrics_scope(opts.metrics);
+  util::ScopedThreads threads_scope(opts.threads);
+
+  FEIO_TRACE_SPAN(run_span, "idlz.run");
+  run_span.arg("title", c.title);
+  FEIO_METRIC_ADD("idlz.cases_run", 1);
+
   IdlzResult r;
   r.title = c.title;
 
   // 1. Number the nodes and create the elements on the integer grid.
-  Assembly assembly =
-      assemble(c.subdivisions, c.options.limits, c.options.diagonals);
+  Assembly assembly = [&] {
+    FEIO_TRACE_SPAN(span, "idlz.assemble");
+    span.arg("subdivisions",
+             static_cast<std::int64_t>(c.subdivisions.size()));
+    return assemble(c.subdivisions, c.options.limits, c.options.diagonals);
+  }();
   r.initial = assembly.mesh;
+  FEIO_METRIC_ADD("idlz.nodes_numbered", assembly.mesh.num_nodes());
+  FEIO_METRIC_ADD("idlz.elements_created", assembly.mesh.num_elements());
 
   // 2. Shape: locate every node's rectangular coordinates.
-  r.shaping = shape(c.subdivisions, c.shaping, assembly, c.options.limits);
+  {
+    FEIO_TRACE_SPAN(span, "idlz.shape");
+    r.shaping = shape(c.subdivisions, c.shaping, assembly, c.options.limits);
+    span.arg("from_cards", r.shaping.nodes_from_cards);
+    span.arg("interpolated", r.shaping.nodes_interpolated);
+  }
   r.before_reform = assembly.mesh;
+  FEIO_METRIC_ADD("idlz.nodes_from_cards", r.shaping.nodes_from_cards);
+  FEIO_METRIC_ADD("idlz.nodes_interpolated", r.shaping.nodes_interpolated);
 
   // 3. Reform elements with needle-like corners.
   if (c.options.reform_elements) {
+    FEIO_TRACE_SPAN(span, "idlz.reform");
     r.reform = reform(assembly.mesh);
+    span.arg("flips", r.reform.flips);
+    span.arg("passes", r.reform.passes);
+    FEIO_METRIC_ADD("idlz.elements_reformed", r.reform.flips);
   }
 
   // 4. Optionally renumber the nodes to ensure a narrow bandwidth.
   if (c.options.renumber_nodes) {
+    FEIO_TRACE_SPAN(span, "idlz.renumber");
     r.renumbering = renumber(assembly.mesh, c.options.scheme);
+    span.arg("bandwidth_before", r.renumbering.bandwidth_before);
+    span.arg("bandwidth_after", r.renumbering.bandwidth_after);
     if (r.renumbering.applied) {
+      FEIO_METRIC_ADD("idlz.nodes_renumbered", assembly.mesh.num_nodes());
       const std::vector<int>& perm = r.renumbering.permutation;
       for (auto& nodes : assembly.subdivision_nodes) {
         for (int& n : nodes) n = perm[static_cast<size_t>(n)];
@@ -72,7 +104,8 @@ IdlzResult run(const IdlzCase& c) {
   r.volume.located_coordinates = static_cast<int>(card_ends.size());
 
   // 6. Optional plots (Figure 11): initial, final, per-subdivision numbered.
-  if (c.options.make_plots) {
+  if (c.options.make_plots && opts.make_plots) {
+    FEIO_TRACE_SPAN(span, "idlz.plots");
     r.plots.push_back(
         plot::plot_mesh(r.initial, c.title + " - INITIAL REPRESENTATION"));
     r.plots.push_back(
@@ -99,26 +132,38 @@ IdlzResult run(const IdlzCase& c) {
       plot::draw_mesh(part, p);
       r.plots.push_back(std::move(p));
     }
+    span.arg("plots", static_cast<std::int64_t>(r.plots.size()));
   }
 
   // 7. Optional punched output.
-  if (c.options.punch_output) {
+  if (c.options.punch_output && opts.punch) {
+    FEIO_TRACE_SPAN(span, "idlz.punch");
     r.nodal_cards = punch_nodal_cards(r.mesh, c.options.nodal_format);
     r.element_cards = punch_element_cards(r.mesh, c.options.element_format);
+    FEIO_METRIC_ADD("idlz.cards_punched",
+                    r.mesh.num_nodes() + r.mesh.num_elements());
   }
   return r;
 }
 
-std::optional<IdlzResult> run_checked(const IdlzCase& c, DiagSink& sink) {
+std::optional<IdlzResult> run_checked(const IdlzCase& c, DiagSink& sink,
+                                      const RunOptions& opts) {
+  util::ScopedTracerInstall tracer_scope(opts.tracer);
+  util::ScopedMetricsInstall metrics_scope(opts.metrics);
+  util::ScopedThreads threads_scope(opts.threads);
   const std::string prefix =
       c.title.empty() ? std::string() : "set '" + c.title + "': ";
   try {
-    IdlzResult r = run(c);
-    mesh::validate(r.mesh).merge_into(sink);
+    IdlzResult r = run(c, opts);
+    if (opts.validate_mesh) {
+      FEIO_TRACE_SPAN(span, "idlz.validate");
+      mesh::validate(r.mesh).merge_into(sink);
+    }
     // Re-punch through the diagnosing overloads: a value too wide for its
     // user FORMAT field becomes E-PUNCH-001 (pointing at the type-7 card)
     // instead of a silently corrupt card in the output.
-    if (c.options.punch_output) {
+    if (c.options.punch_output && opts.punch) {
+      FEIO_TRACE_SPAN(span, "idlz.punch_checked");
       r.nodal_cards = punch_nodal_cards(
           r.mesh, c.options.nodal_format, sink,
           {c.deck_name, c.options.nodal_format_card, 0, 0});

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "feio/run_options.h"
 #include "idlz/assembler.h"
 #include "idlz/reform.h"
 #include "idlz/renumber.h"
@@ -83,14 +84,27 @@ struct IdlzResult {
   std::string element_cards;
 };
 
-// Runs the IDLZ pipeline on one case. Throws feio::Error on invalid input.
-IdlzResult run(const IdlzCase& c);
+// Runs the IDLZ pipeline on one case under the given options (threads,
+// trace/metrics sinks, output toggles — see feio/run_options.h). Throws
+// feio::Error on invalid input.
+IdlzResult run(const IdlzCase& c, const RunOptions& opts);
 
 // Diagnosing variant: a pipeline failure becomes an E-IDLZ-006 record in
 // `sink` (nullopt returned) instead of a throw, and mesh-validation
 // findings on a successful run are merged into the same sink — so deck,
 // geometry and quality problems all land in one report.
-std::optional<IdlzResult> run_checked(const IdlzCase& c, DiagSink& sink);
+std::optional<IdlzResult> run_checked(const IdlzCase& c, DiagSink& sink,
+                                      const RunOptions& opts);
+
+// Pre-RunOptions overloads, kept as forwarding shims for one release; new
+// code should pass a RunOptions (or use feio::run_idlz from feio/api.h).
+inline IdlzResult run(const IdlzCase& c) { return run(c, RunOptions{}); }
+
+FEIO_DEPRECATED("pass a feio::RunOptions (see feio/api.h)")
+inline std::optional<IdlzResult> run_checked(const IdlzCase& c,
+                                             DiagSink& sink) {
+  return run_checked(c, sink, RunOptions{});
+}
 
 // Human-readable run summary (node/element counts, bandwidth before/after,
 // data-volume ratio) — the "printed listing" portion of IDLZ output.

@@ -4,30 +4,72 @@
 #include <sstream>
 #include <string>
 
+#include "feio/run_options.h"
 #include "idlz/deck.h"
 #include "ospl/deck.h"
 #include "util/error.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace feio::lint {
+namespace {
+
+// One span + finding counter per rule-family execution, so a trace shows
+// where a lint run spent its effort and `lint.findings` totals what the
+// rules (as opposed to the parsers) reported.
+class RuleFamilyScope {
+ public:
+  RuleFamilyScope(const char* name, const DiagSink& sink)
+      : span_(name), sink_(sink), before_(count(sink)) {}
+  ~RuleFamilyScope() {
+    const int found = count(sink_) - before_;
+    span_.arg("findings", found);
+    FEIO_METRIC_ADD("lint.findings", found);
+    FEIO_METRIC_ADD("lint.rule_family_runs", 1);
+  }
+
+ private:
+  static int count(const DiagSink& s) {
+    return s.error_count() + s.warning_count();
+  }
+
+  util::TraceSpan span_;
+  const DiagSink& sink_;
+  int before_;
+};
+
+}  // namespace
 
 void lint_case(const idlz::IdlzCase& c, const LintOptions& opts,
                DiagSink& sink) {
-  lint_subdivisions(c.subdivisions, c.deck_name, opts, sink);
-  lint_shaping(c, opts, sink);
+  FEIO_TRACE_SPAN(span, "lint.case");
+  span.arg("title", c.title);
+  FEIO_METRIC_ADD("lint.cases_linted", 1);
+  {
+    RuleFamilyScope scope("lint.rules.subdivisions", sink);
+    lint_subdivisions(c.subdivisions, c.deck_name, opts, sink);
+  }
+  {
+    RuleFamilyScope scope("lint.rules.shaping", sink);
+    lint_shaping(c, opts, sink);
+  }
 
   const mesh::TriMesh* final_mesh = nullptr;
   std::optional<idlz::IdlzResult> result;
   if (opts.run_pipeline) {
-    // Dry run to obtain the idealization for the mesh/width rules. Plotting
-    // and punching are irrelevant here, and the arc restriction is relaxed
-    // so an L-SUB-005 deck still produces a mesh to lint — L-SUB-005 itself
-    // was already reported statically above.
+    // Dry run to obtain the idealization for the mesh/width rules, through
+    // the RunOptions API with plots and punching toggled off (both are
+    // irrelevant here). The arc restriction is relaxed so an L-SUB-005
+    // deck still produces a mesh to lint — L-SUB-005 itself was already
+    // reported statically above.
+    FEIO_TRACE_SCOPE("lint.pipeline_dry_run");
     idlz::IdlzCase dry = c;
-    dry.options.make_plots = false;
-    dry.options.punch_output = false;
     dry.options.limits.max_arc_subtended_deg = 180.0;
+    RunOptions dry_opts;
+    dry_opts.make_plots = false;
+    dry_opts.punch = false;
     try {
-      result = idlz::run(dry);
+      result = idlz::run(dry, dry_opts);
     } catch (const Error& e) {
       sink.error("E-IDLZ-006",
                  "pipeline failed for data set '" + c.title +
@@ -42,8 +84,14 @@ void lint_case(const idlz::IdlzCase& c, const LintOptions& opts,
     if (result) final_mesh = &result->mesh;
   }
 
-  if (final_mesh) lint_mesh(*final_mesh, c, opts, sink);
-  lint_formats(c, final_mesh, opts, sink);
+  if (final_mesh) {
+    RuleFamilyScope scope("lint.rules.mesh", sink);
+    lint_mesh(*final_mesh, c, opts, sink);
+  }
+  {
+    RuleFamilyScope scope("lint.rules.formats", sink);
+    lint_formats(c, final_mesh, opts, sink);
+  }
 }
 
 void lint_idlz_deck(std::istream& in, DiagSink& sink,

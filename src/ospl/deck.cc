@@ -4,7 +4,9 @@
 
 #include "cards/card_io.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/strings.h"
+#include "util/trace.h"
 
 namespace feio::ospl {
 namespace {
@@ -53,9 +55,22 @@ constexpr long kMaxElements = 100000;
 
 OsplCase read_deck(std::istream& in, DiagSink& sink,
                    const std::string& deck_name) {
+  FEIO_TRACE_SPAN(span, "ospl.read_deck");
+  span.arg("deck", deck_name);
   CardReader reader(in, deck_name);
   OsplCase c;
   c.deck_name = deck_name;
+  struct CountOnExit {
+    const OsplCase& c;
+    const CardReader& reader;
+    util::TraceSpan& span;
+    ~CountOnExit() {
+      FEIO_METRIC_ADD("ospl.nodes_read", c.mesh.num_nodes());
+      FEIO_METRIC_ADD("ospl.cards_read", reader.card_number());
+      span.arg("nodes", c.mesh.num_nodes());
+      span.arg("cards", reader.card_number());
+    }
+  } count_on_exit{c, reader, span};
 
   const auto t1 = reader.try_read(fmt_type1(), sink);
   if (!t1) return c;

@@ -8,7 +8,10 @@
 #include "mesh/topology.h"
 #include "mesh/validate.h"
 #include "util/error.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
 #include "util/strings.h"
+#include "util/trace.h"
 
 namespace feio::ospl {
 
@@ -26,7 +29,15 @@ std::string interval_caption(double delta) {
   return "CONTOUR INTERVAL IS " + s;
 }
 
-OsplResult run(const OsplCase& c) {
+OsplResult run(const OsplCase& c, const RunOptions& opts) {
+  util::ScopedTracerInstall tracer_scope(opts.tracer);
+  util::ScopedMetricsInstall metrics_scope(opts.metrics);
+  util::ScopedThreads threads_scope(opts.threads);
+
+  FEIO_TRACE_SPAN(run_span, "ospl.run");
+  run_span.arg("title", c.title1);
+  FEIO_METRIC_ADD("ospl.cases_run", 1);
+
   FEIO_REQUIRE(c.mesh.num_nodes() > 0, "OSPL needs at least one node");
   FEIO_REQUIRE(static_cast<int>(c.values.size()) == c.mesh.num_nodes(),
                "one value per node required");
@@ -61,28 +72,49 @@ OsplResult run(const OsplCase& c) {
     r.vmax = *std::max_element(c.values.begin(), c.values.end());
   }
 
-  r.delta = c.delta > 0.0 ? c.delta : auto_interval(r.vmin, r.vmax);
-  r.lowest = lowest_contour(r.vmin, r.delta);
-  r.levels = contour_levels(r.vmin, r.vmax, r.delta);
+  {
+    FEIO_TRACE_SPAN(span, "ospl.interval");
+    r.delta = c.delta > 0.0 ? c.delta : auto_interval(r.vmin, r.vmax);
+    r.lowest = lowest_contour(r.vmin, r.delta);
+    r.levels = contour_levels(r.vmin, r.vmax, r.delta);
+    span.arg("levels", static_cast<std::int64_t>(r.levels.size()));
+  }
+  FEIO_METRIC_ADD("ospl.levels", static_cast<std::int64_t>(r.levels.size()));
 
   // Extract and clip contour segments.
-  std::vector<ContourSegment> raw =
-      extract_contours(c.mesh, c.values, r.levels);
-  for (ContourSegment& seg : raw) {
-    if (clip_segment(window, seg)) r.segments.push_back(seg);
+  {
+    FEIO_TRACE_SPAN(span, "ospl.contours");
+    std::vector<ContourSegment> raw =
+        extract_contours(c.mesh, c.values, r.levels);
+    for (ContourSegment& seg : raw) {
+      if (clip_segment(window, seg)) r.segments.push_back(seg);
+    }
+    span.arg("segments", static_cast<std::int64_t>(r.segments.size()));
+  }
+  FEIO_METRIC_ADD("ospl.segments_emitted",
+                  static_cast<std::int64_t>(r.segments.size()));
+  if (!r.levels.empty()) {
+    FEIO_METRIC_RECORD("ospl.segments_per_level",
+                       static_cast<double>(r.segments.size()) /
+                           static_cast<double>(r.levels.size()));
   }
 
   // Boundary: adjacent boundary nodes connected by straight lines.
-  const mesh::Topology topo(c.mesh);
-  std::set<mesh::Edge> boundary_edges(topo.boundary_edges().begin(),
-                                      topo.boundary_edges().end());
-  for (const mesh::Edge& e : topo.boundary_edges()) {
-    ContourSegment seg;
-    seg.a = c.mesh.pos(e.a);
-    seg.b = c.mesh.pos(e.b);
-    seg.edge_a = e;
-    seg.edge_b = e;
-    if (clip_segment(window, seg)) r.boundary.push_back(seg);
+  std::set<mesh::Edge> boundary_edges;
+  {
+    FEIO_TRACE_SPAN(span, "ospl.boundary");
+    const mesh::Topology topo(c.mesh);
+    boundary_edges.insert(topo.boundary_edges().begin(),
+                          topo.boundary_edges().end());
+    for (const mesh::Edge& e : topo.boundary_edges()) {
+      ContourSegment seg;
+      seg.a = c.mesh.pos(e.a);
+      seg.b = c.mesh.pos(e.b);
+      seg.edge_a = e;
+      seg.edge_b = e;
+      if (clip_segment(window, seg)) r.boundary.push_back(seg);
+    }
+    span.arg("edges", static_cast<std::int64_t>(boundary_edges.size()));
   }
 
   // Labels at contour-boundary intersections.
@@ -90,9 +122,16 @@ OsplResult run(const OsplCase& c) {
   if (label_opts.auto_decimals) {
     label_opts.decimals = decimals_for_interval(r.delta);
   }
-  r.labels = place_labels(r.segments, boundary_edges, window, label_opts);
+  {
+    FEIO_TRACE_SPAN(span, "ospl.labels");
+    r.labels = place_labels(r.segments, boundary_edges, window, label_opts);
+    span.arg("accepted", static_cast<std::int64_t>(r.labels.accepted.size()));
+  }
+  FEIO_METRIC_ADD("ospl.labels_placed",
+                  static_cast<std::int64_t>(r.labels.accepted.size()));
 
   // Assemble the drawing.
+  FEIO_TRACE_SCOPE("ospl.plot");
   r.plot.set_title(c.title1);
   r.plot.set_subtitle(c.title2.empty()
                           ? interval_caption(r.delta)
@@ -109,15 +148,23 @@ OsplResult run(const OsplCase& c) {
   return r;
 }
 
-std::optional<OsplResult> run_checked(const OsplCase& c, DiagSink& sink) {
-  const mesh::ValidationReport rep = mesh::validate(c.mesh);
-  rep.merge_into(sink);
-  if (!rep.ok()) {
-    sink.error("E-OSPL-005", "mesh failed validation; iso-plot not produced");
-    return std::nullopt;
+std::optional<OsplResult> run_checked(const OsplCase& c, DiagSink& sink,
+                                      const RunOptions& opts) {
+  util::ScopedTracerInstall tracer_scope(opts.tracer);
+  util::ScopedMetricsInstall metrics_scope(opts.metrics);
+  util::ScopedThreads threads_scope(opts.threads);
+  if (opts.validate_mesh) {
+    FEIO_TRACE_SPAN(span, "ospl.validate");
+    const mesh::ValidationReport rep = mesh::validate(c.mesh);
+    rep.merge_into(sink);
+    if (!rep.ok()) {
+      sink.error("E-OSPL-005",
+                 "mesh failed validation; iso-plot not produced");
+      return std::nullopt;
+    }
   }
   try {
-    return run(c);
+    return run(c, opts);
   } catch (const Error& e) {
     sink.error("E-OSPL-005", e.what());
     return std::nullopt;

@@ -5,11 +5,14 @@
 #include <cmath>
 #include <sstream>
 
+#include "feio/run_options.h"
 #include "idlz/deck.h"
 #include "idlz/listing.h"
 #include "ospl/contour.h"
 #include "ospl/interval.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/report.h"
 #include "util/strings.h"
 
 namespace feio::scenarios {
@@ -34,18 +37,6 @@ double time_min_ms(int reps, Fn&& fn) {
   }
   return best;
 }
-
-// Temporarily pins the process default thread count.
-class ThreadsGuard {
- public:
-  explicit ThreadsGuard(int n) : saved_(util::default_threads()) {
-    util::set_default_threads(n);
-  }
-  ~ThreadsGuard() { util::set_default_threads(saved_); }
-
- private:
-  int saved_;
-};
 
 // Exact fingerprint of a mesh (positions as bits, element triples): two
 // runs are byte-identical iff their fingerprints match.
@@ -102,12 +93,12 @@ Measurement measure(int reps, int threads, Fn&& work) {
   std::string serial_fp;
   std::string parallel_fp;
   {
-    ThreadsGuard guard(1);
+    util::ScopedThreads guard(1);
     serial_fp = work();  // warm-up + fingerprint
     m.serial_ms = time_min_ms(reps, [&] { work(); });
   }
   {
-    ThreadsGuard guard(threads);
+    util::ScopedThreads guard(threads);
     parallel_fp = work();
     m.parallel_ms = time_min_ms(reps, [&] { work(); });
   }
@@ -130,7 +121,7 @@ std::string process_deck_batch(const std::vector<std::string>& decks,
             "bench" + std::to_string(i) + ".b");
         std::ostringstream out;
         for (const idlz::IdlzCase& c : cases) {
-          const auto r = idlz::run_checked(c, sink);
+          const auto r = idlz::run_checked(c, sink, RunOptions{});
           if (r) out << idlz::print_listing(*r);
         }
         out << sink.render_json();
@@ -189,7 +180,8 @@ std::string PipelineBenchReport::render_json() const {
   out.precision(6);
   out << std::fixed;
   out << "{\n";
-  out << "  \"schema\": \"feio.bench.pipeline/1\",\n";
+  out << report_header_json("bench");
+  out << "  \"payload_schema\": \"feio.bench.pipeline/1\",\n";
   out << "  \"hardware_threads\": " << hardware_threads << ",\n";
   out << "  \"threads\": " << threads << ",\n";
   out << "  \"repetitions\": " << repetitions << ",\n";
@@ -209,7 +201,13 @@ std::string PipelineBenchReport::render_json() const {
         << ", \"speedup\": " << c.speedup
         << ", \"identical\": " << (c.identical ? "true" : "false") << "}";
   }
-  out << "\n  ]\n}\n";
+  out << (cases.empty() ? "],\n" : "\n  ],\n");
+  if (metrics_json.empty()) {
+    out << "  \"metrics\": {}\n";
+  } else {
+    out << "  \"metrics\": {\n" << metrics_json << "  }\n";
+  }
+  out << "}\n";
   return out.str();
 }
 
@@ -332,13 +330,13 @@ PipelineBenchReport run_pipeline_bench(int threads, bool quick) {
     double serial_ms = 0.0;
     double parallel_ms = 0.0;
     {
-      ThreadsGuard guard(1);
+      util::ScopedThreads guard(1);
       serial_fp = process_deck_batch(decks, 1);
       serial_ms =
           time_min_ms(report.repetitions, [&] { process_deck_batch(decks, 1); });
     }
     {
-      ThreadsGuard guard(report.threads);
+      util::ScopedThreads guard(report.threads);
       parallel_fp = process_deck_batch(decks, report.threads);
       parallel_ms = time_min_ms(report.repetitions, [&] {
         process_deck_batch(decks, report.threads);
@@ -349,6 +347,18 @@ PipelineBenchReport run_pipeline_bench(int threads, bool quick) {
                             serial_ms, parallel_ms,
                             serial_ms / std::max(parallel_ms, 1e-9),
                             serial_fp == parallel_fp});
+
+    // One metered batch pass, outside the timed loops so metering overhead
+    // never shows up in the reported times, supplies the report's embedded
+    // metrics snapshot (counter totals are thread-count-invariant; the
+    // parallel.* family is not — see docs/OBSERVABILITY.md).
+    {
+      util::MetricsRegistry metrics;
+      util::ScopedMetricsInstall install(&metrics);
+      util::ScopedThreads guard(report.threads);
+      process_deck_batch(decks, report.threads);
+      report.metrics_json = metrics.render_body_json(4);
+    }
   }
 
   return report;

@@ -6,9 +6,9 @@
 //
 // Every measurement also byte-compares the parallel output against the
 // serial output (`identical`), so the perf trajectory doubles as a
-// determinism check. The JSON rendering is schema-stable
-// ("feio.bench.pipeline/1", see docs/BENCHMARKS.md): fields may be added,
-// never renamed or removed.
+// determinism check. The JSON rendering is a feio.report/1 envelope of
+// kind "bench" whose payload is schema-stable ("feio.bench.pipeline/1",
+// see docs/BENCHMARKS.md): fields may be added, never renamed or removed.
 #pragma once
 
 #include <cstdint>
@@ -37,9 +37,14 @@ struct PipelineBenchReport {
   int repetitions = 1;  // timed repetitions; minimum is reported
   bool quick = false;
   std::vector<PipelineBenchCase> cases;
+  // Metrics body (util::MetricsRegistry::render_body_json(4)) from one
+  // metered batch pass, collected outside the timed loops so metering
+  // overhead never leaks into the reported times. Empty => rendered as {}.
+  std::string metrics_json;
 
   bool all_identical() const;
-  // Machine-readable document, schema "feio.bench.pipeline/1".
+  // Machine-readable document: feio.report/1 envelope, kind "bench",
+  // payload schema "feio.bench.pipeline/1".
   std::string render_json() const;
   // Human-readable table for stdout.
   std::string render_table() const;

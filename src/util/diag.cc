@@ -3,6 +3,8 @@
 #include <cstdio>
 
 #include "util/error.h"
+#include "util/metrics.h"
+#include "util/report.h"
 
 namespace feio {
 namespace {
@@ -50,6 +52,21 @@ std::string Diag::to_string() const {
 DiagSink::DiagSink(int cap) : cap_(cap < 1 ? 1 : cap) {}
 
 void DiagSink::add(Diag d) {
+  switch (d.severity) {
+    case Severity::kError:
+      FEIO_METRIC_ADD("diag.errors", 1);
+      break;
+    case Severity::kWarning:
+      FEIO_METRIC_ADD("diag.warnings", 1);
+      break;
+    case Severity::kNote:
+      FEIO_METRIC_ADD("diag.notes", 1);
+      break;
+  }
+  append(std::move(d));
+}
+
+void DiagSink::append(Diag d) {
   ++counts_[static_cast<int>(d.severity)];
   if (static_cast<int>(diags_.size()) >= cap_) {
     capped_ = true;
@@ -84,9 +101,11 @@ const Diag* DiagSink::first_error() const {
 
 void DiagSink::merge(const DiagSink& other) {
   int kept[3] = {0, 0, 0};
+  // append(), not add(): the records were metered when first recorded, so a
+  // merge must not count them into the metrics registry again.
   for (const Diag& d : other.diags_) {
     ++kept[static_cast<int>(d.severity)];
-    add(d);
+    append(d);
   }
   // Records the other sink dropped at its cap still deserve counting here.
   for (int s = 0; s < 3; ++s) counts_[s] += other.counts_[s] - kept[s];
@@ -116,6 +135,13 @@ std::string DiagSink::render_text() const {
   }
   out += '\n';
   return out;
+}
+
+std::string DiagSink::render_report_json(std::string_view kind) const {
+  const std::string body = render_json();
+  // render_json() always opens with "{\n"; splice the envelope members in
+  // so the payload fields stay byte-for-byte what legacy consumers expect.
+  return "{\n" + report_header_json(kind) + body.substr(2);
 }
 
 std::string DiagSink::render_json() const {

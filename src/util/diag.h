@@ -86,14 +86,25 @@ class DiagSink {
   std::string render_text() const;
 
   // Machine-readable JSON document (object with "ok", "errors", "warnings",
-  // "notes", "capped" and a "diagnostics" array).
+  // "notes", "capped" and a "diagnostics" array). This is the pre-envelope
+  // body shape; new consumers should use render_report_json().
   std::string render_json() const;
+
+  // The same document wrapped in the feio.report/1 envelope (util/report.h):
+  // "schema"/"kind"/"tool_version"/"generated_by" followed by the exact
+  // fields render_json() emits. `kind` is "diag" for parse/pipeline
+  // reports and "lint" for `feio lint` (same payload, different producer).
+  std::string render_report_json(std::string_view kind) const;
 
   // Legacy bridge: throws feio::Error built from the first error when not
   // ok(). Lets the historical fail-fast APIs wrap the recovering parsers.
   void throw_if_errors() const;
 
  private:
+  // add() without the metrics-registry accounting; merge() uses this so
+  // records metered at first recording are not counted twice.
+  void append(Diag d);
+
   std::vector<Diag> diags_;
   int cap_;
   bool capped_ = false;

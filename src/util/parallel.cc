@@ -5,6 +5,9 @@
 #include <exception>
 #include <memory>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace feio::util {
 namespace {
 
@@ -21,6 +24,22 @@ std::int64_t chunk_begin(std::int64_t n, int chunks, int c) {
 int hardware_threads() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);
+}
+
+bool parse_thread_count(std::string_view text, int& out) {
+  if (text == "all") {
+    out = 0;
+    return true;
+  }
+  if (text.empty() || text.size() > 9) return false;  // 9 digits can't overflow
+  long value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  if (value < 1) return false;
+  out = static_cast<int>(value);
+  return true;
 }
 
 void set_default_threads(int n) {
@@ -41,6 +60,17 @@ int resolve_threads(int threads) {
 int chunk_count(std::int64_t n, int threads) {
   const std::int64_t t = resolve_threads(threads);
   return static_cast<int>(std::max<std::int64_t>(1, std::min(t, n)));
+}
+
+ScopedThreads::ScopedThreads(int n) {
+  if (n == 0) return;
+  saved_ = default_threads();
+  active_ = true;
+  set_default_threads(n);
+}
+
+ScopedThreads::~ScopedThreads() {
+  if (active_) set_default_threads(saved_);
 }
 
 ThreadPool::ThreadPool(int workers) {
@@ -83,6 +113,21 @@ void ThreadPool::run_chunks(std::int64_t n, int chunks,
   const int c_total =
       static_cast<int>(std::min<std::int64_t>(std::max(chunks, 1), n));
 
+  // Chunk-boundary observability: each chunk gets a span on whatever
+  // thread (worker or submitter) executes it, plus scheduling metrics.
+  // Costs one atomic load per chunk when tracing/metrics are off; chunks
+  // are coarse, so this stays under the bench regression budget.
+  const ChunkBody traced_body = [&body](int c, std::int64_t begin,
+                                        std::int64_t end) {
+    FEIO_TRACE_SPAN(span, "parallel.chunk");
+    span.arg("chunk", c);
+    span.arg("items", end - begin);
+    FEIO_METRIC_ADD("parallel.chunks", 1);
+    FEIO_METRIC_RECORD("parallel.chunk_items",
+                       static_cast<double>(end - begin));
+    body(c, begin, end);
+  };
+
   // Serial path: one chunk, no workers, or a nested call from a worker
   // thread. Runs the *same* chunk partition in ascending order, so results
   // and exception choice match the parallel path exactly.
@@ -90,7 +135,8 @@ void ThreadPool::run_chunks(std::int64_t n, int chunks,
     std::exception_ptr first;
     for (int c = 0; c < c_total; ++c) {
       try {
-        body(c, chunk_begin(n, c_total, c), chunk_begin(n, c_total, c + 1));
+        traced_body(c, chunk_begin(n, c_total, c),
+                    chunk_begin(n, c_total, c + 1));
       } catch (...) {
         if (!first) first = std::current_exception();
       }
@@ -117,7 +163,7 @@ void ThreadPool::run_chunks(std::int64_t n, int chunks,
   auto batch = std::make_shared<Batch>();
   batch->n = n;
   batch->chunks = c_total;
-  batch->body = &body;
+  batch->body = &traced_body;
   batch->remaining.store(c_total, std::memory_order_relaxed);
   batch->errors.resize(static_cast<size_t>(c_total));
 

@@ -26,6 +26,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -33,6 +34,17 @@ namespace feio::util {
 
 // Number of hardware execution contexts, always >= 1.
 int hardware_threads();
+
+// The one valid-values message for a --threads flag; every front end that
+// rejects a value prints exactly this, so the CLI surface stays consistent.
+inline constexpr const char* kThreadsFlagError =
+    "--threads expects a positive integer or 'all'";
+
+// Parses a --threads flag value shared by every feio subcommand: a positive
+// decimal integer, or the literal "all" for every hardware thread (returned
+// as 0, the set_default_threads() convention for "all"). Zero, negatives,
+// junk, and empty values are rejected (returns false, `out` untouched).
+bool parse_thread_count(std::string_view text, int& out);
 
 // Process-wide default used when a `threads` argument is 0.
 //   n >= 1  use n threads;  n <= 0  use hardware_threads().
@@ -43,6 +55,23 @@ int default_threads();
 // Resolves a user-facing threads argument:
 //   0 => default_threads(), negative => hardware_threads(), else n.
 int resolve_threads(int threads);
+
+// Scoped override of the process default thread count, used by
+// feio::RunOptions: saves the current default, applies resolve-like
+// semantics (0 => leave the default untouched, < 0 => all hardware
+// threads, else n) and restores on destruction. The default is
+// process-global; concurrent overrides should use the same value.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n);
+  ~ScopedThreads();
+  ScopedThreads(const ScopedThreads&) = delete;
+  ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+ private:
+  int saved_ = 0;
+  bool active_ = false;
+};
 
 // Number of chunks a range of n items is split into at a given thread
 // count: min(resolve_threads(threads), n), at least 1. Callers size their

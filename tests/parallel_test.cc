@@ -38,6 +38,38 @@ class ThreadsGuard {
   int saved_;
 };
 
+TEST(ParallelTest, ParseThreadCountSharedFlagParser) {
+  int out = -1;
+  EXPECT_TRUE(util::parse_thread_count("1", out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(util::parse_thread_count("16", out));
+  EXPECT_EQ(out, 16);
+  EXPECT_TRUE(util::parse_thread_count("all", out));
+  EXPECT_EQ(out, 0);  // set_default_threads() convention for "all hardware"
+  out = 99;
+  EXPECT_FALSE(util::parse_thread_count("0", out));
+  EXPECT_FALSE(util::parse_thread_count("-2", out));
+  EXPECT_FALSE(util::parse_thread_count("", out));
+  EXPECT_FALSE(util::parse_thread_count("4x", out));
+  EXPECT_FALSE(util::parse_thread_count("ALL", out));
+  EXPECT_FALSE(util::parse_thread_count("1234567890", out));  // > 9 digits
+  EXPECT_EQ(out, 99);  // rejected values leave `out` untouched
+}
+
+TEST(ParallelTest, ScopedThreadsOverridesAndRestoresDefault) {
+  ThreadsGuard outer(1);
+  {
+    util::ScopedThreads scoped(3);
+    EXPECT_EQ(util::default_threads(), 3);
+    {
+      util::ScopedThreads noop(0);  // 0 = leave the default untouched
+      EXPECT_EQ(util::default_threads(), 3);
+    }
+    EXPECT_EQ(util::default_threads(), 3);
+  }
+  EXPECT_EQ(util::default_threads(), 1);
+}
+
 TEST(ParallelTest, ChunkCountClampsToRangeAndThreads) {
   EXPECT_EQ(util::chunk_count(0, 8), 1);
   EXPECT_EQ(util::chunk_count(3, 8), 3);
@@ -239,8 +271,13 @@ TEST(ParallelDeterminismTest, QuickBenchReportIsIdenticalAndValidJson) {
   EXPECT_TRUE(report.all_identical());
   const std::string json = report.render_json();
   EXPECT_TRUE(json_check::valid(json)) << json;
-  EXPECT_NE(json.find("\"schema\": \"feio.bench.pipeline/1\""),
+  EXPECT_NE(json.find("\"schema\": \"feio.report/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"payload_schema\": \"feio.bench.pipeline/1\""),
             std::string::npos);
+  // The embedded metrics snapshot from the metered batch pass.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"idlz.cases_run\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate feio's machine-readable output in CI.
+
+usage:
+  check_report.py report FILE [--kind KIND]   validate a feio.report/1 doc
+  check_report.py trace FILE                  validate a Chrome trace JSON
+
+`report` checks the shared envelope (schema/kind/tool_version/generated_by)
+plus the kind-specific required keys. `trace` checks the trace-event shape
+chrome://tracing and Perfetto load: a traceEvents array of B/E events with
+balanced begin/end per thread. Exits non-zero with a message on the first
+violation. Stdlib only.
+"""
+import json
+import sys
+
+REPORT_SCHEMA = "feio.report/1"
+REQUIRED_KEYS = {
+    "diag": ["ok", "errors", "warnings", "notes", "capped", "diagnostics"],
+    "lint": ["ok", "errors", "warnings", "notes", "capped", "diagnostics"],
+    "bench": ["payload_schema", "threads", "all_identical", "cases",
+              "metrics"],
+    "metrics": ["counters", "histograms"],
+}
+
+
+def fail(msg):
+    print(f"check_report: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_report(path, want_kind=None):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != REPORT_SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, want {REPORT_SCHEMA!r}")
+    kind = doc.get("kind")
+    if kind not in REQUIRED_KEYS:
+        fail(f"{path}: unknown kind {kind!r}")
+    if want_kind is not None and kind != want_kind:
+        fail(f"{path}: kind is {kind!r}, want {want_kind!r}")
+    if not doc.get("tool_version"):
+        fail(f"{path}: missing tool_version")
+    if doc.get("generated_by") != "feio":
+        fail(f"{path}: generated_by is {doc.get('generated_by')!r}")
+    for key in REQUIRED_KEYS[kind]:
+        if key not in doc:
+            fail(f"{path}: kind {kind} is missing required key {key!r}")
+    if kind == "bench":
+        if doc["payload_schema"] != "feio.bench.pipeline/1":
+            fail(f"{path}: payload_schema is {doc['payload_schema']!r}")
+        for case in doc["cases"]:
+            if not case.get("identical"):
+                fail(f"{path}: case {case.get('name')!r} not identical")
+    if kind == "metrics":
+        for name, value in doc["counters"].items():
+            if not isinstance(value, int):
+                fail(f"{path}: counter {name!r} is not an integer")
+        for name, hist in doc["histograms"].items():
+            if hist["count"] < 1 or sum(hist["buckets"]) != hist["count"]:
+                fail(f"{path}: histogram {name!r} buckets do not sum to count")
+    print(f"{path}: valid feio.report/1 kind={kind}")
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+    stacks = {}
+    for e in events:
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in e:
+                fail(f"{path}: event missing {key!r}: {e}")
+        if e["ph"] == "B":
+            stacks.setdefault(e["tid"], []).append(e["name"])
+        elif e["ph"] == "E":
+            stack = stacks.get(e["tid"], [])
+            if not stack or stack.pop() != e["name"]:
+                fail(f"{path}: unbalanced E event {e['name']!r} "
+                     f"on tid {e['tid']}")
+        else:
+            fail(f"{path}: unexpected phase {e['ph']!r}")
+    for tid, stack in stacks.items():
+        if stack:
+            fail(f"{path}: {len(stack)} unclosed span(s) on tid {tid}: "
+                 f"{stack}")
+    print(f"{path}: valid trace, {len(events)} events, "
+          f"{len(stacks)} thread(s)")
+
+
+def main(argv):
+    if len(argv) < 3:
+        fail(__doc__.strip())
+    mode, path = argv[1], argv[2]
+    if mode == "report":
+        want_kind = None
+        if len(argv) >= 5 and argv[3] == "--kind":
+            want_kind = argv[4]
+        check_report(path, want_kind)
+    elif mode == "trace":
+        check_trace(path)
+    else:
+        fail(f"unknown mode {mode!r}")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

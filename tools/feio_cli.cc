@@ -20,8 +20,22 @@
 //   feio help | --help | -h
 //
 // --threads N runs the parallel pipeline stages (contour extraction,
-// assembly, shaping, batch decks) on N threads; 0 means all hardware
-// threads. Output is byte-identical to a serial run for any N.
+// assembly, shaping, batch decks) on N threads; `--threads all` uses every
+// hardware thread. Output is byte-identical to a serial run for any N.
+//
+// Observability (docs/OBSERVABILITY.md), accepted by every subcommand:
+//   --trace FILE         write a Chrome trace-event JSON of the run
+//                        (open in chrome://tracing or Perfetto)
+//   --metrics-json FILE  write the run's counters/histograms as a
+//                        feio.report/1 document of kind "metrics"
+//                        (FILE of "-" prints to stdout)
+// Both are off by default and cost nothing when off; enabling them never
+// changes the deck outputs.
+//
+// Machine-readable output (--diag-json, check/lint --json, --metrics-json,
+// BENCH_pipeline.json) shares the feio.report/1 envelope: "schema",
+// "kind" (diag|lint|bench|metrics), "tool_version", "generated_by",
+// then the kind-specific payload.
 //
 // Exit status: 0 on success, 1 on input/deck errors (diagnostic report on
 // stderr), 2 on usage errors. `feio lint` refines this: 0 when the deck is
@@ -56,14 +70,32 @@ struct Args {
   std::string out_dir = "out";
   std::string off_path;
   std::string diag_json_path;
+  std::string trace_path;         // --trace FILE; empty = off
+  std::string metrics_json_path;  // --metrics-json FILE; "-" = stdout
+  bool metrics_set = false;       // user passed --metrics-json
   bool check_ospl = false;
   bool json = false;
   bool sarif = false;
   bool quick = false;
-  int threads = 1;           // --threads N; 0 = all hardware threads
+  int threads = 1;           // --threads; 0 = all hardware ("all")
   bool threads_set = false;  // user passed --threads
   bool out_set = false;      // user passed --out
+
+  // Installed process-wide by main() for the duration of the dispatch;
+  // carried here so the run_* commands can hand them to RunOptions.
+  util::Tracer* tracer = nullptr;
+  util::MetricsRegistry* metrics = nullptr;
 };
+
+// The RunOptions every pipeline call made on behalf of this invocation
+// uses. `threads` stays 0: main() already pinned the process default, and
+// per-deck workers must not race on re-pinning it.
+RunOptions run_options(const Args& args) {
+  RunOptions opts;
+  opts.tracer = args.tracer;
+  opts.metrics = args.metrics;
+  return opts;
+}
 
 void print_usage(std::FILE* to) {
   std::fprintf(to,
@@ -80,6 +112,11 @@ void print_usage(std::FILE* to) {
                "  feio figures [--out DIR]\n"
                "  feio mesh <deck> --off FILE\n"
                "  feio help\n"
+               "observability (every subcommand; see docs/OBSERVABILITY.md):\n"
+               "  --trace FILE         Chrome trace-event JSON of this run\n"
+               "  --metrics-json FILE  counters/histograms as feio.report/1"
+               " ('-' = stdout)\n"
+               "--threads takes a positive integer or 'all'\n"
                "exit status: 0 success, 1 input/deck error, 2 usage error\n"
                "  feio lint: 0 clean, 1 warnings only, 2 errors\n"
                "  feio bench: 1 when parallel output diverges from serial\n");
@@ -130,10 +167,18 @@ bool parse(int argc, char** argv, Args& args) {
       args.off_path = argv[++i];
     } else if (a == "--diag-json" && i + 1 < argc) {
       args.diag_json_path = argv[++i];
+    } else if (a == "--trace" && i + 1 < argc) {
+      args.trace_path = argv[++i];
+    } else if (a == "--metrics-json" && i + 1 < argc) {
+      args.metrics_json_path = argv[++i];
+      args.metrics_set = true;
     } else if (a == "--threads" && i + 1 < argc) {
-      char* end = nullptr;
-      args.threads = static_cast<int>(std::strtol(argv[++i], &end, 10));
-      if (end == nullptr || *end != '\0' || args.threads < 0) return false;
+      // One shared parser and one shared error message for every
+      // subcommand (util/parallel.h): positive integer or "all".
+      if (!util::parse_thread_count(argv[++i], args.threads)) {
+        std::fprintf(stderr, "error: %s\n", util::kThreadsFlagError);
+        return false;
+      }
       args.threads_set = true;
     } else if (a == "--ospl") {
       args.check_ospl = true;
@@ -152,6 +197,12 @@ bool parse(int argc, char** argv, Args& args) {
   return true;
 }
 
+// The feio.report/1 kind of this invocation's diagnostic documents: lint
+// findings land in kind "lint", every other subcommand reports kind "diag".
+const char* diag_kind(const Args& args) {
+  return args.command == "lint" ? "lint" : "diag";
+}
+
 // Writes the JSON report when --diag-json was given; failure to write is
 // itself an input error worth reporting.
 bool write_diag_json(const Args& args, const DiagSink& sink) {
@@ -162,7 +213,7 @@ bool write_diag_json(const Args& args, const DiagSink& sink) {
                  args.diag_json_path.c_str());
     return false;
   }
-  out << sink.render_json();
+  out << sink.render_report_json(diag_kind(args));
   return true;
 }
 
@@ -222,7 +273,7 @@ void process_idlz_deck(const Args& args, const std::string& deck,
   int set = 0;
   for (const idlz::IdlzCase& c : cases) {
     ++set;
-    const auto r = idlz::run_checked(c, sink);
+    const auto r = idlz::run_checked(c, sink, run_options(args));
     if (!r) continue;  // failure recorded; keep processing later sets
     out << idlz::summarize(*r);
     const std::string stem =
@@ -265,7 +316,7 @@ void process_ospl_deck(const Args& args, const std::string& deck,
   if (!open_deck(deck, in, sink)) return;
   const ospl::OsplCase c = ospl::read_deck(in, sink, deck);
   if (!sink.ok()) return;
-  const auto r = ospl::run_checked(c, sink);
+  const auto r = ospl::run_checked(c, sink, run_options(args));
   if (!r) return;
   out << c.title1 << "\nvalues " << r->vmin << ".." << r->vmax << ", "
       << ospl::interval_caption(r->delta) << ", " << r->segments.size()
@@ -297,12 +348,12 @@ int run_check(const Args& args) {
     if (!open_deck(args.decks[i], in, sink)) return;
     if (args.check_ospl) {
       const ospl::OsplCase c = ospl::read_deck(in, sink, args.decks[i]);
-      if (sink.ok()) ospl::run_checked(c, sink);
+      if (sink.ok()) ospl::run_checked(c, sink, run_options(args));
     } else {
       const auto cases = idlz::read_deck(in, sink, args.decks[i]);
       for (const idlz::IdlzCase& c : cases) {
         if (sink.capped()) break;
-        idlz::run_checked(c, sink);
+        idlz::run_checked(c, sink, run_options(args));
       }
     }
   });
@@ -310,7 +361,7 @@ int run_check(const Args& args) {
   for (const DiagSink& sink : sinks) merged.merge(sink);
   if (!write_diag_json(args, merged)) return kExitInput;
   if (args.json) {
-    std::printf("%s", merged.render_json().c_str());
+    std::printf("%s", merged.render_report_json(diag_kind(args)).c_str());
   } else {
     std::printf("%s", merged.render_text().c_str());
   }
@@ -341,7 +392,7 @@ int run_lint(const Args& args) {
   if (args.sarif) {
     std::printf("%s", lint::render_sarif(merged).c_str());
   } else if (args.json) {
-    std::printf("%s", merged.render_json().c_str());
+    std::printf("%s", merged.render_report_json(diag_kind(args)).c_str());
   } else {
     std::printf("%s", merged.render_text().c_str());
   }
@@ -417,17 +468,7 @@ int run_mesh(const Args& args) {
   return kExitOk;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Args args;
-  if (!parse(argc, argv, args)) return usage();
-  if (args.command == "help" || args.command == "--help" ||
-      args.command == "-h") {
-    print_usage(stdout);
-    return kExitOk;
-  }
-  util::set_default_threads(args.threads);
+int dispatch(const Args& args) {
   try {
     if (args.command == "idlz") {
       if (args.decks.empty()) return usage();
@@ -456,4 +497,73 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitInput;
   }
+}
+
+// Writes the --trace / --metrics-json documents. Runs after dispatch on
+// every path, including failures — a trace of a failed run is the one you
+// most want to look at. Returns kExitOk or kExitInput.
+int write_observability(const Args& args) {
+  int code = kExitOk;
+  if (args.tracer != nullptr) {
+    std::ofstream out(args.trace_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   args.trace_path.c_str());
+      code = kExitInput;
+    } else {
+      out << args.tracer->render_json();
+      std::fprintf(stderr, "wrote trace %s\n", args.trace_path.c_str());
+    }
+  }
+  if (args.metrics != nullptr) {
+    const std::string doc = args.metrics->render_report_json();
+    if (args.metrics_json_path == "-") {
+      std::printf("%s", doc.c_str());
+    } else {
+      std::ofstream out(args.metrics_json_path);
+      if (!out.good()) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     args.metrics_json_path.c_str());
+        code = kExitInput;
+      } else {
+        out << doc;
+        std::fprintf(stderr, "wrote metrics %s\n",
+                     args.metrics_json_path.c_str());
+      }
+    }
+  }
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) return usage();
+  if (args.command == "help" || args.command == "--help" ||
+      args.command == "-h") {
+    print_usage(stdout);
+    return kExitOk;
+  }
+  util::set_default_threads(args.threads);
+
+  // Observability sinks live in main for the whole invocation; dispatch
+  // sees them both process-wide (for the spans below library API calls)
+  // and through RunOptions (the API carries them explicitly).
+  std::optional<util::Tracer> tracer;
+  std::optional<util::MetricsRegistry> metrics;
+  if (!args.trace_path.empty()) args.tracer = &tracer.emplace();
+  if (args.metrics_set) args.metrics = &metrics.emplace();
+
+  int code;
+  {
+    util::ScopedTracerInstall tracer_install(args.tracer);
+    util::ScopedMetricsInstall metrics_install(args.metrics);
+    FEIO_TRACE_SPAN(span, "feio.main");
+    span.arg("command", args.command);
+    code = dispatch(args);
+    span.arg("exit", code);
+  }
+  const int obs_code = write_observability(args);
+  return code != kExitOk ? code : obs_code;
 }
