@@ -6,10 +6,24 @@
 #include "util/error.h"
 
 namespace feio::cards {
+namespace {
+
+// Whether the field holds an interior blank that blank-as-zero editing will
+// turn into a digit: a blank after the first nonblank character. Fields
+// where that changes nothing ("12 " and "1 2" both qualify; whether the
+// *value* changed is checked by comparing the two parses).
+bool has_interior_blank(std::string_view field) {
+  size_t first = field.find_first_not_of(' ');
+  if (first == std::string_view::npos) return false;
+  return field.find(' ', first) != std::string_view::npos;
+}
+
+}  // namespace
 
 std::vector<Field> decode(std::string_view card, const Format& format) {
   std::vector<Field> out;
   out.reserve(static_cast<size_t>(format.field_count()));
+  const BlankPolicy bp = format.blank_policy();
   size_t col = 0;
   for (const EditDescriptor& d : format.descriptors()) {
     std::string_view field;
@@ -21,11 +35,11 @@ std::vector<Field> decode(std::string_view card, const Format& format) {
       case EditKind::kSkip:
         break;
       case EditKind::kInt:
-        out.emplace_back(read_int_field(field));
+        out.emplace_back(read_int_field(field, bp));
         break;
       case EditKind::kFixed:
       case EditKind::kExp:
-        out.emplace_back(read_real_field(field, d.decimals));
+        out.emplace_back(read_real_field(field, d.decimals, bp));
         break;
       case EditKind::kAlpha: {
         std::string text(field);
@@ -42,6 +56,7 @@ std::vector<Field> decode(std::string_view card, const Format& format,
                           DiagSink& sink, const SourceLoc& where) {
   std::vector<Field> out;
   out.reserve(static_cast<size_t>(format.field_count()));
+  const BlankPolicy bp = format.blank_policy();
   size_t col = 0;
   for (const EditDescriptor& d : format.descriptors()) {
     std::string_view field;
@@ -57,7 +72,24 @@ std::vector<Field> decode(std::string_view card, const Format& format,
         break;
       case EditKind::kInt:
         try {
-          out.emplace_back(read_int_field(field));
+          const long v = read_int_field(field, bp);
+          if (bp == BlankPolicy::kBlankAsZero && has_interior_blank(field)) {
+            try {
+              const long bn = read_int_field(field, BlankPolicy::kIgnore);
+              if (bn != v) {
+                sink.error("E-CARD-005",
+                           "interior blank reads as zero digit: '" +
+                               std::string(field) + "' is " +
+                               std::to_string(v) + " under FORTRAN-66, " +
+                               std::to_string(bn) + " with blanks ignored",
+                           at);
+              }
+            } catch (const Error&) {
+              // The blanks-ignored reading is itself garbage; the BZ value
+              // stands and there is no ambiguity to report.
+            }
+          }
+          out.emplace_back(v);
         } catch (const Error& e) {
           sink.error("E-CARD-001", e.what(), at);
           out.emplace_back(0L);
@@ -66,7 +98,22 @@ std::vector<Field> decode(std::string_view card, const Format& format,
       case EditKind::kFixed:
       case EditKind::kExp:
         try {
-          const double v = read_real_field(field, d.decimals);
+          const double v = read_real_field(field, d.decimals, bp);
+          if (bp == BlankPolicy::kBlankAsZero && has_interior_blank(field)) {
+            try {
+              const double bn =
+                  read_real_field(field, d.decimals, BlankPolicy::kIgnore);
+              if (bn != v) {
+                sink.error("E-CARD-005",
+                           "interior blank reads as zero digit: '" +
+                               std::string(field) + "' parses as " +
+                               std::to_string(v) + " under FORTRAN-66, " +
+                               std::to_string(bn) + " with blanks ignored",
+                           at);
+              }
+            } catch (const Error&) {
+            }
+          }
           if (!std::isfinite(v)) {
             sink.error("E-CARD-004",
                        "non-finite real field '" + std::string(field) + "'",
@@ -121,7 +168,8 @@ std::string encode(const std::vector<Field>& values, const Format& format) {
         }
         card += d.kind == EditKind::kFixed
                     ? write_fixed_field(v, d.width, d.decimals)
-                    : write_exp_field(v, d.width, d.decimals);
+                    : write_exp_field(v, d.width, d.decimals,
+                                      format.exp_style());
         break;
       }
       case EditKind::kAlpha: {

@@ -30,8 +30,12 @@ std::vector<Field> decode(std::string_view card, const Format& format);
 // refined to the field's column range — and read as zero (numeric) so the
 // caller always gets one value per format field and can keep going.
 // Non-finite reals (NAN/INF punched into a card) are likewise diagnosed and
-// replaced by zero. Codes: E-CARD-001 (integer), E-CARD-002 (real),
-// E-CARD-004 (non-finite real).
+// replaced by zero. When the format's blank policy is blank-as-zero (the
+// default) and an interior blank changes the parsed value — "1 2" in I3 is
+// 102 under FORTRAN-66 but 12 with blanks ignored — the field is flagged
+// with E-CARD-005 (the era-faithful value is still the one returned).
+// Codes: E-CARD-001 (integer), E-CARD-002 (real), E-CARD-004 (non-finite
+// real), E-CARD-005 (interior blank changed the value).
 std::vector<Field> decode(std::string_view card, const Format& format,
                           DiagSink& sink, const SourceLoc& where);
 

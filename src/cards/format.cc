@@ -36,22 +36,25 @@ struct Cursor {
   }
 };
 
-}  // namespace
-
-Format Format::parse(std::string_view spec) {
-  std::string upper = to_upper(trim(spec));
-  std::string_view body = upper;
-  if (!body.empty() && body.front() == '(') {
-    FEIO_REQUIRE(body.back() == ')', "FORMAT missing closing parenthesis");
-    body = body.substr(1, body.size() - 2);
-  }
-
-  Format fmt;
-  Cursor cur{body};
+// Parses a comma-separated descriptor list: the whole FORMAT body when
+// `in_group` is false, or the inside of one parenthesized repeat group
+// (up to but not including the ')') when true. One level of grouping only —
+// the paper's user FORMATs never nest deeper, and a second level is almost
+// always a typo worth a precise message rather than silent acceptance.
+std::vector<EditDescriptor> parse_items(Cursor& cur, bool in_group) {
+  std::vector<EditDescriptor> items;
   bool expect_item = true;
   while (true) {
     cur.skip_blanks();
-    if (cur.done()) break;
+    if (cur.done()) {
+      FEIO_REQUIRE(!in_group, "FORMAT group missing closing parenthesis");
+      break;
+    }
+    if (in_group && cur.peek() == ')') {
+      cur.take();
+      FEIO_REQUIRE(!items.empty(), "empty FORMAT group");
+      return items;
+    }
     if (!expect_item) {
       FEIO_REQUIRE(cur.peek() == ',', "FORMAT items must be comma separated");
       cur.take();
@@ -63,6 +66,21 @@ Format Format::parse(std::string_view spec) {
     cur.skip_blanks();
     FEIO_REQUIRE(!cur.done(), "FORMAT ends after a repeat count");
     const char c = cur.take();
+
+    if (c == '(') {
+      FEIO_REQUIRE(!in_group,
+                   "nested FORMAT groups are not supported: flatten the "
+                   "inner group (one level of parentheses, as in "
+                   "2(I5,F10.2), is accepted)");
+      const std::vector<EditDescriptor> group = parse_items(cur, true);
+      const int repeat = count < 0 ? 1 : count;
+      FEIO_REQUIRE(repeat >= 1, "FORMAT group repeat count must be positive");
+      for (int i = 0; i < repeat; ++i) {
+        items.insert(items.end(), group.begin(), group.end());
+      }
+      expect_item = false;
+      continue;
+    }
 
     EditDescriptor d;
     int repeat = count < 0 ? 1 : count;
@@ -100,9 +118,43 @@ Format Format::parse(std::string_view spec) {
       default:
         fail(std::string("unsupported FORMAT descriptor '") + c + "'");
     }
-    for (int i = 0; i < repeat; ++i) fmt.items_.push_back(d);
+    for (int i = 0; i < repeat; ++i) items.push_back(d);
     expect_item = false;
   }
+  return items;
+}
+
+// Applies a blank policy to one numeric field: leading blanks are dropped,
+// and every later blank is either a zero digit (FORTRAN-66) or dropped
+// (modern BN). Returns the compacted digits-and-punctuation string; empty
+// means the field was all blank.
+std::string compact_field(std::string_view field, BlankPolicy policy) {
+  std::string compact;
+  compact.reserve(field.size());
+  for (char c : field) {
+    if (c == ' ') {
+      if (compact.empty()) continue;  // leading blanks are padding
+      if (policy == BlankPolicy::kBlankAsZero) compact.push_back('0');
+      continue;  // BN: interior/trailing blanks ignored
+    }
+    compact.push_back(c);
+  }
+  return compact;
+}
+
+}  // namespace
+
+Format Format::parse(std::string_view spec) {
+  std::string upper = to_upper(trim(spec));
+  std::string_view body = upper;
+  if (!body.empty() && body.front() == '(') {
+    FEIO_REQUIRE(body.back() == ')', "FORMAT missing closing parenthesis");
+    body = body.substr(1, body.size() - 2);
+  }
+
+  Format fmt;
+  Cursor cur{body};
+  fmt.items_ = parse_items(cur, /*in_group=*/false);
   FEIO_REQUIRE(!fmt.items_.empty(), "empty FORMAT");
   return fmt;
 }
@@ -158,13 +210,8 @@ std::string Format::to_string() const {
   return out;
 }
 
-long read_int_field(std::string_view field) {
-  std::string compact;
-  compact.reserve(field.size());
-  for (char c : field) {
-    if (c == ' ') continue;  // blanks in numeric fields are ignored
-    compact.push_back(c);
-  }
+long read_int_field(std::string_view field, BlankPolicy policy) {
+  const std::string compact = compact_field(field, policy);
   if (compact.empty()) return 0;  // all-blank field reads as zero
   char* end = nullptr;
   const long v = std::strtol(compact.c_str(), &end, 10);
@@ -173,13 +220,9 @@ long read_int_field(std::string_view field) {
   return v;
 }
 
-double read_real_field(std::string_view field, int implied_decimals) {
-  std::string compact;
-  compact.reserve(field.size());
-  for (char c : field) {
-    if (c == ' ') continue;
-    compact.push_back(c);
-  }
+double read_real_field(std::string_view field, int implied_decimals,
+                       BlankPolicy policy) {
+  std::string compact = compact_field(field, policy);
   if (compact.empty()) return 0.0;
 
   const bool has_point = compact.find('.') != std::string::npos;
@@ -208,9 +251,67 @@ bool fixed_field_fits(double value, int width, int decimals) {
   return std::snprintf(buf, sizeof buf, "%.*f", decimals, value) <= width;
 }
 
-bool exp_field_fits(double value, int width, int decimals) {
+namespace {
+
+// Minimal FORTRAN-normalized Ew.d rendering: sign, "0.", `decimals`
+// mantissa digits, "E", exponent sign, two-or-more exponent digits. The
+// mantissa lies in [0.1, 1), so the exponent is the C %E exponent plus one.
+// decimals == 0 keeps the C form (FORTRAN Ew.0 punches no mantissa digits,
+// which loses the value; no deck the paper describes uses it).
+std::string exp_field_fortran(double value, int decimals) {
   char buf[128];
-  return std::snprintf(buf, sizeof buf, "%.*E", decimals, value) <= width;
+  if (decimals <= 0) {
+    std::snprintf(buf, sizeof buf, "%.0E", value);
+    return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%.*E", decimals - 1, value);
+  std::string c_form = buf;
+
+  std::string digits;
+  size_t i = 0;
+  const bool negative = c_form[0] == '-';
+  if (negative || c_form[0] == '+') ++i;
+  for (; i < c_form.size() && c_form[i] != 'E' && c_form[i] != 'e'; ++i) {
+    if (c_form[i] != '.') digits.push_back(c_form[i]);
+  }
+  // Non-finite values have no 'E'; hand the C rendering back and let the
+  // width check turn it into asterisks (or not) exactly as before.
+  if (i >= c_form.size()) return c_form;
+  int exponent = std::atoi(c_form.c_str() + i + 1) + 1;
+  // %E prints zero as 0.00E+00; the normalized form of zero is 0.00E+00
+  // too (mantissa all zeros, exponent zero), not 0.00E+01.
+  if (digits.find_first_not_of('0') == std::string::npos) exponent = 0;
+
+  char tail[16];
+  std::snprintf(tail, sizeof tail, "E%+03d", exponent);
+  return (negative ? std::string("-0.") : std::string("0.")) + digits + tail;
+}
+
+// The punched image of an Ew.d field, or empty when the value cannot fit.
+std::string exp_field_image(double value, int width, int decimals,
+                            ExpStyle style) {
+  std::string s;
+  if (style == ExpStyle::kC) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%.*E", decimals, value);
+    s = buf;
+  } else {
+    s = exp_field_fortran(value, decimals);
+    if (static_cast<int>(s.size()) == width + 1) {
+      // One column short: drop the leading zero ("0.123E+05" -> ".123E+05"),
+      // as the era's FORMAT processors did.
+      const size_t zero = s[0] == '-' ? 1 : 0;
+      if (zero < s.size() && s[zero] == '0') s.erase(zero, 1);
+    }
+  }
+  if (static_cast<int>(s.size()) > width) return {};
+  return s;
+}
+
+}  // namespace
+
+bool exp_field_fits(double value, int width, int decimals, ExpStyle style) {
+  return !exp_field_image(value, width, decimals, style).empty();
 }
 
 std::string write_int_field(long value, int width) {
@@ -229,11 +330,11 @@ std::string write_fixed_field(double value, int width, int decimals) {
   return out;
 }
 
-std::string write_exp_field(double value, int width, int decimals) {
-  char buf[128];
-  std::snprintf(buf, sizeof buf, "%*.*E", width, decimals, value);
-  std::string out = buf;
-  if (static_cast<int>(out.size()) > width) return std::string(static_cast<size_t>(width), '*');
+std::string write_exp_field(double value, int width, int decimals,
+                            ExpStyle style) {
+  std::string out = exp_field_image(value, width, decimals, style);
+  if (out.empty()) return std::string(static_cast<size_t>(width), '*');
+  out.insert(0, static_cast<size_t>(width) - out.size(), ' ');
   return out;
 }
 

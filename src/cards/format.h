@@ -6,11 +6,21 @@
 // 7), e.g. (2F9.5,51X,I3,5X,I3). Reproducing that behaviour requires an
 // actual runtime FORMAT interpreter, which this module provides for the
 // edit descriptors the decks use: Iw, Fw.d, Ew.d, Aw, nX, with repeat
-// counts on I/F/E/A.
+// counts on I/F/E/A and one level of parenthesized repeat groups such as
+// 2(I5,F10.2).
 //
 // FORTRAN blank-field semantics are honoured on input: an all-blank numeric
-// field reads as zero, and an F field without an explicit decimal point has
-// the point implied `d` digits from the right.
+// field reads as zero, an F field without an explicit decimal point has the
+// point implied `d` digits from the right, and — era-faithfully — every
+// blank after the first nonblank character of a numeric field is a zero
+// digit (FORTRAN-66 BZ editing: "1 2" under I3 is 102, not 12). Callers
+// that want the modern BN behaviour (blanks ignored) opt out per Format or
+// per field read via BlankPolicy.
+//
+// On output, Ew.d punches the normalized FORTRAN form 0.dddE+ee (leading
+// zero dropped when the width is one column short), not the C printf form
+// d.ddE+ee; ExpStyle::kC restores the printf form for decks destined for
+// C/C++ readers.
 #pragma once
 
 #include <string>
@@ -27,6 +37,23 @@ enum class EditKind {
   kSkip,   // nX
 };
 
+// How blanks inside a numeric input field are read.
+enum class BlankPolicy {
+  // FORTRAN-66 (the paper's era): every blank after the first nonblank
+  // character of the field is a zero digit; leading blanks are padding.
+  // "1 2" in I3 reads as 102, "12 " reads as 120.
+  kBlankAsZero,
+  // Modern BN editing: blanks are ignored wherever they appear. "1 2" in
+  // I3 reads as 12.
+  kIgnore,
+};
+
+// How Ew.d output fields are rendered.
+enum class ExpStyle {
+  kFortran,  // normalized "0.dddE+ee" (FORTRAN punch form; the default)
+  kC,        // "d.ddE+ee" (C printf %E, the pre-0.5 behaviour)
+};
+
 struct EditDescriptor {
   EditKind kind = EditKind::kSkip;
   int width = 0;     // field width (the skip count for nX)
@@ -37,8 +64,10 @@ struct EditDescriptor {
 class Format {
  public:
   // Parses a FORMAT specification, with or without enclosing parentheses,
-  // case-insensitive, ignoring blanks: "(2F9.5, 51X, I3, 5X, I3)".
-  // Throws feio::Error on malformed input.
+  // case-insensitive, ignoring blanks: "(2F9.5, 51X, I3, 5X, I3)". One
+  // level of parenthesized repeat groups is supported ("2(I5,F10.2)");
+  // deeper nesting gets an actionable diagnostic. Throws feio::Error on
+  // malformed input.
   static Format parse(std::string_view spec);
 
   const std::vector<EditDescriptor>& descriptors() const { return items_; }
@@ -50,23 +79,41 @@ class Format {
   int record_width() const;
 
   // Canonical text form, e.g. "(2F9.5,51X,I3,5X,I3)" (repeats re-collapsed
-  // only where adjacent descriptors are identical).
+  // only where adjacent descriptors are identical; groups are flattened).
   std::string to_string() const;
+
+  // Field-semantics knobs applied by decode()/encode() (card_io). Both
+  // default era-faithful; the setters return *this for chaining.
+  BlankPolicy blank_policy() const { return blank_policy_; }
+  Format& set_blank_policy(BlankPolicy p) {
+    blank_policy_ = p;
+    return *this;
+  }
+  ExpStyle exp_style() const { return exp_style_; }
+  Format& set_exp_style(ExpStyle s) {
+    exp_style_ = s;
+    return *this;
+  }
 
  private:
   std::vector<EditDescriptor> items_;
+  BlankPolicy blank_policy_ = BlankPolicy::kBlankAsZero;
+  ExpStyle exp_style_ = ExpStyle::kFortran;
 };
 
 // --- Field-level reading -------------------------------------------------
 
-// Reads an integer from a fixed-width field. Blank => 0. Embedded blanks are
-// ignored (FORTRAN treats them as zeros historically; modern decks do not
-// rely on that, so we ignore them). Throws on non-numeric garbage.
-long read_int_field(std::string_view field);
+// Reads an integer from a fixed-width field. Blank => 0. Blanks after the
+// first nonblank character follow `policy` (era-faithful blank-as-zero by
+// default). Throws on non-numeric garbage.
+long read_int_field(std::string_view field,
+                    BlankPolicy policy = BlankPolicy::kBlankAsZero);
 
 // Reads a real from a fixed-width field with implied decimal count `d`.
-// Blank => 0.0. Accepts F and E forms. Throws on garbage.
-double read_real_field(std::string_view field, int implied_decimals);
+// Blank => 0.0. Accepts F and E forms; interior blanks follow `policy`.
+// Throws on garbage.
+double read_real_field(std::string_view field, int implied_decimals,
+                       BlankPolicy policy = BlankPolicy::kBlankAsZero);
 
 // --- Field-level writing -------------------------------------------------
 
@@ -75,7 +122,8 @@ double read_real_field(std::string_view field, int implied_decimals);
 // overflow before a single corrupt card is emitted.
 bool int_field_fits(long value, int width);
 bool fixed_field_fits(double value, int width, int decimals);
-bool exp_field_fits(double value, int width, int decimals);
+bool exp_field_fits(double value, int width, int decimals,
+                    ExpStyle style = ExpStyle::kFortran);
 
 // Right-justified integer in `width` columns; returns all asterisks when the
 // value does not fit (FORTRAN overflow convention).
@@ -84,8 +132,12 @@ std::string write_int_field(long value, int width);
 // Fw.d output; asterisks on overflow.
 std::string write_fixed_field(double value, int width, int decimals);
 
-// Ew.d output in the 0.dddE+ee style; asterisks on overflow.
-std::string write_exp_field(double value, int width, int decimals);
+// Ew.d output; asterisks on overflow. ExpStyle::kFortran punches the
+// normalized 0.dddE+ee form (the leading zero is dropped when the field is
+// exactly one column too narrow for it, as the era's punches did);
+// ExpStyle::kC keeps the C d.ddE+ee form.
+std::string write_exp_field(double value, int width, int decimals,
+                            ExpStyle style = ExpStyle::kFortran);
 
 // Aw output: left-justified, truncated to width.
 std::string write_alpha_field(std::string_view value, int width);

@@ -5,6 +5,9 @@
 #include <string>
 
 #include "util/error.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/trace.h"
 
 namespace feio::fem {
 
@@ -79,6 +82,9 @@ void BandedMatrix::multiply(const std::vector<double>& x,
 
 void BandedMatrix::factorize() {
   FEIO_ASSERT(!factorized_);
+  FEIO_TRACE_SPAN(span, "fem.factorize");
+  span.arg("n", n_);
+  span.arg("half_bandwidth", hbw_);
   // Pivot tolerance relative to the matrix scale: a pivot this small means
   // the system is singular to working precision (usually a structure with
   // an unconstrained rigid-body mode).
@@ -88,27 +94,123 @@ void BandedMatrix::factorize() {
 
   // LDL^T restricted to the band: L unit lower-triangular stored in the
   // strictly-lower band slots, D on the diagonal slots.
-  for (int j = 0; j < n_; ++j) {
-    double d = slot(j, j);
-    const int lo = std::max(0, j - hbw_);
-    for (int k = lo; k < j; ++k) {
-      const double ljk = slot(j, k);
-      d -= ljk * ljk * slot(k, k);
-    }
-    FEIO_REQUIRE(d > tol,
-                 "non-positive pivot at equation " + std::to_string(j) +
-                     " (structure under-constrained or matrix indefinite)");
-    slot(j, j) = d;
-
-    const int hi = std::min(n_ - 1, j + hbw_);
-    for (int i = j + 1; i <= hi; ++i) {
-      double lij = slot(i, j);
-      const int klo = std::max({0, i - hbw_, j - hbw_});
-      for (int k = klo; k < j; ++k) {
-        lij -= slot(i, k) * slot(j, k) * slot(k, k);
+  //
+  // Narrow bands use the plain left-looking column sweep: there is no
+  // parallelism worth extracting from a handful of in-band neighbours, and
+  // the blocked path below needs hbw/2-wide panels to amortize its serial
+  // diagonal block. The choice depends ONLY on (n, hbw) — never on the
+  // thread count — so a given matrix always takes the same code path and
+  // produces bitwise-identical factors at any thread setting.
+  if (hbw_ < 16) {
+    for (int j = 0; j < n_; ++j) {
+      double d = slot(j, j);
+      const int lo = std::max(0, j - hbw_);
+      for (int k = lo; k < j; ++k) {
+        const double ljk = slot(j, k);
+        d -= ljk * ljk * slot(k, k);
       }
-      slot(i, j) = lij / d;
+      FEIO_REQUIRE(d > tol,
+                   "non-positive pivot at equation " + std::to_string(j) +
+                       " (structure under-constrained or matrix indefinite)");
+      slot(j, j) = d;
+
+      const int hi = std::min(n_ - 1, j + hbw_);
+      for (int i = j + 1; i <= hi; ++i) {
+        double lij = slot(i, j);
+        const int klo = std::max({0, i - hbw_, j - hbw_});
+        for (int k = klo; k < j; ++k) {
+          lij -= slot(i, k) * slot(j, k) * slot(k, k);
+        }
+        slot(i, j) = lij / d;
+      }
     }
+    factorized_ = true;
+    return;
+  }
+
+  // Blocked right-looking factorization in column panels of width B
+  // (LAPACK pbtrf-style). Per panel [p0, p1):
+  //   1. factor the diagonal block serially (B columns, in-panel sums only);
+  //   2. solve the off-diagonal block rows [p1, p1-1+hbw] against the
+  //      panel's unit-lower columns — rows are independent, split across
+  //      threads by util::parallel_chunks;
+  //   3. apply the symmetric trailing update to columns [p1, p1-1+hbw] —
+  //      columns are independent (distinct band slots), split likewise.
+  // The serial fraction is ~B^2 / (3 hbw^2); B = hbw/2 capped at 64 keeps
+  // it near 1/12 while the panel still fills cache lines.
+  //
+  // Determinism: every entry's update sum runs over k ascending within a
+  // fixed panel partition that depends only on (n, hbw, B). Chunk
+  // boundaries move work between threads but never reorder or resplit any
+  // entry's summation, so factors are bit-identical for any thread count.
+  const int B = std::max(8, std::min(64, hbw_ / 2));
+  for (int p0 = 0; p0 < n_; p0 += B) {
+    const int p1 = std::min(n_, p0 + B);
+    FEIO_METRIC_ADD("fem.factorize.panels", 1);
+
+    // Phase 1: diagonal block.
+    for (int j = p0; j < p1; ++j) {
+      double d = slot(j, j);
+      const int lo = std::max(p0, j - hbw_);
+      for (int k = lo; k < j; ++k) {
+        const double ljk = slot(j, k);
+        d -= ljk * ljk * slot(k, k);
+      }
+      FEIO_REQUIRE(d > tol,
+                   "non-positive pivot at equation " + std::to_string(j) +
+                       " (structure under-constrained or matrix indefinite)");
+      slot(j, j) = d;
+
+      for (int i = j + 1; i < p1; ++i) {
+        double lij = slot(i, j);
+        const int klo = std::max(p0, i - hbw_);
+        for (int k = klo; k < j; ++k) {
+          lij -= slot(i, k) * slot(j, k) * slot(k, k);
+        }
+        slot(i, j) = lij / d;
+      }
+    }
+
+    const int row_end = std::min(n_ - 1, p1 - 1 + hbw_);
+    const int nrows = row_end - p1 + 1;
+    if (nrows <= 0) continue;
+
+    // Phase 2: off-diagonal block row solve, one independent row per item.
+    util::parallel_chunks(
+        nrows, util::chunk_count(nrows, 0),
+        [&](int /*chunk*/, std::int64_t begin, std::int64_t end) {
+          for (std::int64_t r = begin; r < end; ++r) {
+            const int i = p1 + static_cast<int>(r);
+            const int jlo = std::max(p0, i - hbw_);
+            for (int j = jlo; j < p1; ++j) {
+              double lij = slot(i, j);
+              for (int k = jlo; k < j; ++k) {
+                lij -= slot(i, k) * slot(j, k) * slot(k, k);
+              }
+              slot(i, j) = lij / slot(j, j);
+            }
+          }
+        });
+
+    // Phase 3: trailing update, one independent column per item. Each
+    // (i, j) with i >= j in [p1, row_end] maps to a unique band slot, so
+    // partitioning by column j is race-free.
+    util::parallel_chunks(
+        nrows, util::chunk_count(nrows, 0),
+        [&](int /*chunk*/, std::int64_t begin, std::int64_t end) {
+          for (std::int64_t c = begin; c < end; ++c) {
+            const int j = p1 + static_cast<int>(c);
+            const int klo_j = std::max(p0, j - hbw_);
+            for (int i = j; i <= row_end; ++i) {
+              const int klo = std::max(klo_j, i - hbw_);
+              double acc = 0.0;
+              for (int k = klo; k < p1; ++k) {
+                acc += slot(i, k) * slot(j, k) * slot(k, k);
+              }
+              slot(i, j) -= acc;
+            }
+          }
+        });
   }
   factorized_ = true;
 }
@@ -116,6 +218,8 @@ void BandedMatrix::factorize() {
 void BandedMatrix::solve(std::vector<double>& rhs) const {
   FEIO_ASSERT(factorized_);
   FEIO_ASSERT(static_cast<int>(rhs.size()) == n_);
+  FEIO_TRACE_SPAN(span, "fem.solve");
+  span.arg("n", n_);
   // Forward substitution: L y = rhs.
   for (int i = 0; i < n_; ++i) {
     const int lo = std::max(0, i - hbw_);

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace feio::fem {
 
@@ -26,6 +28,9 @@ ContactResult solve_with_contact(const StaticProblem& problem,
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
+    FEIO_TRACE_SPAN(span, "fem.contact.iteration");
+    span.arg("iteration", iter + 1);
+    FEIO_METRIC_ADD("fem.contact.iterations", 1);
 
     // Constrained copy for this active set.
     BandedMatrix k = k0;

@@ -1,5 +1,9 @@
 #include "fem/solver.h"
 
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/trace.h"
+
 namespace feio::fem {
 
 StaticSolution solve(const StaticProblem& problem) {
@@ -8,6 +12,7 @@ StaticSolution solve(const StaticProblem& problem) {
   problem.assemble(k, rhs);
   k.factorize();
   k.solve(rhs);
+  FEIO_METRIC_ADD("fem.static_solves", 1);
 
   StaticSolution sol;
   sol.displacement.resize(static_cast<size_t>(problem.mesh().num_nodes()));
@@ -16,6 +21,13 @@ StaticSolution solve(const StaticProblem& problem) {
         rhs[static_cast<size_t>(2 * n)], rhs[static_cast<size_t>(2 * n + 1)]};
   }
   return sol;
+}
+
+StaticSolution solve(const StaticProblem& problem, const RunOptions& opts) {
+  util::ScopedThreads threads(opts.threads);
+  util::ScopedTracerInstall tracer(opts.tracer);
+  util::ScopedMetricsInstall metrics(opts.metrics);
+  return solve(problem);
 }
 
 }  // namespace feio::fem

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "fem/assembly.h"
+#include "feio/run_options.h"
 
 namespace feio::fem {
 
@@ -18,5 +19,12 @@ struct StaticSolution {
 // Assembles, applies constraints, factorizes (banded LDL^T) and solves.
 // Throws feio::Error on singular systems.
 StaticSolution solve(const StaticProblem& problem);
+
+// Same, under a RunOptions block: `threads` scopes the thread count for the
+// parallel assembly/factorization stages, and the tracer/metrics sinks are
+// installed for the duration of the call (spans fem.assemble,
+// fem.factorize, fem.solve). Output is byte-identical to the one-argument
+// overload at any thread count.
+StaticSolution solve(const StaticProblem& problem, const RunOptions& opts);
 
 }  // namespace feio::fem

@@ -5,6 +5,8 @@
 #include <numbers>
 
 #include "util/error.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace feio::fem {
 
@@ -30,6 +32,8 @@ std::vector<std::vector<double>> ThermalProblem::integrate(
     double dt, double t_end, const std::vector<double>& snapshots) const {
   FEIO_REQUIRE(dt > 0.0, "dt must be positive");
   FEIO_REQUIRE(t_end >= dt, "t_end must cover at least one step");
+  FEIO_TRACE_SPAN(span, "fem.thermal.integrate");
+  span.arg("nodes", mesh_->num_nodes());
 
   const int n = mesh_->num_nodes();
   int node_bw = 0;
@@ -116,6 +120,7 @@ std::vector<std::vector<double>> ThermalProblem::integrate(
     }
     a.solve(rhs);
     temp = rhs;
+    FEIO_METRIC_ADD("fem.thermal.steps", 1);
 
     while (snap < snapshots.size() &&
            t + dt / 2.0 >= snapshots[snap]) {

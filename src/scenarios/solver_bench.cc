@@ -1,0 +1,268 @@
+#include "scenarios/solver_bench.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "fem/solver.h"
+#include "idlz/assembler.h"
+#include "idlz/renumber.h"
+#include "idlz/shaping.h"
+#include "mesh/bandwidth.h"
+#include "scenarios/pipeline_bench.h"
+#include "util/diag.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/report.h"
+
+namespace feio::scenarios {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+template <typename Fn>
+double time_min_ms(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const Clock::time_point start = Clock::now();
+    fn();
+    best = std::min(best, ms_since(start));
+  }
+  return best;
+}
+
+// Bit-exact fingerprint of a double vector: two runs are byte-identical
+// iff their fingerprints match (hex of the raw bits, not a rounding).
+std::string bits_fingerprint(const std::vector<double>& v) {
+  std::ostringstream out;
+  char buf[20];
+  for (double x : v) {
+    std::snprintf(buf, sizeof buf, "%016llx;",
+                  static_cast<unsigned long long>(
+                      std::bit_cast<std::uint64_t>(x)));
+    out << buf;
+  }
+  return out.str();
+}
+
+// One RCM-renumbered strip mesh with its static problem boundary
+// conditions: the y=0 edge clamped, a transverse tip load at max y.
+struct SolverFixture {
+  mesh::TriMesh mesh;
+  int node_bw_before = 0;
+  int node_bw_after = 0;
+
+  SolverFixture(int k_cells, int l_cells, int subs) {
+    const idlz::IdlzCase c = strip_case(k_cells, l_cells, subs);
+    idlz::Assembly a =
+        idlz::assemble(c.subdivisions, c.options.limits, c.options.diagonals);
+    idlz::shape(c.subdivisions, c.shaping, a, c.options.limits);
+    mesh = std::move(a.mesh);
+    node_bw_before = mesh::bandwidth(mesh);
+    idlz::renumber(mesh, idlz::NumberingScheme::kBest);
+    node_bw_after = mesh::bandwidth(mesh);
+  }
+
+  fem::StaticProblem make_problem() const {
+    fem::StaticProblem prob(mesh, fem::Analysis::kPlaneStress);
+    prob.set_material(fem::Material::isotropic(30.0e6, 0.30));
+    double y_max = 0.0;
+    for (int n = 0; n < mesh.num_nodes(); ++n) {
+      y_max = std::max(y_max, mesh.pos(n).y);
+    }
+    int tip = 0;
+    for (int n = 0; n < mesh.num_nodes(); ++n) {
+      if (mesh.pos(n).y < 0.5) prob.fix(n, true, true);
+      if (mesh.pos(n).y > mesh.pos(tip).y ||
+          (mesh.pos(n).y == mesh.pos(tip).y &&
+           mesh.pos(n).x > mesh.pos(tip).x)) {
+        tip = n;
+      }
+    }
+    prob.point_load(tip, {1000.0, -500.0});
+    (void)y_max;
+    return prob;
+  }
+};
+
+struct Measurement {
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool identical = false;
+};
+
+// `work` must be a pure function of the process-default thread count and
+// return a bit-exact fingerprint of its result.
+template <typename Fn>
+Measurement measure(int reps, int threads, Fn&& work) {
+  Measurement m;
+  std::string serial_fp;
+  std::string parallel_fp;
+  {
+    util::ScopedThreads guard(1);
+    serial_fp = work();  // warm-up + fingerprint
+    m.serial_ms = time_min_ms(reps, [&] { work(); });
+  }
+  {
+    util::ScopedThreads guard(threads);
+    parallel_fp = work();
+    m.parallel_ms = time_min_ms(reps, [&] { work(); });
+  }
+  m.identical = serial_fp == parallel_fp;
+  return m;
+}
+
+}  // namespace
+
+bool SolverBenchReport::all_identical() const {
+  return std::all_of(cases.begin(), cases.end(),
+                     [](const SolverBenchCase& c) { return c.identical; });
+}
+
+std::string SolverBenchReport::render_json() const {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\n";
+  out << report_header_json("bench");
+  out << "  \"payload_schema\": \"feio.bench.solver/1\",\n";
+  out << "  \"hardware_threads\": " << hardware_threads << ",\n";
+  out << "  \"threads\": " << threads << ",\n";
+  out << "  \"repetitions\": " << repetitions << ",\n";
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  out << "  \"all_identical\": " << (all_identical() ? "true" : "false")
+      << ",\n";
+  out << "  \"cases\": [";
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const SolverBenchCase& c = cases[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"name\": \"" << json_escape(c.name) << "\", \"stage\": \""
+        << json_escape(c.stage) << "\", \"n\": " << c.n
+        << ", \"half_bandwidth\": " << c.half_bandwidth
+        << ", \"node_bw_before\": " << c.node_bw_before
+        << ", \"node_bw_after\": " << c.node_bw_after
+        << ", \"serial_ms\": " << c.serial_ms
+        << ", \"parallel_ms\": " << c.parallel_ms
+        << ", \"speedup\": " << c.speedup
+        << ", \"identical\": " << (c.identical ? "true" : "false") << "}";
+  }
+  out << (cases.empty() ? "],\n" : "\n  ],\n");
+  if (metrics_json.empty()) {
+    out << "  \"metrics\": {}\n";
+  } else {
+    out << "  \"metrics\": {\n" << metrics_json << "  }\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string SolverBenchReport::render_table() const {
+  std::ostringstream out;
+  out << "bench_solver: " << threads << " threads (" << hardware_threads
+      << " hardware), min of " << repetitions << " reps\n";
+  out << "  case                          n   hbw  serial ms  parallel ms  "
+         "speedup  identical\n";
+  for (const SolverBenchCase& c : cases) {
+    out << "  " << c.name;
+    for (size_t pad = c.name.size(); pad < 26; ++pad) out << ' ';
+    char row[100];
+    std::snprintf(row, sizeof row, "%7d %5d %10.3f  %11.3f  %6.2fx  %s\n",
+                  c.n, c.half_bandwidth, c.serial_ms, c.parallel_ms,
+                  c.speedup, c.identical ? "yes" : "NO");
+    out << row;
+  }
+  return out.str();
+}
+
+SolverBenchReport run_solver_bench(int threads, bool quick) {
+  SolverBenchReport report;
+  report.hardware_threads = util::hardware_threads();
+  report.threads = threads <= 0 ? report.hardware_threads : threads;
+  report.repetitions = quick ? 2 : 3;
+  report.quick = quick;
+
+  // N x bandwidth sweep: the strip's short dimension controls the RCM
+  // bandwidth, the long dimension the equation count. The wide full-mode
+  // strips put the acceptance point (N >= 20k dofs, dof hbw >= 64) on the
+  // grid.
+  struct Size {
+    const char* tag;
+    int k, l, subs;
+  };
+  std::vector<Size> sizes;
+  if (quick) {
+    sizes.push_back({"strip16x60", 16, 60, 6});
+  } else {
+    sizes.push_back({"strip24x120", 24, 120, 12});
+    sizes.push_back({"strip32x312", 32, 312, 8});
+    sizes.push_back({"strip48x400", 48, 400, 8});
+  }
+
+  for (const Size& size : sizes) {
+    const SolverFixture fx(size.k, size.l, size.subs);
+    const fem::StaticProblem prob = fx.make_problem();
+    const int n = prob.num_dofs();
+    const int hbw = prob.dof_half_bandwidth();
+
+    // Stage 1: parallel element assembly (stiffness + constraints).
+    {
+      const Measurement m = measure(report.repetitions, report.threads, [&] {
+        fem::BandedMatrix k(n, hbw);
+        std::vector<double> rhs;
+        prob.assemble(k, rhs);
+        return bits_fingerprint(rhs);
+      });
+      report.cases.push_back({std::string("assemble/") + size.tag, "assemble",
+                              n, hbw, fx.node_bw_before, fx.node_bw_after,
+                              m.serial_ms, m.parallel_ms,
+                              m.serial_ms / std::max(m.parallel_ms, 1e-9),
+                              m.identical});
+    }
+
+    // Stage 2: blocked factorize + solve on the assembled system. Assembly
+    // runs outside the timed lambda: each rep factorizes a fresh copy.
+    {
+      fem::BandedMatrix k0(n, hbw);
+      std::vector<double> rhs0;
+      prob.assemble(k0, rhs0);
+      const Measurement m = measure(report.repetitions, report.threads, [&] {
+        fem::BandedMatrix k = k0;
+        std::vector<double> rhs = rhs0;
+        k.factorize();
+        k.solve(rhs);
+        return bits_fingerprint(rhs);
+      });
+      report.cases.push_back({std::string("factor_solve/") + size.tag,
+                              "factor_solve", n, hbw, fx.node_bw_before,
+                              fx.node_bw_after, m.serial_ms, m.parallel_ms,
+                              m.serial_ms / std::max(m.parallel_ms, 1e-9),
+                              m.identical});
+    }
+  }
+
+  // One metered full solve outside the timed loops supplies the metrics
+  // snapshot (fem.factorize.panels, fem.static_solves, parallel.*).
+  {
+    const Size& size = sizes.front();
+    const SolverFixture fx(size.k, size.l, size.subs);
+    util::MetricsRegistry metrics;
+    RunOptions opts;
+    opts.threads = report.threads;
+    opts.metrics = &metrics;
+    fem::solve(fx.make_problem(), opts);
+    report.metrics_json = metrics.render_body_json(4);
+  }
+
+  return report;
+}
+
+}  // namespace feio::scenarios

@@ -1,0 +1,55 @@
+// The `bench_solver` harness: measures the parallelized FEM hot path —
+// element assembly and the blocked banded LDL^T factorize+solve — serial
+// versus N threads, on RCM-renumbered IDLZ strip meshes across an
+// N x bandwidth grid. This closes the paper's loop end to end: the
+// renumbering pass exists so the banded analysis downstream is tractable,
+// and here the payoff (bandwidth before/after, then the solve cost on the
+// renumbered system) is finally measured in one report.
+//
+// Like the pipeline harness, every measurement byte-compares the parallel
+// result against the serial one (`identical`), so the perf numbers double
+// as a determinism check. The JSON rendering is a feio.report/1 envelope
+// of kind "bench" whose payload is schema-stable ("feio.bench.solver/1",
+// see docs/BENCHMARKS.md): fields may be added, never renamed or removed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace feio::scenarios {
+
+struct SolverBenchCase {
+  std::string name;   // e.g. "factor_solve/strip32x312"
+  std::string stage;  // "assemble" | "factor_solve"
+  int n = 0;          // equations (dofs)
+  int half_bandwidth = 0;   // dof half-bandwidth after RCM renumbering
+  int node_bw_before = 0;   // nodal bandwidth before renumbering
+  int node_bw_after = 0;    // nodal bandwidth after renumbering
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  double speedup = 0.0;    // serial_ms / parallel_ms
+  bool identical = false;  // parallel output byte-identical to serial
+};
+
+struct SolverBenchReport {
+  int hardware_threads = 1;
+  int threads = 1;
+  int repetitions = 1;
+  bool quick = false;
+  std::vector<SolverBenchCase> cases;
+  // Metrics body from one metered pass outside the timed loops; empty =>
+  // rendered as {}.
+  std::string metrics_json;
+
+  bool all_identical() const;
+  // feio.report/1 envelope, kind "bench", payload "feio.bench.solver/1".
+  std::string render_json() const;
+  std::string render_table() const;
+};
+
+// Runs the harness. threads <= 0 selects util::hardware_threads(); quick
+// restricts the sweep to one small mesh for the CI smoke job. The process
+// default thread count is restored on return.
+SolverBenchReport run_solver_bench(int threads, bool quick);
+
+}  // namespace feio::scenarios

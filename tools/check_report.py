@@ -47,8 +47,10 @@ def check_report(path, want_kind=None):
         if key not in doc:
             fail(f"{path}: kind {kind} is missing required key {key!r}")
     if kind == "bench":
-        if doc["payload_schema"] != "feio.bench.pipeline/1":
-            fail(f"{path}: payload_schema is {doc['payload_schema']!r}")
+        known = ("feio.bench.pipeline/1", "feio.bench.solver/1")
+        if doc["payload_schema"] not in known:
+            fail(f"{path}: payload_schema is {doc['payload_schema']!r}, "
+                 f"want one of {known}")
         for case in doc["cases"]:
             if not case.get("identical"):
                 fail(f"{path}: case {case.get('name')!r} not identical")

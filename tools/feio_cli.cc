@@ -20,7 +20,8 @@
 //   feio help | --help | -h
 //
 // --threads N runs the parallel pipeline stages (contour extraction,
-// assembly, shaping, batch decks) on N threads; `--threads all` uses every
+// assembly, shaping, batch decks) and the FEM hot path (element assembly,
+// blocked banded factorization) on N threads; `--threads all` uses every
 // hardware thread. Output is byte-identical to a serial run for any N.
 //
 // Observability (docs/OBSERVABILITY.md), accepted by every subcommand:
@@ -30,7 +31,8 @@
 //                        feio.report/1 document of kind "metrics"
 //                        (FILE of "-" prints to stdout)
 // Both are off by default and cost nothing when off; enabling them never
-// changes the deck outputs.
+// changes the deck outputs. Analysis runs add fem.assemble, fem.factorize
+// and fem.solve spans plus fem.* counters to these documents.
 //
 // Machine-readable output (--diag-json, check/lint --json, --metrics-json,
 // BENCH_pipeline.json) shares the feio.report/1 envelope: "schema",
@@ -114,6 +116,8 @@ void print_usage(std::FILE* to) {
                "  feio help\n"
                "observability (every subcommand; see docs/OBSERVABILITY.md):\n"
                "  --trace FILE         Chrome trace-event JSON of this run\n"
+               "                       (analysis runs include fem.assemble,\n"
+               "                       fem.factorize and fem.solve spans)\n"
                "  --metrics-json FILE  counters/histograms as feio.report/1"
                " ('-' = stdout)\n"
                "--threads takes a positive integer or 'all'\n"
