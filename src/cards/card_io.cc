@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/fault.h"
 
 namespace feio::cards {
 namespace {
@@ -189,6 +190,7 @@ CardReader::CardReader(std::istream& in, std::string deck_name)
     : in_(in), deck_name_(std::move(deck_name)) {}
 
 std::optional<std::string> CardReader::next_card() {
+  FEIO_FAULT("card.read");
   std::string line;
   while (std::getline(in_, line)) {
     ++card_number_;

@@ -5,6 +5,7 @@
 #pragma once
 
 namespace feio::util {
+class CancelToken;
 class MetricsRegistry;
 class Tracer;
 }  // namespace feio::util
@@ -27,6 +28,14 @@ struct RunOptions {
   // untraced ones.
   util::Tracer* tracer = nullptr;
   util::MetricsRegistry* metrics = nullptr;
+
+  // Deadline / cooperative cancellation, optional. Installed (scoped,
+  // thread-local) for the duration of the run; every long-running stage
+  // checks it at coarse boundaries (util/cancel.h). An expired token makes
+  // run() throw util::Cancelled and run_checked report E-RES-005; a run
+  // that finishes before its deadline is byte-identical to an undeadlined
+  // one. The token must outlive the call.
+  const util::CancelToken* cancel = nullptr;
 
   // Diag toggle: run mesh validation inside run_checked and merge its
   // findings into the sink. Off for callers that validate separately.

@@ -1,0 +1,623 @@
+#include "feio/serve.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "feio/api.h"
+#include "idlz/deck.h"
+#include "ospl/deck.h"
+#include "util/cancel.h"
+#include "util/diag.h"
+#include "util/fault.h"
+#include "util/parallel.h"
+
+namespace feio::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Job-line parsing: a flat JSON object with string / integer / bool / null
+// values. Hand-rolled (the repo carries no JSON library) but strict: anything
+// this parser accepts is valid JSON, and anything non-flat is rejected with
+// a message instead of half-parsed.
+
+struct Cursor {
+  std::string_view s;
+  size_t at = 0;
+
+  bool eof() const { return at >= s.size(); }
+  char peek() const { return s[at]; }
+  void skip_ws() {
+    while (!eof() && (s[at] == ' ' || s[at] == '\t' || s[at] == '\r')) ++at;
+  }
+};
+
+bool parse_json_string(Cursor& c, std::string& out, std::string& error) {
+  if (c.eof() || c.peek() != '"') {
+    error = "expected '\"'";
+    return false;
+  }
+  ++c.at;
+  out.clear();
+  while (!c.eof()) {
+    const char ch = c.s[c.at++];
+    if (ch == '"') return true;
+    if (ch != '\\') {
+      out += ch;
+      continue;
+    }
+    if (c.eof()) break;
+    const char esc = c.s[c.at++];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (c.at + 4 > c.s.size()) {
+          error = "truncated \\u escape";
+          return false;
+        }
+        int code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = c.s[c.at++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code |= h - '0';
+          } else if (h >= 'a' && h <= 'f') {
+            code |= h - 'a' + 10;
+          } else if (h >= 'A' && h <= 'F') {
+            code |= h - 'A' + 10;
+          } else {
+            error = "bad \\u escape";
+            return false;
+          }
+        }
+        // Card decks are ASCII; anything beyond is preserved as UTF-8.
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        break;
+      }
+      default:
+        error = std::string("bad escape '\\") + esc + "'";
+        return false;
+    }
+  }
+  error = "unterminated string";
+  return false;
+}
+
+bool parse_json_int(Cursor& c, std::int64_t& out, std::string& error) {
+  bool neg = false;
+  if (!c.eof() && c.peek() == '-') {
+    neg = true;
+    ++c.at;
+  }
+  if (c.eof() || c.peek() < '0' || c.peek() > '9') {
+    error = "expected an integer";
+    return false;
+  }
+  std::int64_t v = 0;
+  int digits = 0;
+  while (!c.eof() && c.peek() >= '0' && c.peek() <= '9') {
+    if (++digits > 15) {
+      error = "integer out of range";
+      return false;
+    }
+    v = v * 10 + (c.s[c.at++] - '0');
+  }
+  if (!c.eof() && (c.peek() == '.' || c.peek() == 'e' || c.peek() == 'E')) {
+    error = "expected an integer, got a fraction";
+    return false;
+  }
+  out = neg ? -v : v;
+  return true;
+}
+
+bool skip_literal(Cursor& c, std::string_view word) {
+  if (c.s.substr(c.at, word.size()) != word) return false;
+  c.at += word.size();
+  return true;
+}
+
+}  // namespace
+
+bool parse_job_line(std::string_view line, Job& job, std::string& error) {
+  job = Job{};
+  Cursor c{line, 0};
+  c.skip_ws();
+  if (c.eof() || c.peek() != '{') {
+    error = "job line must be a JSON object";
+    return false;
+  }
+  ++c.at;
+  bool first = true;
+  while (true) {
+    c.skip_ws();
+    if (!c.eof() && c.peek() == '}') {
+      ++c.at;
+      break;
+    }
+    if (!first) {
+      if (c.eof() || c.peek() != ',') {
+        error = "expected ',' or '}' in job object";
+        return false;
+      }
+      ++c.at;
+      c.skip_ws();
+    }
+    first = false;
+    std::string key;
+    if (!parse_json_string(c, key, error)) {
+      error = "bad key: " + error;
+      return false;
+    }
+    c.skip_ws();
+    if (c.eof() || c.peek() != ':') {
+      error = "expected ':' after key \"" + key + "\"";
+      return false;
+    }
+    ++c.at;
+    c.skip_ws();
+    if (c.eof()) {
+      error = "missing value for key \"" + key + "\"";
+      return false;
+    }
+    if (c.peek() == '"') {
+      std::string value;
+      if (!parse_json_string(c, value, error)) {
+        error = "bad value for \"" + key + "\": " + error;
+        return false;
+      }
+      if (key == "id") {
+        job.id = value;
+      } else if (key == "pipeline") {
+        job.pipeline = value;
+      } else if (key == "deck") {
+        job.deck = value;
+      } else if (key == "fault") {
+        job.fault = value;
+      } else if (key == "deadline_ms") {
+        error = "\"deadline_ms\" must be an integer";
+        return false;
+      }  // unknown string keys ignored
+    } else if (c.peek() == '-' || (c.peek() >= '0' && c.peek() <= '9')) {
+      std::int64_t value = 0;
+      if (!parse_json_int(c, value, error)) {
+        error = "bad value for \"" + key + "\": " + error;
+        return false;
+      }
+      if (key == "deadline_ms") {
+        job.deadline_ms = value;
+      } else if (key == "id" || key == "pipeline" || key == "deck" ||
+                 key == "fault") {
+        error = "\"" + key + "\" must be a string";
+        return false;
+      }
+    } else if (skip_literal(c, "true") || skip_literal(c, "false") ||
+               skip_literal(c, "null")) {
+      if (key == "deadline_ms" || key == "id" || key == "pipeline" ||
+          key == "deck" || key == "fault") {
+        error = "\"" + key + "\" has the wrong type";
+        return false;
+      }
+    } else {
+      error = "value for \"" + key + "\" must be flat (string or integer)";
+      return false;
+    }
+  }
+  c.skip_ws();
+  if (!c.eof()) {
+    error = "trailing characters after job object";
+    return false;
+  }
+  if (job.pipeline != "idlz" && job.pipeline != "ospl") {
+    error = job.pipeline.empty()
+                ? std::string(
+                      "missing \"pipeline\" (want \"idlz\" or \"ospl\")")
+                : "unknown pipeline \"" + job.pipeline + "\"";
+    return false;
+  }
+  if (job.deck.empty()) {
+    error = "missing \"deck\"";
+    return false;
+  }
+  if (job.deadline_ms < 0) {
+    error = "\"deadline_ms\" must be >= 0";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-job execution.
+
+enum class JobStatus { kOk, kRejected, kTimedOut, kFaulted, kError };
+
+const char* status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kRejected: return "rejected";
+    case JobStatus::kTimedOut: return "timeout";
+    case JobStatus::kFaulted: return "faulted";
+    case JobStatus::kError: return "error";
+  }
+  return "error";
+}
+
+// A job's bucket, decided by the diagnostics it ended with. Deadline beats
+// fault beats admission beats generic error: the most pipeline-external
+// cause wins so the summary counts what actually stopped the job.
+JobStatus classify(const DiagSink& sink) {
+  bool rejected = false;
+  bool timed_out = false;
+  bool faulted = false;
+  for (const Diag& d : sink.diags()) {
+    if (d.severity != Severity::kError) continue;
+    if (d.code == "E-RES-005") {
+      timed_out = true;
+    } else if (d.code == "E-RES-006") {
+      faulted = true;
+    } else if (d.code.rfind("E-RES-00", 0) == 0) {
+      rejected = true;
+    }
+  }
+  if (timed_out) return JobStatus::kTimedOut;
+  if (faulted) return JobStatus::kFaulted;
+  if (rejected) return JobStatus::kRejected;
+  if (!sink.ok()) return JobStatus::kError;
+  return JobStatus::kOk;
+}
+
+// One single-line kind-"job" envelope. Diagnostics are capped so a hopeless
+// deck cannot blow the line up; the counts always cover everything.
+std::string render_job_envelope(const std::string& id, std::int64_t seq,
+                                JobStatus status, double elapsed_ms,
+                                const DiagSink& sink) {
+  constexpr size_t kMaxDiags = 8;
+  std::string out = "{";
+  out += "\"schema\": \"" + std::string(kReportSchema) + "\", ";
+  out += "\"kind\": \"job\", ";
+  out += "\"tool_version\": \"" + std::string(kToolVersion) + "\", ";
+  out += "\"generated_by\": \"feio\", ";
+  out += "\"id\": \"" + json_escape(id) + "\", ";
+  out += "\"seq\": " + std::to_string(seq) + ", ";
+  out += "\"status\": \"" + std::string(status_name(status)) + "\", ";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", elapsed_ms);
+  out += "\"elapsed_ms\": " + std::string(buf) + ", ";
+  out += "\"errors\": " + std::to_string(sink.error_count()) + ", ";
+  out += "\"warnings\": " + std::to_string(sink.warning_count()) + ", ";
+  out += "\"diagnostics\": [";
+  size_t emitted = 0;
+  for (const Diag& d : sink.diags()) {
+    if (emitted == kMaxDiags) break;
+    if (emitted > 0) out += ", ";
+    out += "{\"severity\": \"" + std::string(severity_name(d.severity)) +
+           "\", \"code\": \"" + json_escape(d.code) + "\", \"message\": \"" +
+           json_escape(d.message) + "\"}";
+    ++emitted;
+  }
+  out += "]}";
+  return out;
+}
+
+std::int64_t count_cards(const std::string& deck) {
+  if (deck.empty()) return 0;
+  std::int64_t n = 1;
+  for (const char ch : deck) n += ch == '\n';
+  return n;
+}
+
+struct JobOutcome {
+  JobStatus status = JobStatus::kError;
+  std::string envelope;
+  double elapsed_ms = 0.0;
+};
+
+// Runs one admitted job start to finish on the calling (worker) thread.
+// All robustness state — armed faults, guard limits, cancel token — is
+// scoped to this frame, so the worker lane is pristine for the next job
+// no matter how this one ends.
+JobOutcome run_job(const Job& job, std::int64_t seq,
+                   const ServeOptions& opts) {
+  const auto t0 = Clock::now();
+  DiagSink sink;
+  JobOutcome out;
+
+  // Per-job fault isolation: an empty FaultScope masks any process-wide
+  // armed set; the job's own spec (if any) arms inside the fresh scope.
+  util::FaultScope faults;
+  if (!job.fault.empty()) {
+    std::string error;
+    if (!faults.arm(job.fault, error)) {
+      sink.error("E-SRV-001", "bad \"fault\": " + error);
+      out.status = JobStatus::kError;
+      out.elapsed_ms = ms_since(t0);
+      out.envelope =
+          render_job_envelope(job.id, seq, out.status, out.elapsed_ms, sink);
+      return out;
+    }
+  }
+
+  util::ScopedGuard guard(&opts.guard);
+
+  // Deck admission before any parsing or allocation.
+  if (auto rejection = util::admit_deck(
+          "job \"" + job.id + "\"", count_cards(job.deck),
+          static_cast<std::int64_t>(job.deck.size()), opts.guard)) {
+    sink.add(*rejection);
+    out.status = JobStatus::kRejected;
+    out.elapsed_ms = ms_since(t0);
+    out.envelope =
+        render_job_envelope(job.id, seq, out.status, out.elapsed_ms, sink);
+    return out;
+  }
+
+  const std::int64_t deadline_ms =
+      job.deadline_ms > 0 ? job.deadline_ms : opts.default_deadline_ms;
+  const util::CancelToken token{
+      std::chrono::milliseconds(deadline_ms > 0 ? deadline_ms : 1)};
+  const util::CancelToken no_deadline;
+  const util::CancelToken* cancel =
+      deadline_ms > 0 ? &token : &no_deadline;
+  // The deck parsers observe the token through the thread-local current;
+  // run_idlz / run_ospl re-install it from RunOptions.
+  util::ScopedCancel cancel_scope(cancel);
+
+  RunOptions ro;
+  ro.cancel = cancel;
+  ro.threads = 1;  // one lane per job; the pool provides the concurrency
+  ro.make_plots = false;
+  ro.punch = false;
+
+  try {
+    if (job.pipeline == "idlz") {
+      const std::vector<idlz::IdlzCase> cases =
+          idlz::read_deck_string(job.deck, sink, "job:" + job.id);
+      for (const idlz::IdlzCase& c : cases) run_idlz(c, sink, ro);
+    } else {
+      const ospl::OsplCase c =
+          ospl::read_deck_string(job.deck, sink, "job:" + job.id);
+      if (sink.ok()) run_ospl(c, sink, ro);
+    }
+  } catch (const ResourceError& e) {
+    // Thrown outside run_checked's net (deck parsing hits card.read /
+    // deck.parse faults and cancel checks); same structured mapping.
+    sink.error(e.code(), e.what());
+  } catch (const Error& e) {
+    sink.error("E-SRV-002", std::string("job failed: ") + e.what());
+  } catch (const std::exception& e) {
+    sink.error("E-SRV-002", std::string("internal error: ") + e.what());
+  }
+
+  out.status = classify(sink);
+  out.elapsed_ms = ms_since(t0);
+  out.envelope =
+      render_job_envelope(job.id, seq, out.status, out.elapsed_ms, sink);
+  return out;
+}
+
+std::string fmt_ms(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::string ServeSummary::render_bench_json() const {
+  std::string out = "{\n";
+  out += report_header_json("bench");
+  out += "  \"payload_schema\": \"feio.bench.serve/1\",\n";
+  out += "  \"jobs\": " + std::to_string(jobs) + ",\n";
+  out += "  \"ok\": " + std::to_string(ok) + ",\n";
+  out += "  \"rejected\": " + std::to_string(rejected) + ",\n";
+  out += "  \"timed_out\": " + std::to_string(timed_out) + ",\n";
+  out += "  \"faulted\": " + std::to_string(faulted) + ",\n";
+  out += "  \"errors\": " + std::to_string(errors) + ",\n";
+  out += "  \"wall_ms\": " + fmt_ms(wall_ms) + ",\n";
+  out += "  \"jobs_per_sec\": " + fmt_ms(jobs_per_sec) + ",\n";
+  out += "  \"p50_ms\": " + fmt_ms(p50_ms) + ",\n";
+  out += "  \"p99_ms\": " + fmt_ms(p99_ms) + ",\n";
+  out += "  \"max_ms\": " + fmt_ms(max_ms) + "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string ServeSummary::render_table() const {
+  std::string out;
+  out += "SERVE  " + std::to_string(jobs) + " jobs in " + fmt_ms(wall_ms) +
+         " ms (" + fmt_ms(jobs_per_sec) + " jobs/s)\n";
+  out += "  ok .......... " + std::to_string(ok) + "\n";
+  out += "  rejected .... " + std::to_string(rejected) + "\n";
+  out += "  timed out ... " + std::to_string(timed_out) + "\n";
+  out += "  faulted ..... " + std::to_string(faulted) + "\n";
+  out += "  errors ...... " + std::to_string(errors) + "\n";
+  out += "  latency ..... p50 " + fmt_ms(p50_ms) + " ms, p99 " +
+         fmt_ms(p99_ms) + " ms, max " + fmt_ms(max_ms) + " ms\n";
+  return out;
+}
+
+ServeSummary serve_stdin_jsonl(std::istream& in, std::ostream& out,
+                               const ServeOptions& opts) {
+  util::ScopedTracerInstall tracer_scope(opts.tracer);
+  util::ScopedMetricsInstall metrics_scope(opts.metrics);
+
+  const int workers = std::max(1, util::resolve_threads(opts.threads));
+  const int capacity = std::max(1, opts.queue_capacity);
+  util::ThreadPool pool(workers);
+
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::int64_t, std::string> ready;  // seq -> envelope line
+    std::int64_t next_flush = 0;
+    int in_flight = 0;  // admitted jobs whose envelope is not yet recorded
+    ServeSummary summary;
+    std::vector<double> latencies;
+    bool out_failed = false;
+  } shared;
+
+  // Writes every envelope whose turn has come, in input order. Called under
+  // shared.mu; the output stream is only ever touched here.
+  auto flush_ready = [&] {
+    bool wrote = false;
+    for (auto it = shared.ready.begin();
+         it != shared.ready.end() && it->first == shared.next_flush;
+         it = shared.ready.erase(it), ++shared.next_flush) {
+      out << it->second << '\n';
+      wrote = true;
+    }
+    if (wrote) {
+      out.flush();
+      if (out.fail()) shared.out_failed = true;
+    }
+  };
+
+  auto record = [&](std::int64_t seq, const JobOutcome& outcome,
+                    bool admitted) {
+    std::lock_guard<std::mutex> lock(shared.mu);
+    ++shared.summary.jobs;
+    switch (outcome.status) {
+      case JobStatus::kOk: ++shared.summary.ok; break;
+      case JobStatus::kRejected: ++shared.summary.rejected; break;
+      case JobStatus::kTimedOut: ++shared.summary.timed_out; break;
+      case JobStatus::kFaulted: ++shared.summary.faulted; break;
+      case JobStatus::kError: ++shared.summary.errors; break;
+    }
+    shared.latencies.push_back(outcome.elapsed_ms);
+    shared.ready.emplace(seq, outcome.envelope);
+    if (admitted) --shared.in_flight;
+    flush_ready();
+    shared.cv.notify_all();
+  };
+
+  const auto t0 = Clock::now();
+  std::string line;
+  std::int64_t seq = 0;
+  while (std::getline(in, line)) {
+    const std::int64_t this_seq = seq++;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      // A blank line keeps its slot in the output order (a consumer pairing
+      // envelopes to input lines must never desynchronize) but carries no
+      // job: an immediate E-SRV-001 envelope.
+      DiagSink sink;
+      sink.error("E-SRV-001", "blank job line");
+      JobOutcome outcome;
+      outcome.status = JobStatus::kError;
+      outcome.envelope =
+          render_job_envelope("job-" + std::to_string(this_seq), this_seq,
+                              outcome.status, 0.0, sink);
+      record(this_seq, outcome, /*admitted=*/false);
+    } else {
+      bool admitted = false;
+      {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        if (shared.in_flight < capacity) {
+          ++shared.in_flight;
+          admitted = true;
+        }
+      }
+      if (!admitted) {
+        // Queue-full rejection: never started, but still one envelope in
+        // order so the stream stays lockstep with its input.
+        DiagSink sink;
+        sink.error("E-RES-004",
+                   "admission queue full (" + std::to_string(capacity) +
+                       " jobs in flight); job rejected");
+        JobOutcome outcome;
+        outcome.status = JobStatus::kRejected;
+        outcome.envelope =
+            render_job_envelope("job-" + std::to_string(this_seq), this_seq,
+                                outcome.status, 0.0, sink);
+        record(this_seq, outcome, /*admitted=*/false);
+      } else {
+        pool.post([&opts, &record, this_seq, line] {
+          Job job;
+          std::string error;
+          JobOutcome outcome;
+          if (!parse_job_line(line, job, error)) {
+            DiagSink sink;
+            sink.error("E-SRV-001", "malformed job line: " + error);
+            outcome.status = JobStatus::kError;
+            outcome.envelope = render_job_envelope(
+                job.id.empty() ? "job-" + std::to_string(this_seq) : job.id,
+                this_seq, outcome.status, 0.0, sink);
+          } else {
+            if (job.id.empty()) job.id = "job-" + std::to_string(this_seq);
+            outcome = run_job(job, this_seq, opts);
+          }
+          record(this_seq, outcome, /*admitted=*/true);
+        });
+      }
+    }
+    // A dead downstream is a server-stopping condition; stop admitting.
+    {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      if (shared.out_failed) break;
+    }
+  }
+
+  // Drain: every admitted job delivers its envelope (even after an output
+  // failure — workers must never be abandoned mid-run).
+  {
+    std::unique_lock<std::mutex> lock(shared.mu);
+    shared.cv.wait(lock, [&] { return shared.in_flight == 0; });
+    flush_ready();
+  }
+
+  if (shared.out_failed) {
+    fail("E-IO-003: cannot write job envelope to output stream");
+  }
+
+  ServeSummary summary = shared.summary;
+  summary.wall_ms = ms_since(t0);
+  summary.jobs_per_sec =
+      summary.wall_ms > 0.0
+          ? 1000.0 * static_cast<double>(summary.jobs) / summary.wall_ms
+          : 0.0;
+  std::sort(shared.latencies.begin(), shared.latencies.end());
+  summary.p50_ms = percentile(shared.latencies, 0.50);
+  summary.p99_ms = percentile(shared.latencies, 0.99);
+  summary.max_ms = shared.latencies.empty() ? 0.0 : shared.latencies.back();
+  return summary;
+}
+
+}  // namespace feio::serve

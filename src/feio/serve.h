@@ -1,0 +1,109 @@
+// feio serve --stdin-jsonl: the long-lived batch front end.
+//
+// The 1970 workflow was one deck per operator trip to the machine room; the
+// service-shaped equivalent is a persistent process that accepts a stream of
+// jobs and never lets one bad job take the process (or another job's lane)
+// down. serve reads one JSON job per line from stdin, runs each job on a
+// worker pool under the full robustness stack — per-job deadline
+// (util/cancel.h), admission guards (util/guard.h), per-job fault isolation
+// (util/fault.h) — and writes exactly one single-line feio.report/1
+// envelope (kind "job") per input line, in input order.
+//
+// Job line schema (flat JSON object; unknown keys ignored):
+//   {"id": "j1",              optional label, default "job-<seq>"
+//    "pipeline": "idlz",      required: "idlz" | "ospl"
+//    "deck": "1\n...",        required: card images joined by \n
+//    "deadline_ms": 50,       optional, overrides ServeOptions default
+//    "fault": "site:N"}       optional, armed for this job only
+//
+// Admission: a job is rejected up front — never started — when its deck
+// exceeds the configured card/byte limits (E-RES-001) or when more than
+// queue_capacity jobs are already admitted and unfinished (E-RES-004).
+// Rejected jobs still get their envelope; the stream keeps flowing.
+//
+// The summary (ServeSummary) aggregates the whole session and renders as a
+// feio.report/1 bench envelope with payload_schema feio.bench.serve/1
+// (tools/check_report.py validates it; docs/ROBUSTNESS.md documents it).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "util/guard.h"
+
+namespace feio::util {
+class MetricsRegistry;
+class Tracer;
+}  // namespace feio::util
+
+namespace feio::serve {
+
+// One parsed job line.
+struct Job {
+  std::string id;
+  std::string pipeline;       // "idlz" | "ospl"
+  std::string deck;           // card images, newline-separated
+  std::int64_t deadline_ms = 0;  // 0 = use the serve default
+  std::string fault;          // fault spec armed for this job only; "" = none
+};
+
+// Parses one flat-JSON job line into `job`. Returns false and fills
+// `error` (a complete message) on malformed JSON, non-flat values, or a
+// wrong-typed known key; unknown keys are ignored. Exposed for tests.
+bool parse_job_line(std::string_view line, Job& job, std::string& error);
+
+struct ServeOptions {
+  // Worker threads for the job pool: 0 = the process default, < 0 = all
+  // hardware threads. Each job runs single-threaded on its worker (nested
+  // parallelism from a worker is serial by design), so this is the number
+  // of concurrent jobs.
+  int threads = 0;
+
+  // Admission bound: jobs admitted but not yet finished. A line arriving
+  // with the queue full is rejected with E-RES-004 instead of queued.
+  int queue_capacity = 256;
+
+  // Deadline applied to jobs that do not carry their own deadline_ms;
+  // 0 = no default deadline.
+  std::int64_t default_deadline_ms = 0;
+
+  // Per-job admission and in-run guard limits.
+  util::GuardLimits guard = util::GuardLimits::serve_defaults();
+
+  // Observability sinks, installed once for the whole session (both
+  // thread-safe; spans/metrics from concurrent jobs interleave).
+  util::Tracer* tracer = nullptr;
+  util::MetricsRegistry* metrics = nullptr;
+};
+
+// Whole-session aggregate. jobs == ok + rejected + timed_out + faulted +
+// errors; every input line lands in exactly one bucket.
+struct ServeSummary {
+  std::int64_t jobs = 0;
+  std::int64_t ok = 0;
+  std::int64_t rejected = 0;   // admission guards: E-RES-001..004
+  std::int64_t timed_out = 0;  // E-RES-005
+  std::int64_t faulted = 0;    // E-RES-006
+  std::int64_t errors = 0;     // anything else that failed
+  double wall_ms = 0.0;
+  double jobs_per_sec = 0.0;
+  double p50_ms = 0.0;  // per-job latency percentiles over all jobs
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+
+  // feio.report/1 bench envelope, payload_schema feio.bench.serve/1.
+  std::string render_bench_json() const;
+  // Human-readable table for stderr.
+  std::string render_table() const;
+};
+
+// Runs the serve loop: reads job lines from `in` until EOF, writes one
+// envelope line per job to `out` in input order, returns the summary.
+// Throws feio::Error (code E-IO-003 in the message) when `out` fails —
+// a dead downstream pipe must stop the server, not spin it.
+ServeSummary serve_stdin_jsonl(std::istream& in, std::ostream& out,
+                               const ServeOptions& opts = {});
+
+}  // namespace feio::serve

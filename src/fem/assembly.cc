@@ -5,6 +5,8 @@
 #include <numbers>
 
 #include "util/error.h"
+#include "util/fault.h"
+#include "util/guard.h"
 #include "util/parallel.h"
 #include "util/trace.h"
 
@@ -96,6 +98,8 @@ void StaticProblem::assemble_unconstrained(BandedMatrix& k,
   FEIO_REQUIRE(k.size() == num_dofs(), "stiffness matrix size mismatch");
   FEIO_TRACE_SPAN(span, "fem.assemble");
   span.arg("elements", mesh_->num_elements());
+  util::guard_check_dofs(num_dofs(), "stiffness dofs");
+  FEIO_FAULT("fem.assemble");
   rhs.assign(static_cast<size_t>(num_dofs()), 0.0);
 
   // Element stiffness, computed in parallel: each chunk of elements fills a

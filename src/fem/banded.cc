@@ -4,7 +4,10 @@
 #include <cmath>
 #include <string>
 
+#include "util/cancel.h"
 #include "util/error.h"
+#include "util/fault.h"
+#include "util/guard.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/trace.h"
@@ -16,6 +19,13 @@ BandedMatrix::BandedMatrix(int n, int half_bandwidth)
   FEIO_REQUIRE(n >= 1, "matrix size must be positive");
   FEIO_REQUIRE(half_bandwidth >= 0, "half-bandwidth must be non-negative");
   hbw_ = std::min(hbw_, n_ - 1);
+  // Guard before the one big allocation of the solve: band storage is the
+  // factor's exact footprint, n * (hbw + 1) doubles.
+  util::guard_check_factor_bytes(
+      static_cast<std::int64_t>(n_) * (hbw_ + 1) *
+          static_cast<std::int64_t>(sizeof(double)),
+      "banded factor storage bytes");
+  FEIO_FAULT("fem.alloc");
   band_.assign(static_cast<size_t>(n_) * (hbw_ + 1), 0.0);
 }
 
@@ -103,6 +113,9 @@ void BandedMatrix::factorize() {
   // produces bitwise-identical factors at any thread setting.
   if (hbw_ < 16) {
     for (int j = 0; j < n_; ++j) {
+      // Coarse enough to stay off profiles: one thread-local load per 128
+      // columns of a cheap narrow-band sweep.
+      if ((j & 127) == 0) FEIO_CHECK_CANCEL("fem.factorize.column");
       double d = slot(j, j);
       const int lo = std::max(0, j - hbw_);
       for (int k = lo; k < j; ++k) {
@@ -145,6 +158,8 @@ void BandedMatrix::factorize() {
   // entry's summation, so factors are bit-identical for any thread count.
   const int B = std::max(8, std::min(64, hbw_ / 2));
   for (int p0 = 0; p0 < n_; p0 += B) {
+    FEIO_CHECK_CANCEL("fem.factorize.panel");
+    FEIO_FAULT("fem.factorize.panel");
     const int p1 = std::min(n_, p0 + B);
     FEIO_METRIC_ADD("fem.factorize.panels", 1);
 

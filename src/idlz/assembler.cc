@@ -6,6 +6,9 @@
 #include <set>
 #include <string>
 
+#include "util/cancel.h"
+#include "util/fault.h"
+#include "util/guard.h"
 #include "util/parallel.h"
 
 namespace feio::idlz {
@@ -144,6 +147,18 @@ Assembly assemble(const std::vector<Subdivision>& subdivisions,
            "subdivision " + std::to_string(sub.id));
     }
   }
+
+  // Admission guard, before any node allocation: the grid bounding boxes
+  // overestimate the final node count (shared grid points dedup), so a
+  // deck that passes here can at worst allocate what it declared.
+  FEIO_FAULT("idlz.assemble");
+  std::int64_t estimated_nodes = 0;
+  for (const Subdivision& sub : subdivisions) {
+    estimated_nodes += static_cast<std::int64_t>(sub.k2 - sub.k1 + 1) *
+                       static_cast<std::int64_t>(sub.l2 - sub.l1 + 1);
+  }
+  util::guard_check_dofs(estimated_nodes, "assemblage nodes (estimated)");
+
   std::vector<std::vector<GridPoint>> points(subdivisions.size());
   util::parallel_for(static_cast<std::int64_t>(subdivisions.size()),
                      [&](std::int64_t si) {
@@ -151,6 +166,7 @@ Assembly assemble(const std::vector<Subdivision>& subdivisions,
                            subdivisions[static_cast<size_t>(si)].grid_points();
                      });
   for (size_t si = 0; si < subdivisions.size(); ++si) {
+    FEIO_CHECK_CANCEL("idlz.assemble.number");
     for (const GridPoint& gp : points[si]) {
       auto [it, inserted] = out.node_at.try_emplace(
           gp, static_cast<int>(out.grid_of.size()));

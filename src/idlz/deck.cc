@@ -5,6 +5,7 @@
 #include "cards/card_io.h"
 #include "idlz/punch.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/metrics.h"
 #include "util/strings.h"
 #include "util/trace.h"
@@ -121,6 +122,7 @@ std::vector<IdlzCase> read_deck(std::istream& in, DiagSink& sink,
     }
     IdlzCase c;
     c.deck_name = deck_name;
+    FEIO_FAULT("deck.parse");
     const auto title = reader.try_read(fmt_title(), sink);
     if (!title) return cases;
     c.title = join_title(*title);

@@ -9,6 +9,8 @@
 #include "mesh/quality.h"
 #include "mesh/validate.h"
 #include "plot/mesh_plot.h"
+#include "util/cancel.h"
+#include "util/fault.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/strings.h"
@@ -20,6 +22,7 @@ IdlzResult run(const IdlzCase& c, const RunOptions& opts) {
   util::ScopedTracerInstall tracer_scope(opts.tracer);
   util::ScopedMetricsInstall metrics_scope(opts.metrics);
   util::ScopedThreads threads_scope(opts.threads);
+  util::ScopedCancel cancel_scope(opts.cancel);
 
   FEIO_TRACE_SPAN(run_span, "idlz.run");
   run_span.arg("title", c.title);
@@ -40,6 +43,7 @@ IdlzResult run(const IdlzCase& c, const RunOptions& opts) {
   FEIO_METRIC_ADD("idlz.elements_created", assembly.mesh.num_elements());
 
   // 2. Shape: locate every node's rectangular coordinates.
+  FEIO_CHECK_CANCEL("idlz.shape");
   {
     FEIO_TRACE_SPAN(span, "idlz.shape");
     r.shaping = shape(c.subdivisions, c.shaping, assembly, c.options.limits);
@@ -51,6 +55,7 @@ IdlzResult run(const IdlzCase& c, const RunOptions& opts) {
   FEIO_METRIC_ADD("idlz.nodes_interpolated", r.shaping.nodes_interpolated);
 
   // 3. Reform elements with needle-like corners.
+  FEIO_CHECK_CANCEL("idlz.reform");
   if (c.options.reform_elements) {
     FEIO_TRACE_SPAN(span, "idlz.reform");
     r.reform = reform(assembly.mesh);
@@ -104,6 +109,7 @@ IdlzResult run(const IdlzCase& c, const RunOptions& opts) {
   r.volume.located_coordinates = static_cast<int>(card_ends.size());
 
   // 6. Optional plots (Figure 11): initial, final, per-subdivision numbered.
+  FEIO_CHECK_CANCEL("idlz.plots");
   if (c.options.make_plots && opts.make_plots) {
     FEIO_TRACE_SPAN(span, "idlz.plots");
     r.plots.push_back(
@@ -136,8 +142,10 @@ IdlzResult run(const IdlzCase& c, const RunOptions& opts) {
   }
 
   // 7. Optional punched output.
+  FEIO_CHECK_CANCEL("idlz.punch");
   if (c.options.punch_output && opts.punch) {
     FEIO_TRACE_SPAN(span, "idlz.punch");
+    FEIO_FAULT("idlz.punch");
     r.nodal_cards = punch_nodal_cards(r.mesh, c.options.nodal_format);
     r.element_cards = punch_element_cards(r.mesh, c.options.element_format);
     FEIO_METRIC_ADD("idlz.cards_punched",
@@ -151,6 +159,7 @@ std::optional<IdlzResult> run_checked(const IdlzCase& c, DiagSink& sink,
   util::ScopedTracerInstall tracer_scope(opts.tracer);
   util::ScopedMetricsInstall metrics_scope(opts.metrics);
   util::ScopedThreads threads_scope(opts.threads);
+  util::ScopedCancel cancel_scope(opts.cancel);
   const std::string prefix =
       c.title.empty() ? std::string() : "set '" + c.title + "': ";
   try {
@@ -172,6 +181,11 @@ std::optional<IdlzResult> run_checked(const IdlzCase& c, DiagSink& sink,
           {c.deck_name, c.options.element_format_card, 0, 0});
     }
     return r;
+  } catch (const ResourceError& e) {
+    // Cancellation, admission-guard and injected-fault failures keep their
+    // stable E-RES code instead of folding into the generic pipeline error.
+    sink.error(e.code(), prefix + e.what());
+    return std::nullopt;
   } catch (const Error& e) {
     sink.error("E-IDLZ-006", prefix + e.what());
     return std::nullopt;

@@ -9,6 +9,8 @@
 #include <string>
 
 #include "geom/arc.h"
+#include "util/cancel.h"
+#include "util/fault.h"
 #include "util/parallel.h"
 
 namespace feio::idlz {
@@ -76,6 +78,8 @@ ShapingReport shape(const std::vector<Subdivision>& subdivisions,
   }
 
   for (size_t si = 0; si < subdivisions.size(); ++si) {
+    FEIO_CHECK_CANCEL("idlz.shape.subdivision");
+    FEIO_FAULT("idlz.shape");
     const Subdivision& sub = subdivisions[si];
     std::vector<char> own(static_cast<size_t>(assembly.mesh.num_nodes()), 0);
 

@@ -4,7 +4,9 @@
 #include <array>
 #include <cstdint>
 
+#include "util/cancel.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/parallel.h"
 
 namespace feio::ospl {
@@ -57,6 +59,9 @@ void extract_range(const mesh::TriMesh& mesh,
                    const std::vector<double>& levels, int begin, int end,
                    std::vector<ContourSegment>& out) {
   for (int e = begin; e < end; ++e) {
+    // Coarse cancel granularity: one thread-local load per 512 elements.
+    if (((e - begin) & 511) == 0) FEIO_CHECK_CANCEL("ospl.contour.element");
+    FEIO_FAULT("ospl.contour");
     // "The number and size of the contours passing through the element are
     // determined" — skip levels outside the element's value range.
     const mesh::Element& el = mesh.element(e);

@@ -4,6 +4,7 @@
 
 #include "cards/card_io.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/metrics.h"
 #include "util/strings.h"
 #include "util/trace.h"
@@ -72,6 +73,7 @@ OsplCase read_deck(std::istream& in, DiagSink& sink,
     }
   } count_on_exit{c, reader, span};
 
+  FEIO_FAULT("deck.parse");
   const auto t1 = reader.try_read(fmt_type1(), sink);
   if (!t1) return c;
   c.header_card = reader.card_number();

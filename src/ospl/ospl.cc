@@ -7,7 +7,10 @@
 
 #include "mesh/topology.h"
 #include "mesh/validate.h"
+#include "util/cancel.h"
 #include "util/error.h"
+#include "util/fault.h"
+#include "util/guard.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/strings.h"
@@ -33,11 +36,13 @@ OsplResult run(const OsplCase& c, const RunOptions& opts) {
   util::ScopedTracerInstall tracer_scope(opts.tracer);
   util::ScopedMetricsInstall metrics_scope(opts.metrics);
   util::ScopedThreads threads_scope(opts.threads);
+  util::ScopedCancel cancel_scope(opts.cancel);
 
   FEIO_TRACE_SPAN(run_span, "ospl.run");
   run_span.arg("title", c.title1);
   FEIO_METRIC_ADD("ospl.cases_run", 1);
 
+  util::guard_check_dofs(c.mesh.num_nodes(), "iso-plot mesh nodes");
   FEIO_REQUIRE(c.mesh.num_nodes() > 0, "OSPL needs at least one node");
   FEIO_REQUIRE(static_cast<int>(c.values.size()) == c.mesh.num_nodes(),
                "one value per node required");
@@ -82,6 +87,7 @@ OsplResult run(const OsplCase& c, const RunOptions& opts) {
   FEIO_METRIC_ADD("ospl.levels", static_cast<std::int64_t>(r.levels.size()));
 
   // Extract and clip contour segments.
+  FEIO_CHECK_CANCEL("ospl.contours");
   {
     FEIO_TRACE_SPAN(span, "ospl.contours");
     std::vector<ContourSegment> raw =
@@ -100,6 +106,7 @@ OsplResult run(const OsplCase& c, const RunOptions& opts) {
   }
 
   // Boundary: adjacent boundary nodes connected by straight lines.
+  FEIO_CHECK_CANCEL("ospl.boundary");
   std::set<mesh::Edge> boundary_edges;
   {
     FEIO_TRACE_SPAN(span, "ospl.boundary");
@@ -122,8 +129,10 @@ OsplResult run(const OsplCase& c, const RunOptions& opts) {
   if (label_opts.auto_decimals) {
     label_opts.decimals = decimals_for_interval(r.delta);
   }
+  FEIO_CHECK_CANCEL("ospl.labels");
   {
     FEIO_TRACE_SPAN(span, "ospl.labels");
+    FEIO_FAULT("ospl.labels");
     r.labels = place_labels(r.segments, boundary_edges, window, label_opts);
     span.arg("accepted", static_cast<std::int64_t>(r.labels.accepted.size()));
   }
@@ -153,6 +162,7 @@ std::optional<OsplResult> run_checked(const OsplCase& c, DiagSink& sink,
   util::ScopedTracerInstall tracer_scope(opts.tracer);
   util::ScopedMetricsInstall metrics_scope(opts.metrics);
   util::ScopedThreads threads_scope(opts.threads);
+  util::ScopedCancel cancel_scope(opts.cancel);
   if (opts.validate_mesh) {
     FEIO_TRACE_SPAN(span, "ospl.validate");
     const mesh::ValidationReport rep = mesh::validate(c.mesh);
@@ -165,6 +175,11 @@ std::optional<OsplResult> run_checked(const OsplCase& c, DiagSink& sink,
   }
   try {
     return run(c, opts);
+  } catch (const ResourceError& e) {
+    // Cancellation, admission-guard and injected-fault failures keep their
+    // stable E-RES code instead of folding into the generic pipeline error.
+    sink.error(e.code(), e.what());
+    return std::nullopt;
   } catch (const Error& e) {
     sink.error("E-OSPL-005", e.what());
     return std::nullopt;

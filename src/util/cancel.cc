@@ -1,0 +1,54 @@
+#include "util/cancel.h"
+
+#include <string>
+
+namespace feio::util {
+namespace {
+
+thread_local const CancelToken* tl_current_token = nullptr;
+
+std::string cancel_message(const char* site, bool deadline) {
+  std::string msg = deadline ? "job deadline exceeded" : "job cancelled";
+  msg += " (at ";
+  msg += site;
+  msg += ")";
+  return msg;
+}
+
+}  // namespace
+
+Cancelled::Cancelled(const char* site, bool deadline)
+    : ResourceError("E-RES-005", cancel_message(site, deadline)) {}
+
+CancelToken::CancelToken(std::chrono::nanoseconds budget)
+    : has_deadline_(true),
+      deadline_(std::chrono::steady_clock::now() + budget) {}
+
+bool CancelToken::expired() const {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+}
+
+void CancelToken::check(const char* site) const {
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    throw Cancelled(site, /*deadline=*/false);
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    throw Cancelled(site, /*deadline=*/true);
+  }
+}
+
+const CancelToken* CancelToken::current() { return tl_current_token; }
+
+ScopedCancel::ScopedCancel(const CancelToken* t) {
+  if (t == nullptr) return;
+  previous_ = tl_current_token;
+  tl_current_token = t;
+  installed_ = true;
+}
+
+ScopedCancel::~ScopedCancel() {
+  if (installed_) tl_current_token = previous_;
+}
+
+}  // namespace feio::util

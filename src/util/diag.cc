@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/metrics.h"
 #include "util/report.h"
 
@@ -138,6 +139,7 @@ std::string DiagSink::render_text() const {
 }
 
 std::string DiagSink::render_report_json(std::string_view kind) const {
+  FEIO_FAULT("report.write");
   const std::string body = render_json();
   // render_json() always opens with "{\n"; splice the envelope members in
   // so the payload fields stay byte-for-byte what legacy consumers expect.

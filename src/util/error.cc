@@ -12,6 +12,9 @@ Error::Error(std::string message, std::string context)
                                          : message + " [" + context + "]"),
       context_(std::move(context)) {}
 
+ResourceError::ResourceError(std::string code, std::string message)
+    : Error(std::move(message)), code_(std::move(code)) {}
+
 void fail(const std::string& message) { throw Error(message); }
 
 void fail(const std::string& message, const std::string& context) {

@@ -27,6 +27,23 @@ class Error : public std::runtime_error {
   std::string context_;
 };
 
+// A recoverable failure that carries a stable E-RES-00x diagnostic code:
+// admission-guard rejections (util/guard.h), cooperative cancellation
+// (util/cancel.h), and injected faults (util/fault.h). run_checked maps a
+// caught ResourceError onto sink.error(code, what()) so a rejected,
+// timed-out or faulted job ends with the documented diagnostic instead of a
+// generic pipeline error. Catalog in docs/ROBUSTNESS.md.
+class ResourceError : public Error {
+ public:
+  ResourceError(std::string code, std::string message);
+
+  // Stable diagnostic code, e.g. "E-RES-005".
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
 // Throws feio::Error with printf-style convenience handled by the caller.
 [[noreturn]] void fail(const std::string& message);
 [[noreturn]] void fail(const std::string& message, const std::string& context);

@@ -1,0 +1,76 @@
+#include "util/guard.h"
+
+#include <string>
+
+namespace feio::util {
+namespace {
+
+thread_local const GuardLimits* tl_guard = nullptr;
+
+std::string over(std::string_view what, std::int64_t have,
+                 std::int64_t limit) {
+  return std::string(what) + " " + std::to_string(have) +
+         " exceeds the admission limit " + std::to_string(limit);
+}
+
+}  // namespace
+
+GuardLimits GuardLimits::serve_defaults() {
+  GuardLimits g;
+  g.max_deck_cards = 100000;                  // ~1250 full 80-col boxes
+  g.max_deck_bytes = 8LL * 1024 * 1024;       // 8 MiB of card images
+  g.max_dofs = 2000000;                       // 2M nodes/dofs
+  g.max_factor_bytes = 1LL * 1024 * 1024 * 1024;  // 1 GiB factor storage
+  return g;
+}
+
+ScopedGuard::ScopedGuard(const GuardLimits* g) {
+  if (g == nullptr) return;
+  previous_ = tl_guard;
+  tl_guard = g;
+  installed_ = true;
+}
+
+ScopedGuard::~ScopedGuard() {
+  if (installed_) tl_guard = previous_;
+}
+
+const GuardLimits* current_guard() { return tl_guard; }
+
+std::optional<Diag> admit_deck(std::string_view what, std::int64_t cards,
+                               std::int64_t bytes,
+                               const GuardLimits& limits) {
+  Diag d;
+  d.severity = Severity::kError;
+  d.code = "E-RES-001";
+  if (limits.max_deck_cards > 0 && cards > limits.max_deck_cards) {
+    d.message = std::string(what) + ": deck of " + std::to_string(cards) +
+                " cards exceeds the admission limit " +
+                std::to_string(limits.max_deck_cards);
+    return d;
+  }
+  if (limits.max_deck_bytes > 0 && bytes > limits.max_deck_bytes) {
+    d.message = std::string(what) + ": deck of " + std::to_string(bytes) +
+                " bytes exceeds the admission limit " +
+                std::to_string(limits.max_deck_bytes);
+    return d;
+  }
+  return std::nullopt;
+}
+
+void guard_check_dofs(std::int64_t dofs, std::string_view what) {
+  const GuardLimits* g = tl_guard;
+  if (g == nullptr || g->max_dofs <= 0 || dofs <= g->max_dofs) return;
+  throw ResourceError("E-RES-002", over(what, dofs, g->max_dofs));
+}
+
+void guard_check_factor_bytes(std::int64_t bytes, std::string_view what) {
+  const GuardLimits* g = tl_guard;
+  if (g == nullptr || g->max_factor_bytes <= 0 ||
+      bytes <= g->max_factor_bytes) {
+    return;
+  }
+  throw ResourceError("E-RES-003", over(what, bytes, g->max_factor_bytes));
+}
+
+}  // namespace feio::util

@@ -1,0 +1,79 @@
+// Admission guards: reject oversized jobs up front with a structured
+// E-RES-00x diagnostic instead of letting them OOM-kill or monopolize the
+// process.
+//
+// Two usage shapes share one GuardLimits struct:
+//   1. Pre-run admission (serve, CLI front ends): the admit_* helpers take
+//      cheaply measurable job properties (deck cards/bytes) and return the
+//      rejection Diag without throwing — the job is never started.
+//   2. In-run guards (assembler node numbering, FEM dof count, banded
+//      factor storage): a ScopedGuard installs the limits thread-locally
+//      (inherited across parallel chunks like the cancel token), and the
+//      guard_check_* helpers throw util::ResourceError at the first point
+//      the pipeline can bound the job's size — before the big allocation,
+//      not after the OOM.
+//
+// Codes (cataloged in docs/ROBUSTNESS.md and docs/DIAGNOSTICS.md):
+//   E-RES-001  deck exceeds max_deck_cards / max_deck_bytes
+//   E-RES-002  node/dof count exceeds max_dofs
+//   E-RES-003  estimated factor storage exceeds max_factor_bytes
+//   E-RES-004  admission queue full (serve backpressure)
+//   E-RES-005  deadline exceeded / cancelled (util/cancel.h)
+//   E-RES-006  injected fault (util/fault.h)
+//
+// All limits default to 0 = unlimited, so an empty GuardLimits (and a
+// process with no ScopedGuard installed) behaves exactly like the
+// pre-guard library.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "util/diag.h"
+#include "util/error.h"
+
+namespace feio::util {
+
+struct GuardLimits {
+  std::int64_t max_deck_cards = 0;    // 0 = unlimited
+  std::int64_t max_deck_bytes = 0;
+  std::int64_t max_dofs = 0;          // nodes (IDLZ/OSPL) or dofs (FEM)
+  std::int64_t max_factor_bytes = 0;  // banded factor storage estimate
+
+  // The serve loop's defaults: roomy for real decks, tight enough that a
+  // hostile job cannot allocate the machine away (docs/ROBUSTNESS.md).
+  static GuardLimits serve_defaults();
+};
+
+// Installs `g` as the calling thread's limits for the scope; restores the
+// previous limits on destruction. Null is a no-op. parallel_chunks carries
+// the submitting thread's limits onto pool workers per chunk.
+class ScopedGuard {
+ public:
+  explicit ScopedGuard(const GuardLimits* g);
+  ~ScopedGuard();
+  ScopedGuard(const ScopedGuard&) = delete;
+  ScopedGuard& operator=(const ScopedGuard&) = delete;
+
+ private:
+  const GuardLimits* previous_ = nullptr;
+  bool installed_ = false;
+};
+
+// The calling thread's installed limits, or nullptr (everything admitted).
+const GuardLimits* current_guard();
+
+// Pre-run admission checks: the rejection diagnostic, or nullopt when the
+// job is admissible (or the corresponding limit is 0). `what` names the job
+// in the message ("job j17", a deck path, ...).
+std::optional<Diag> admit_deck(std::string_view what, std::int64_t cards,
+                               std::int64_t bytes, const GuardLimits& limits);
+
+// In-run guards against the installed limits; no-ops when no guard is
+// installed or the limit is 0. `what` describes the quantity being bounded
+// ("assemblage nodes (estimated)", "stiffness dofs"). Throw ResourceError.
+void guard_check_dofs(std::int64_t dofs, std::string_view what);
+void guard_check_factor_bytes(std::int64_t bytes, std::string_view what);
+
+}  // namespace feio::util

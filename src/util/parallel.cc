@@ -5,6 +5,10 @@
 #include <exception>
 #include <memory>
 
+#include "util/cancel.h"
+#include "util/error.h"
+#include "util/fault.h"
+#include "util/guard.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -107,18 +111,40 @@ void ThreadPool::worker_loop() {
 
 bool ThreadPool::on_worker_thread() { return tl_on_worker; }
 
+void ThreadPool::post(std::function<void()> task) {
+  FEIO_ASSERT(!threads_.empty());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::run_chunks(std::int64_t n, int chunks,
                             const ChunkBody& body) {
   if (n <= 0) return;
   const int c_total =
       static_cast<int>(std::min<std::int64_t>(std::max(chunks, 1), n));
 
+  // The submitting thread's robustness context, captured once here and
+  // re-installed on whichever thread executes each chunk. Chunks inherit
+  // the job's cancel token, guard limits and armed faults exactly as if
+  // they ran inline on the submitter.
+  const CancelToken* cancel = CancelToken::current();
+  const GuardLimits* guard = current_guard();
+  detail::FaultSet* faults = FaultScope::current();
+
   // Chunk-boundary observability: each chunk gets a span on whatever
   // thread (worker or submitter) executes it, plus scheduling metrics.
   // Costs one atomic load per chunk when tracing/metrics are off; chunks
   // are coarse, so this stays under the bench regression budget.
-  const ChunkBody traced_body = [&body](int c, std::int64_t begin,
-                                        std::int64_t end) {
+  const ChunkBody traced_body = [&body, cancel, guard, faults](
+                                    int c, std::int64_t begin,
+                                    std::int64_t end) {
+    ScopedCancel inherit_cancel(cancel);
+    ScopedGuard inherit_guard(guard);
+    ScopedFaultInherit inherit_faults(faults);
+    if (cancel != nullptr) cancel->check("parallel.chunk");
     FEIO_TRACE_SPAN(span, "parallel.chunk");
     span.arg("chunk", c);
     span.arg("items", end - begin);

@@ -15,6 +15,14 @@
 //   4. Nested-free: a parallel_chunks() call made from inside a pool worker
 //      executes serially inline (same chunk partition, same order), so
 //      nested parallelism can never deadlock or oversubscribe.
+//   5. Cancellation-aware: run_chunks captures the submitting thread's
+//      cancel token, guard limits and armed faults (util/cancel.h,
+//      util/guard.h, util/fault.h) and re-installs them on whichever thread
+//      executes each chunk, checking the token at every chunk boundary. A
+//      cancelled batch finishes fast (each remaining chunk throws at its
+//      boundary instead of doing its work) and rethrows util::Cancelled via
+//      the rule-3 lowest-index contract; a batch that is never cancelled is
+//      byte-identical to an uncancelled run.
 //
 // The library default is serial (default_threads() == 1): existing callers
 // see bit-identical behavior until `feio --threads N` or a programmatic
@@ -100,6 +108,13 @@ class ThreadPool {
   // without calling body. See the file comment for the exception and
   // nesting contracts.
   void run_chunks(std::int64_t n, int chunks, const ChunkBody& body);
+
+  // Enqueues one independent task for some worker to run; returns
+  // immediately. Unlike run_chunks there is no completion barrier — callers
+  // track their own (feio serve's admission queue does). Requires a pool
+  // with at least one worker; a task that lets an exception escape
+  // terminates the process, so tasks must catch everything they can raise.
+  void post(std::function<void()> task);
 
   // The process-wide pool used by the free functions below. Sized to
   // hardware_threads() - 1 workers (the caller supplies the final lane).

@@ -4,7 +4,7 @@
 //
 // Every document is a JSON object whose first four members are
 //   "schema":       "feio.report/1"
-//   "kind":         "diag" | "lint" | "bench" | "metrics"
+//   "kind":         "diag" | "lint" | "bench" | "metrics" | "job"
 //   "tool_version": the feio release that wrote it
 //   "generated_by": "feio"
 // followed by kind-specific fields (the pre-envelope payloads, unchanged,
@@ -20,7 +20,7 @@
 namespace feio {
 
 // The feio release; bumped per PR-sized change set.
-inline constexpr std::string_view kToolVersion = "0.4.0";
+inline constexpr std::string_view kToolVersion = "0.5.0";
 
 // The envelope's schema id.
 inline constexpr std::string_view kReportSchema = "feio.report/1";

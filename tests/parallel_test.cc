@@ -4,6 +4,7 @@
 #include "util/parallel.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
@@ -130,6 +131,59 @@ TEST(ParallelTest, LowestIndexedExceptionWinsAndAllChunksComplete) {
     EXPECT_STREQ(e.what(), "chunk 1");
   }
   EXPECT_EQ(completed, 2);  // chunks 0 and 2 still ran to completion
+}
+
+// Every chunk throws, across several pool shapes: the winner must always be
+// chunk 0 (what a serial sweep would hit first), every queued chunk must be
+// drained rather than leaked, and the pool must stay usable — repeatedly.
+TEST(ParallelTest, AllChunksThrowingIsDeterministicAcrossPoolSizes) {
+  for (int threads : {1, 2, 3, 8}) {
+    util::ThreadPool pool(threads);
+    for (int round = 0; round < 5; ++round) {
+      std::atomic<int> attempted{0};
+      try {
+        pool.run_chunks(1000, 32, [&](int c, std::int64_t, std::int64_t) {
+          attempted++;
+          throw std::runtime_error("chunk " + std::to_string(c));
+        });
+        FAIL() << "expected an exception (" << threads << " threads)";
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "chunk 0") << threads << " threads";
+      }
+      // run_chunks returns only after every chunk ran (drained, not
+      // leaked): a leaked chunk would surface as attempted < 32 here or as
+      // a stray execution corrupting the next round's count.
+      EXPECT_EQ(attempted, 32) << threads << " threads, round " << round;
+      std::atomic<std::int64_t> sum{0};
+      pool.run_chunks(10, 2, [&](int, std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) sum += i;
+      });
+      EXPECT_EQ(sum, 45) << threads << " threads, round " << round;
+    }
+  }
+}
+
+TEST(ParallelTest, PostRunsDetachedTasks) {
+  util::ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  for (int i = 0; i < 100; ++i) {
+    pool.post([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == 100; });
+  EXPECT_EQ(done, 100);
+  // post() shares the queue with run_chunks; both must keep working.
+  std::atomic<std::int64_t> sum{0};
+  pool.run_chunks(10, 4, [&](int, std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 45);
 }
 
 TEST(ParallelTest, PoolIsReusableAfterAnException) {

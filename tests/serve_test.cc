@@ -1,0 +1,406 @@
+// Tests for feio::serve (src/feio/serve.h): job-line parsing, the
+// stdin-jsonl loop's one-envelope-per-line contract, admission behavior,
+// per-job state isolation, and the feio.bench.serve/1 summary. The big one
+// is the ISSUE acceptance scenario: a 500-job mixed stream that must finish
+// with zero hangs, one valid envelope per input line, and a summary whose
+// buckets sum to the job count.
+#include "feio/serve.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "idlz/deck.h"
+#include "json_check.h"
+#include "ospl/deck.h"
+#include "ospl/ospl.h"
+#include "scenarios/pipeline_bench.h"
+#include "util/fault.h"
+
+using namespace feio;
+
+namespace {
+
+// --- parse_job_line --------------------------------------------------------
+
+TEST(ServeParseTest, AcceptsAFullJobLine) {
+  serve::Job job;
+  std::string error;
+  ASSERT_TRUE(serve::parse_job_line(
+      R"({"id": "j1", "pipeline": "idlz", "deck": "A\nB", "deadline_ms": 50,)"
+      R"( "fault": "card.read:2"})",
+      job, error))
+      << error;
+  EXPECT_EQ(job.id, "j1");
+  EXPECT_EQ(job.pipeline, "idlz");
+  EXPECT_EQ(job.deck, "A\nB");
+  EXPECT_EQ(job.deadline_ms, 50);
+  EXPECT_EQ(job.fault, "card.read:2");
+}
+
+TEST(ServeParseTest, DefaultsAndUnknownKeys) {
+  serve::Job job;
+  std::string error;
+  ASSERT_TRUE(serve::parse_job_line(
+      R"({"pipeline": "ospl", "deck": "X", "extra": 7, "flag": true})", job,
+      error))
+      << error;
+  EXPECT_EQ(job.id, "");
+  EXPECT_EQ(job.deadline_ms, 0);
+  EXPECT_EQ(job.fault, "");
+}
+
+TEST(ServeParseTest, EscapesDecodeIntoTheDeck) {
+  serve::Job job;
+  std::string error;
+  ASSERT_TRUE(serve::parse_job_line(
+      R"({"pipeline": "idlz", "deck": "a\tb\\c\"dA"})", job, error))
+      << error;
+  EXPECT_EQ(job.deck, "a\tb\\c\"dA");
+}
+
+TEST(ServeParseTest, RejectsMalformedLines) {
+  serve::Job job;
+  std::string error;
+  const char* bad[] = {
+      "",                                          // not an object
+      "[1, 2]",                                    // not an object
+      R"({"pipeline": "idlz"})",                   // missing deck
+      R"({"deck": "X"})",                          // missing pipeline
+      R"({"pipeline": "punch", "deck": "X"})",     // unknown pipeline
+      R"({"pipeline": "idlz", "deck": 7})",        // wrong type
+      R"({"pipeline": "idlz", "deck": "X", "deadline_ms": "50"})",
+      R"({"pipeline": "idlz", "deck": "X", "deadline_ms": -1})",
+      R"({"pipeline": "idlz", "deck": "X", "nested": {"a": 1}})",
+      R"({"pipeline": "idlz", "deck": "X"} trailing)",
+      R"({"pipeline": "idlz", "deck": "unterminated)",
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(serve::parse_job_line(line, job, error)) << line;
+    EXPECT_FALSE(error.empty()) << line;
+  }
+}
+
+// --- Serve loop fixtures ---------------------------------------------------
+
+// A deck string must be embeddable in a flat JSON line: escape the newlines.
+std::string json_escape_deck(const std::string& deck) {
+  std::string out;
+  for (const char c : deck) {
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string small_idlz_deck() {
+  static const std::string deck =
+      idlz::write_deck({scenarios::strip_case(4, 5, 1)});
+  return deck;
+}
+
+std::string small_ospl_deck() {
+  static const std::string deck = [] {
+    ospl::OsplCase c;
+    const int n = 4;
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        c.mesh.add_node({static_cast<double>(i), static_cast<double>(j)});
+        c.values.push_back(static_cast<double>(i + j));
+      }
+    }
+    for (int j = 0; j + 1 < n; ++j) {
+      for (int i = 0; i + 1 < n; ++i) {
+        const int a = j * n + i;
+        c.mesh.add_element(a, a + 1, a + n);
+        c.mesh.add_element(a + 1, a + n + 1, a + n);
+      }
+    }
+    c.mesh.classify_boundary();
+    c.title1 = "SERVE TEST";
+    return ospl::write_deck(c);
+  }();
+  return deck;
+}
+
+std::string idlz_job(const std::string& id, const std::string& extra = "") {
+  return "{\"id\": \"" + id + "\", \"pipeline\": \"idlz\", \"deck\": \"" +
+         json_escape_deck(small_idlz_deck()) + "\"" + extra + "}";
+}
+
+std::string ospl_job(const std::string& id) {
+  return "{\"id\": \"" + id + "\", \"pipeline\": \"ospl\", \"deck\": \"" +
+         json_escape_deck(small_ospl_deck()) + "\"}";
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// Pulls `"key": <integer>` out of a flat envelope line.
+long long int_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t at = line.find(needle);
+  EXPECT_NE(at, std::string::npos) << key << " in " << line;
+  if (at == std::string::npos) return -1;
+  return std::atoll(line.c_str() + at + needle.size());
+}
+
+std::string string_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const size_t at = line.find(needle);
+  EXPECT_NE(at, std::string::npos) << key << " in " << line;
+  if (at == std::string::npos) return "";
+  const size_t begin = at + needle.size();
+  return line.substr(begin, line.find('"', begin) - begin);
+}
+
+serve::ServeSummary run_serve(const std::vector<std::string>& jobs,
+                              std::vector<std::string>& envelopes,
+                              serve::ServeOptions opts = {}) {
+  std::string input;
+  for (const std::string& j : jobs) {
+    input += j;
+    input += '\n';
+  }
+  std::istringstream in(input);
+  std::ostringstream out;
+  const serve::ServeSummary summary =
+      serve::serve_stdin_jsonl(in, out, opts);
+  envelopes = lines_of(out.str());
+  return summary;
+}
+
+// --- Serve loop ------------------------------------------------------------
+
+TEST(ServeTest, EmptyInputProducesAnEmptySummary) {
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve({}, envelopes);
+  EXPECT_EQ(s.jobs, 0);
+  EXPECT_TRUE(envelopes.empty());
+  EXPECT_TRUE(json_check::valid(s.render_bench_json()));
+}
+
+TEST(ServeTest, OneEnvelopePerLineInInputOrder) {
+  std::vector<std::string> jobs = {
+      idlz_job("a"), "not json", ospl_job("b"), "", idlz_job("c"),
+  };
+  std::vector<std::string> envelopes;
+  serve::ServeOptions opts;
+  opts.threads = 4;
+  const serve::ServeSummary s = run_serve(jobs, envelopes, opts);
+  ASSERT_EQ(envelopes.size(), jobs.size());
+  for (size_t i = 0; i < envelopes.size(); ++i) {
+    EXPECT_TRUE(json_check::valid(envelopes[i])) << envelopes[i];
+    EXPECT_EQ(int_field(envelopes[i], "seq"), static_cast<long long>(i));
+  }
+  EXPECT_EQ(string_field(envelopes[0], "id"), "a");
+  EXPECT_EQ(string_field(envelopes[0], "status"), "ok");
+  EXPECT_EQ(string_field(envelopes[1], "status"), "error");
+  EXPECT_EQ(string_field(envelopes[2], "status"), "ok");
+  EXPECT_EQ(string_field(envelopes[3], "status"), "error");
+  EXPECT_EQ(string_field(envelopes[4], "status"), "ok");
+  EXPECT_EQ(s.jobs, 5);
+  EXPECT_EQ(s.ok, 3);
+  EXPECT_EQ(s.errors, 2);
+}
+
+TEST(ServeTest, OversizedDeckIsRejectedNotRun) {
+  serve::ServeOptions opts;
+  opts.guard.max_deck_cards = 3;
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s =
+      run_serve({idlz_job("big")}, envelopes, opts);  // deck has > 3 cards
+  ASSERT_EQ(envelopes.size(), 1u);
+  EXPECT_EQ(string_field(envelopes[0], "status"), "rejected");
+  EXPECT_NE(envelopes[0].find("E-RES-001"), std::string::npos);
+  EXPECT_EQ(s.rejected, 1);
+}
+
+TEST(ServeTest, TinyDeadlineTimesOutDeterministically) {
+  // deadline_ms wants > 0, so the smallest expressible deadline is 1 ms —
+  // but a 1 ms budget can actually finish a tiny deck. Instead give the
+  // job a deck big enough that assembly alone blows 1 ms... still racy on
+  // a fast machine, so accept either verdict and only require that a
+  // timeout, when it happens, is structured. The deterministic guarantee
+  // (an expired token always reports E-RES-005) lives in cancel_test.cc
+  // where the token is constructed pre-expired.
+  // Table 2 caps an assemblage at 500 nodes, so "slow" means many data
+  // sets, each near the cap, run back to back within the one job.
+  const std::string deck = idlz::write_deck(std::vector<idlz::IdlzCase>(
+      8, scenarios::strip_case(18, 24, 2)));
+  const std::string line =
+      "{\"id\": \"slow\", \"pipeline\": \"idlz\", \"deck\": \"" +
+      json_escape_deck(deck) + "\", \"deadline_ms\": 1}";
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve({line}, envelopes);
+  ASSERT_EQ(envelopes.size(), 1u);
+  const std::string status = string_field(envelopes[0], "status");
+  EXPECT_TRUE(status == "timeout" || status == "ok") << envelopes[0];
+  if (status == "timeout") {
+    EXPECT_NE(envelopes[0].find("E-RES-005"), std::string::npos);
+    EXPECT_EQ(s.timed_out, 1);
+  }
+}
+
+TEST(ServeTest, QueueCapacityOneRejectsTheOverflow) {
+  // One worker, capacity 1, and a first job that cannot finish before the
+  // remaining lines are read: at least one later line must be rejected
+  // with E-RES-004 while keeping its envelope slot.
+  const std::string deck = idlz::write_deck(std::vector<idlz::IdlzCase>(
+      8, scenarios::strip_case(18, 24, 2)));
+  const std::string slow =
+      "{\"id\": \"slow\", \"pipeline\": \"idlz\", \"deck\": \"" +
+      json_escape_deck(deck) + "\"}";
+  std::vector<std::string> jobs = {slow};
+  for (int i = 0; i < 8; ++i) jobs.push_back(idlz_job("q" + std::to_string(i)));
+  serve::ServeOptions opts;
+  opts.threads = 1;
+  opts.queue_capacity = 1;
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve(jobs, envelopes, opts);
+  ASSERT_EQ(envelopes.size(), jobs.size());
+  EXPECT_GE(s.rejected, 1) << "capacity-1 queue never filled";
+  bool saw_queue_full = false;
+  for (const std::string& e : envelopes) {
+    saw_queue_full |= e.find("E-RES-004") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_queue_full);
+  EXPECT_EQ(s.jobs, static_cast<std::int64_t>(jobs.size()));
+  EXPECT_EQ(s.ok + s.rejected + s.timed_out + s.faulted + s.errors, s.jobs);
+}
+
+TEST(ServeTest, PerJobFaultIsIsolated) {
+  if (!util::kFaultInjectionEnabled) {
+    GTEST_SKIP() << "build lacks -DFEIO_FAULT_INJECTION=ON";
+  }
+  // Job 0 faults; jobs 1..n on the same worker lane must be untouched.
+  std::vector<std::string> jobs = {
+      idlz_job("faulty", ", \"fault\": \"idlz.shape\""),
+      idlz_job("clean1"),
+      idlz_job("clean2"),
+  };
+  serve::ServeOptions opts;
+  opts.threads = 1;
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve(jobs, envelopes, opts);
+  ASSERT_EQ(envelopes.size(), 3u);
+  EXPECT_EQ(string_field(envelopes[0], "status"), "faulted");
+  EXPECT_NE(envelopes[0].find("E-RES-006"), std::string::npos);
+  EXPECT_EQ(string_field(envelopes[1], "status"), "ok");
+  EXPECT_EQ(string_field(envelopes[2], "status"), "ok");
+  EXPECT_EQ(s.faulted, 1);
+  EXPECT_EQ(s.ok, 2);
+}
+
+TEST(ServeTest, BadFaultSpecIsAJobErrorNotAServerError) {
+  std::vector<std::string> jobs = {
+      idlz_job("j", ", \"fault\": \"no.such.site\""), idlz_job("k")};
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve(jobs, envelopes);
+  ASSERT_EQ(envelopes.size(), 2u);
+  EXPECT_EQ(string_field(envelopes[0], "status"), "error");
+  EXPECT_NE(envelopes[0].find("E-SRV-001"), std::string::npos);
+  EXPECT_EQ(string_field(envelopes[1], "status"), "ok");
+  EXPECT_EQ(s.errors, 1);
+  EXPECT_EQ(s.ok, 1);
+}
+
+TEST(ServeTest, FailedOutputStreamStopsTheServer) {
+  std::istringstream in(idlz_job("a") + "\n" + idlz_job("b") + "\n");
+  std::ostringstream out;
+  out.setstate(std::ios::failbit);
+  EXPECT_THROW(serve::serve_stdin_jsonl(in, out), Error);
+}
+
+// The ISSUE acceptance scenario: a 500-job mixed stream — valid idlz, valid
+// ospl, malformed JSON, blank lines, oversized decks, tiny deadlines — must
+// finish (no hang), produce exactly one valid in-order envelope per line,
+// and classify every deterministic job class correctly.
+TEST(ServeTest, MixedStream500JobsSurvives) {
+  // Oversized by card count (what admission measures — IDLZ decks are
+  // subdivision-based, so mesh size alone does not add cards): 1500 junk
+  // cards against a 1000-card guard. Rejection happens before parsing, so
+  // the cards' content never matters.
+  std::string big_deck;
+  for (int i = 0; i < 1500; ++i) big_deck += "JUNK CARD\n";
+  std::vector<std::string> jobs;
+  std::vector<std::string> expect_status;
+  for (int i = 0; i < 500; ++i) {
+    const std::string id = "j" + std::to_string(i);
+    switch (i % 6) {
+      case 0:
+        jobs.push_back(idlz_job(id));
+        expect_status.push_back("ok");
+        break;
+      case 1:
+        jobs.push_back(ospl_job(id));
+        expect_status.push_back("ok");
+        break;
+      case 2:
+        jobs.push_back("{\"id\": \"" + id + "\", broken");
+        expect_status.push_back("error");
+        break;
+      case 3:
+        jobs.push_back("");
+        expect_status.push_back("error");
+        break;
+      case 4:
+        // Oversized for the tightened per-test guard below.
+        jobs.push_back("{\"id\": \"" + id +
+                       "\", \"pipeline\": \"idlz\", \"deck\": \"" +
+                       json_escape_deck(big_deck) + "\"}");
+        expect_status.push_back("rejected");
+        break;
+      default:
+        // Pre-expired deadline is impossible to express (0 = none), so use
+        // a deck the guard admits with a 1 ms budget: either it finishes
+        // (ok) or times out — both acceptable, marked "either".
+        jobs.push_back(idlz_job(id, ", \"deadline_ms\": 1"));
+        expect_status.push_back("either");
+        break;
+    }
+  }
+  serve::ServeOptions opts;
+  opts.threads = 4;
+  opts.queue_capacity = 600;  // never reject by backpressure: determinism
+  opts.guard.max_deck_cards = 1000;
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve(jobs, envelopes, opts);
+
+  ASSERT_EQ(envelopes.size(), 500u);
+  for (size_t i = 0; i < envelopes.size(); ++i) {
+    ASSERT_TRUE(json_check::valid(envelopes[i])) << envelopes[i];
+    EXPECT_EQ(int_field(envelopes[i], "seq"), static_cast<long long>(i));
+    const std::string status = string_field(envelopes[i], "status");
+    if (expect_status[i] == "either") {
+      EXPECT_TRUE(status == "ok" || status == "timeout") << envelopes[i];
+    } else {
+      EXPECT_EQ(status, expect_status[i]) << envelopes[i];
+    }
+  }
+  EXPECT_EQ(s.jobs, 500);
+  EXPECT_EQ(s.ok + s.rejected + s.timed_out + s.faulted + s.errors, s.jobs);
+  // 500 = 6*83 + 2: residues 0 and 1 occur 84 times, the rest 83.
+  EXPECT_EQ(s.rejected, 83);  // the i%6==4 class, rejected by card guard
+  EXPECT_EQ(s.errors, 166);   // malformed + blank classes
+  const std::string bench = s.render_bench_json();
+  EXPECT_TRUE(json_check::valid(bench)) << bench;
+  EXPECT_NE(bench.find("\"payload_schema\": \"feio.bench.serve/1\""),
+            std::string::npos);
+}
+
+}  // namespace

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "feio/run_options.h"
 #include "idlz/deck.h"
 #include "idlz/idlz.h"
 #include "json_check.h"
@@ -20,7 +21,9 @@
 #include "ospl/deck.h"
 #include "ospl/ospl.h"
 #include "scenarios/scenarios.h"
+#include "util/cancel.h"
 #include "util/diag.h"
+#include "util/fault.h"
 
 namespace feio {
 namespace {
@@ -253,6 +256,93 @@ TEST(TortureTest, LintSurvivesMutatedOsplDecks) {
     expect_structured_report(sink, seed, elapsed);
     ASSERT_TRUE(json_check::valid(lint::render_sarif(sink)))
         << "seed " << seed;
+  }
+}
+
+// Robustness-layer torture (docs/ROBUSTNESS.md): the same mutated decks
+// run under a 50 ms deadline. Cancellation may fire at any check point in
+// any pipeline stage — or not at all when the deck dies in parsing first —
+// and in every case the run must end with a structured report; a deadline
+// that fires must surface as E-RES-005, never as a crash or a hang.
+TEST(TortureTest, DeadlinedRunsAlwaysEndStructured) {
+  const std::string idlz_base = base_idlz_deck();
+  const std::string ospl_base = base_ospl_deck();
+  for (int seed = 0; seed < kIdlzSeeds + kOsplSeeds; ++seed) {
+    const bool is_idlz = seed < kIdlzSeeds;
+    std::mt19937 rng(static_cast<unsigned>(4000000 + seed));
+    const std::string deck = mutate(is_idlz ? idlz_base : ospl_base, rng);
+    const util::CancelToken token{std::chrono::milliseconds(50)};
+    RunOptions ro;
+    ro.cancel = &token;
+    const auto t0 = std::chrono::steady_clock::now();
+    DiagSink sink;
+    if (is_idlz) {
+      const auto cases = idlz::read_deck_string(deck, sink, "torture.b");
+      for (const auto& c : cases) {
+        if (sink.capped()) break;
+        idlz::run_checked(c, sink, ro);
+      }
+    } else {
+      const ospl::OsplCase c = ospl::read_deck_string(deck, sink, "torture.c");
+      if (sink.ok()) ospl::run_checked(c, sink, ro);
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    expect_structured_report(sink, seed, elapsed);
+  }
+}
+
+// Fault torture: every registered site armed in turn against strided seeds
+// of both deck families. A fired fault must end in a structured report
+// (E-RES-006 when it lands inside run_checked; mapped by hand at the call
+// sites outside it, exactly as the CLI and serve do), and the next run on
+// the same thread — fault scope gone — must be indistinguishable from a
+// never-faulted process: per-job state fully resets.
+TEST(TortureTest, FaultAtEverySiteEndsStructuredAndResetsCleanly) {
+  if (!util::kFaultInjectionEnabled) {
+    GTEST_SKIP() << "build lacks -DFEIO_FAULT_INJECTION=ON";
+  }
+  const std::string idlz_base = base_idlz_deck();
+  const std::string ospl_base = base_ospl_deck();
+  auto run_decks = [](const std::string& deck, bool is_idlz, DiagSink& sink) {
+    try {
+      if (is_idlz) {
+        const auto cases = idlz::read_deck_string(deck, sink, "torture.b");
+        for (const auto& c : cases) {
+          if (sink.capped()) break;
+          idlz::run_checked(c, sink);
+        }
+      } else {
+        const ospl::OsplCase c =
+            ospl::read_deck_string(deck, sink, "torture.c");
+        if (sink.ok()) ospl::run_checked(c, sink);
+      }
+    } catch (const ResourceError& e) {
+      // card.read / deck.parse fire during parsing, outside run_checked's
+      // net; the front ends map them the same way.
+      sink.error(e.code(), e.what());
+    }
+  };
+  for (const std::string& site : util::fault_sites()) {
+    for (int seed = 0; seed < 8; ++seed) {
+      const bool is_idlz = seed % 2 == 0;
+      std::mt19937 rng(static_cast<unsigned>(5000000 + seed * 131));
+      const std::string deck = mutate(is_idlz ? idlz_base : ospl_base, rng);
+      {
+        util::FaultScope faults;
+        std::string error;
+        ASSERT_TRUE(faults.arm(site, error)) << error;
+        DiagSink sink;
+        run_decks(deck, is_idlz, sink);
+        expect_structured_report(sink, seed, 0.0);
+      }
+      // The armed scope is gone: a rerun of the same deck on the same
+      // thread must produce a report as if the fault never existed.
+      DiagSink clean;
+      run_decks(deck, is_idlz, clean);
+      expect_structured_report(clean, seed, 0.0);
+    }
   }
 }
 

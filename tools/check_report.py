@@ -18,10 +18,23 @@ REPORT_SCHEMA = "feio.report/1"
 REQUIRED_KEYS = {
     "diag": ["ok", "errors", "warnings", "notes", "capped", "diagnostics"],
     "lint": ["ok", "errors", "warnings", "notes", "capped", "diagnostics"],
-    "bench": ["payload_schema", "threads", "all_identical", "cases",
-              "metrics"],
+    "bench": ["payload_schema"],
     "metrics": ["counters", "histograms"],
+    "job": ["id", "seq", "status", "elapsed_ms", "errors", "warnings",
+            "diagnostics"],
 }
+
+# Required keys per bench payload_schema (the "bench" kind is a family of
+# payloads; see docs/BENCHMARKS.md and docs/ROBUSTNESS.md).
+BENCH_KEYS = {
+    "feio.bench.pipeline/1": ["threads", "all_identical", "cases", "metrics"],
+    "feio.bench.solver/1": ["threads", "all_identical", "cases", "metrics"],
+    "feio.bench.serve/1": ["jobs", "ok", "rejected", "timed_out", "faulted",
+                           "errors", "wall_ms", "jobs_per_sec", "p50_ms",
+                           "p99_ms", "max_ms"],
+}
+
+JOB_STATUSES = ("ok", "rejected", "timeout", "faulted", "error")
 
 
 def fail(msg):
@@ -47,13 +60,29 @@ def check_report(path, want_kind=None):
         if key not in doc:
             fail(f"{path}: kind {kind} is missing required key {key!r}")
     if kind == "bench":
-        known = ("feio.bench.pipeline/1", "feio.bench.solver/1")
-        if doc["payload_schema"] not in known:
-            fail(f"{path}: payload_schema is {doc['payload_schema']!r}, "
-                 f"want one of {known}")
-        for case in doc["cases"]:
-            if not case.get("identical"):
-                fail(f"{path}: case {case.get('name')!r} not identical")
+        payload = doc["payload_schema"]
+        if payload not in BENCH_KEYS:
+            fail(f"{path}: payload_schema is {payload!r}, "
+                 f"want one of {tuple(BENCH_KEYS)}")
+        for key in BENCH_KEYS[payload]:
+            if key not in doc:
+                fail(f"{path}: {payload} is missing required key {key!r}")
+        if payload == "feio.bench.serve/1":
+            buckets = (doc["ok"] + doc["rejected"] + doc["timed_out"]
+                       + doc["faulted"] + doc["errors"])
+            if buckets != doc["jobs"]:
+                fail(f"{path}: serve buckets sum to {buckets}, "
+                     f"want jobs={doc['jobs']}")
+        else:
+            for case in doc["cases"]:
+                if not case.get("identical"):
+                    fail(f"{path}: case {case.get('name')!r} not identical")
+    if kind == "job":
+        if doc["status"] not in JOB_STATUSES:
+            fail(f"{path}: job status {doc['status']!r}, "
+                 f"want one of {JOB_STATUSES}")
+        if not isinstance(doc["diagnostics"], list):
+            fail(f"{path}: job diagnostics is not a list")
     if kind == "metrics":
         for name, value in doc["counters"].items():
             if not isinstance(value, int):

@@ -17,6 +17,10 @@
 //       the schema-stable BENCH_pipeline.json (see docs/BENCHMARKS.md)
 //   feio figures [--out DIR]          regenerate every paper figure
 //   feio mesh <deck> --off FILE       idealize and export the mesh as OFF
+//   feio serve --stdin-jsonl [--threads N] [--queue N] [--deadline-ms N]
+//       long-lived batch loop: one JSON job per stdin line, one
+//       feio.report/1 envelope (kind "job") per line on stdout in input
+//       order, session summary in BENCH_serve.json (docs/ROBUSTNESS.md)
 //   feio help | --help | -h
 //
 // --threads N runs the parallel pipeline stages (contour extraction,
@@ -43,6 +47,7 @@
 // stderr), 2 on usage errors. `feio lint` refines this: 0 when the deck is
 // clean, 1 when it has warnings only, 2 when it has errors. `feio bench`
 // exits 1 when the parallel output diverges from serial.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -53,9 +58,14 @@
 #include <string>
 #include <vector>
 
+#include <iostream>
+
 #include "feio.h"
+#include "feio/serve.h"
 #include "scenarios/pipeline_bench.h"
 #include "scenarios/scenarios.h"
+#include "util/fault.h"
+#include "util/guard.h"
 #include "util/parallel.h"
 
 using namespace feio;
@@ -82,6 +92,14 @@ struct Args {
   int threads = 1;           // --threads; 0 = all hardware ("all")
   bool threads_set = false;  // user passed --threads
   bool out_set = false;      // user passed --out
+
+  // Robustness flags (docs/ROBUSTNESS.md).
+  std::string fault_spec;        // --fault site[:N]; empty = off
+  bool stdin_jsonl = false;      // serve --stdin-jsonl
+  int queue = 256;               // serve --queue
+  long long deadline_ms = 0;     // serve --deadline-ms; 0 = none
+  long long max_cards = -1;      // serve --max-cards; -1 = serve default
+  long long max_dofs = -1;       // serve --max-dofs; -1 = serve default
 
   // Installed process-wide by main() for the duration of the dispatch;
   // carried here so the run_* commands can hand them to RunOptions.
@@ -113,6 +131,9 @@ void print_usage(std::FILE* to) {
                "  feio bench [--quick] [--threads N] [--out DIR]\n"
                "  feio figures [--out DIR]\n"
                "  feio mesh <deck> --off FILE\n"
+               "  feio serve --stdin-jsonl [--threads N] [--queue N]\n"
+               "      [--deadline-ms N] [--max-cards N] [--max-dofs N]\n"
+               "      [--out DIR]\n"
                "  feio help\n"
                "observability (every subcommand; see docs/OBSERVABILITY.md):\n"
                "  --trace FILE         Chrome trace-event JSON of this run\n"
@@ -121,6 +142,9 @@ void print_usage(std::FILE* to) {
                "  --metrics-json FILE  counters/histograms as feio.report/1"
                " ('-' = stdout)\n"
                "--threads takes a positive integer or 'all'\n"
+               "--fault site[:N] injects a fault at the named site (builds\n"
+               "  configured with -DFEIO_FAULT_INJECTION=ON only; see\n"
+               "  docs/ROBUSTNESS.md for the site registry)\n"
                "exit status: 0 success, 1 input/deck error, 2 usage error\n"
                "  feio lint: 0 clean, 1 warnings only, 2 errors\n"
                "  feio bench: 1 when parallel output diverges from serial\n");
@@ -159,6 +183,19 @@ bool ensure_out_dir(const std::string& dir) {
   return true;
 }
 
+// A non-negative decimal integer flag value; false on junk or overflow.
+bool parse_count_flag(const char* text, long long& out) {
+  const std::string s = text;
+  if (s.empty() || s.size() > 15) return false;
+  long long v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  out = v;
+  return true;
+}
+
 bool parse(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.command = argv[1];
@@ -184,6 +221,35 @@ bool parse(int argc, char** argv, Args& args) {
         return false;
       }
       args.threads_set = true;
+    } else if (a == "--fault" && i + 1 < argc) {
+      args.fault_spec = argv[++i];
+    } else if (a == "--stdin-jsonl") {
+      args.stdin_jsonl = true;
+    } else if (a == "--queue" && i + 1 < argc) {
+      long long v = 0;
+      if (!parse_count_flag(argv[++i], v) || v < 1) {
+        std::fprintf(stderr, "error: --queue expects a positive integer\n");
+        return false;
+      }
+      args.queue = static_cast<int>(std::min<long long>(v, 1 << 20));
+    } else if (a == "--deadline-ms" && i + 1 < argc) {
+      if (!parse_count_flag(argv[++i], args.deadline_ms)) {
+        std::fprintf(stderr,
+                     "error: --deadline-ms expects a non-negative integer\n");
+        return false;
+      }
+    } else if (a == "--max-cards" && i + 1 < argc) {
+      if (!parse_count_flag(argv[++i], args.max_cards)) {
+        std::fprintf(stderr,
+                     "error: --max-cards expects a non-negative integer\n");
+        return false;
+      }
+    } else if (a == "--max-dofs" && i + 1 < argc) {
+      if (!parse_count_flag(argv[++i], args.max_dofs)) {
+        std::fprintf(stderr,
+                     "error: --max-dofs expects a non-negative integer\n");
+        return false;
+      }
     } else if (a == "--ospl") {
       args.check_ospl = true;
     } else if (a == "--json") {
@@ -207,18 +273,47 @@ const char* diag_kind(const Args& args) {
   return args.command == "lint" ? "lint" : "diag";
 }
 
-// Writes the JSON report when --diag-json was given; failure to write is
-// itself an input error worth reporting.
+// Writes the JSON report when --diag-json was given; failure to write —
+// including a write that only fails at flush time (full disk, revoked
+// permissions) — is itself an input error worth reporting (E-IO-002).
 bool write_diag_json(const Args& args, const DiagSink& sink) {
   if (args.diag_json_path.empty()) return true;
   std::ofstream out(args.diag_json_path);
+  if (out.good()) {
+    out << sink.render_report_json(diag_kind(args));
+    out.flush();
+  }
   if (!out.good()) {
-    std::fprintf(stderr, "error: cannot write '%s'\n",
+    std::fprintf(stderr, "error: E-IO-002: cannot write '%s'\n",
                  args.diag_json_path.c_str());
     return false;
   }
-  out << sink.render_report_json(diag_kind(args));
   return true;
+}
+
+// Writes a deck-derived text artifact (punched cards, listings). A failed
+// write lands in the deck's sink as E-IO-002 so batch runs report it per
+// deck and the command exits nonzero, instead of leaving a silent
+// half-written file behind.
+void write_text_file(const std::string& path, const std::string& content,
+                     DiagSink& sink) {
+  std::ofstream out(path);
+  if (out.good()) {
+    out << content;
+    out.flush();
+  }
+  if (!out.good()) sink.error("E-IO-002", "cannot write '" + path + "'");
+}
+
+// write_svg throws feio::Error when the file cannot be opened or written;
+// map that onto the same E-IO-002 diagnostic as the text artifacts.
+void write_svg_checked(const plot::PlotFile& plot, const std::string& path,
+                       DiagSink& sink) {
+  try {
+    plot::write_svg(plot, path);
+  } catch (const Error& e) {
+    sink.error("E-IO-002", e.what());
+  }
 }
 
 // Prints the text report to stderr and returns the command's exit status.
@@ -284,19 +379,19 @@ void process_idlz_deck(const Args& args, const std::string& deck,
         args.out_dir + "/" + prefix + "set" + std::to_string(set);
     if (c.options.make_plots) {
       for (size_t p = 0; p < r->plots.size(); ++p) {
-        plot::write_svg(r->plots[p],
-                        stem + "_plot" + std::to_string(p) + ".svg");
+        write_svg_checked(r->plots[p],
+                          stem + "_plot" + std::to_string(p) + ".svg", sink);
       }
       out << "wrote " << r->plots.size() << " plots to " << stem
           << "_plot*.svg\n";
     }
     if (c.options.punch_output) {
-      std::ofstream(stem + "_nodal.cards") << r->nodal_cards;
-      std::ofstream(stem + "_element.cards") << r->element_cards;
+      write_text_file(stem + "_nodal.cards", r->nodal_cards, sink);
+      write_text_file(stem + "_element.cards", r->element_cards, sink);
       out << "punched " << stem << "_nodal.cards / " << stem
           << "_element.cards\n";
     }
-    std::ofstream(stem + "_listing.txt") << idlz::print_listing(*r);
+    write_text_file(stem + "_listing.txt", idlz::print_listing(*r), sink);
     out << "listing " << stem << "_listing.txt\n";
   }
 }
@@ -326,7 +421,7 @@ void process_ospl_deck(const Args& args, const std::string& deck,
       << ospl::interval_caption(r->delta) << ", " << r->segments.size()
       << " segments, " << r->labels.accepted.size() << " labels\n";
   const std::string path = args.out_dir + "/" + prefix + "ospl.svg";
-  plot::write_svg(r->plot, path);
+  write_svg_checked(r->plot, path, sink);
   out << "wrote " << path << "\n";
 }
 
@@ -472,6 +567,40 @@ int run_mesh(const Args& args) {
   return kExitOk;
 }
 
+// `feio serve --stdin-jsonl`: the long-lived batch loop. One JSON job per
+// stdin line, one feio.report/1 job envelope per line on stdout, session
+// summary table on stderr and BENCH_serve.json on disk
+// (docs/ROBUSTNESS.md documents both schemas).
+int run_serve(const Args& args) {
+  serve::ServeOptions opts;
+  opts.threads = args.threads;
+  opts.queue_capacity = args.queue;
+  opts.default_deadline_ms = args.deadline_ms;
+  if (args.max_cards >= 0) opts.guard.max_deck_cards = args.max_cards;
+  if (args.max_dofs >= 0) opts.guard.max_dofs = args.max_dofs;
+  opts.tracer = args.tracer;
+  opts.metrics = args.metrics;
+  const serve::ServeSummary summary =
+      serve::serve_stdin_jsonl(std::cin, std::cout, opts);
+  std::fprintf(stderr, "%s", summary.render_table().c_str());
+  std::string path = "BENCH_serve.json";
+  if (args.out_set) {
+    if (!ensure_out_dir(args.out_dir)) return kExitInput;
+    path = args.out_dir + "/BENCH_serve.json";
+  }
+  std::ofstream out(path);
+  if (out.good()) {
+    out << summary.render_bench_json();
+    out.flush();
+  }
+  if (!out.good()) {
+    std::fprintf(stderr, "error: E-IO-002: cannot write '%s'\n", path.c_str());
+    return kExitInput;
+  }
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return kExitOk;
+}
+
 int dispatch(const Args& args) {
   try {
     if (args.command == "idlz") {
@@ -496,7 +625,17 @@ int dispatch(const Args& args) {
       if (args.decks.empty() || args.off_path.empty()) return usage();
       return run_mesh(args);
     }
+    if (args.command == "serve") {
+      if (!args.stdin_jsonl) return usage();  // the only mode there is
+      return run_serve(args);
+    }
     return usage();
+  } catch (const ResourceError& e) {
+    // Guard/cancel/fault failures that escape a command keep their stable
+    // code in the message (serve never lets one reach here; direct pipeline
+    // commands can, e.g. a --fault at a site outside run_checked).
+    std::fprintf(stderr, "error: %s: %s\n", e.code().c_str(), e.what());
+    return kExitInput;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitInput;
@@ -551,6 +690,19 @@ int main(int argc, char** argv) {
   }
   util::set_default_threads(args.threads);
 
+  // --fault arms the named site process-wide for this invocation (workers
+  // inherit it through parallel_chunks). serve jobs are unaffected: each
+  // job's FaultScope masks this one, so their faults come from the job
+  // line's "fault" field instead.
+  util::FaultScope fault_scope;
+  if (!args.fault_spec.empty()) {
+    std::string err;
+    if (!fault_scope.arm(args.fault_spec, err)) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return kExitUsage;
+    }
+  }
+
   // Observability sinks live in main for the whole invocation; dispatch
   // sees them both process-wide (for the spans below library API calls)
   // and through RunOptions (the API carries them explicitly).
@@ -569,5 +721,12 @@ int main(int argc, char** argv) {
     span.arg("exit", code);
   }
   const int obs_code = write_observability(args);
+
+  // A closed or full stdout (downstream `head`, dead pipe, full disk) must
+  // not exit 0 as if the report had been delivered.
+  if (std::fflush(stdout) != 0 || std::ferror(stdout) != 0) {
+    std::fprintf(stderr, "error: E-IO-003: cannot write to stdout\n");
+    if (code == kExitOk) code = kExitInput;
+  }
   return code != kExitOk ? code : obs_code;
 }
