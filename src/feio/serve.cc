@@ -7,7 +7,6 @@
 #include <cstdio>
 #include <istream>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <vector>
 
@@ -16,8 +15,11 @@
 #include "ospl/deck.h"
 #include "util/cancel.h"
 #include "util/diag.h"
+#include "util/error.h"
 #include "util/fault.h"
+#include "util/mutex.h"
 #include "util/parallel.h"
+#include "util/thread_annotations.h"
 
 namespace feio::serve {
 namespace {
@@ -440,6 +442,62 @@ double percentile(const std::vector<double>& sorted, double p) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+// The serve loop's shared state: everything the submitting thread and the
+// pool workers both touch, guarded by one output-ordering mutex. The
+// annotated member functions replace what used to be lambdas ("called under
+// shared.mu" comments) — lambdas cannot carry thread-safety annotations, so
+// the contract is now enforced by clang instead of prose.
+struct Shared {
+  explicit Shared(std::ostream& o) : out(o) {}
+
+  // The output stream is only ever written by flush_ready(), i.e. under mu.
+  std::ostream& out;
+
+  util::Mutex mu;
+  std::condition_variable cv;
+  std::map<std::int64_t, std::string> ready
+      FEIO_GUARDED_BY(mu);  // seq -> envelope line
+  std::int64_t next_flush FEIO_GUARDED_BY(mu) = 0;
+  // Admitted jobs whose envelope is not yet recorded.
+  int in_flight FEIO_GUARDED_BY(mu) = 0;
+  ServeSummary summary FEIO_GUARDED_BY(mu);
+  std::vector<double> latencies FEIO_GUARDED_BY(mu);
+  bool out_failed FEIO_GUARDED_BY(mu) = false;
+
+  // Writes every envelope whose turn has come, in input order.
+  void flush_ready() FEIO_REQUIRES(mu) {
+    bool wrote = false;
+    for (auto it = ready.begin();
+         it != ready.end() && it->first == next_flush;
+         it = ready.erase(it), ++next_flush) {
+      out << it->second << '\n';
+      wrote = true;
+    }
+    if (wrote) {
+      out.flush();
+      if (out.fail()) out_failed = true;
+    }
+  }
+
+  void record(std::int64_t seq, const JobOutcome& outcome, bool admitted)
+      FEIO_EXCLUDES(mu) {
+    util::MutexLock lock(mu);
+    ++summary.jobs;
+    switch (outcome.status) {
+      case JobStatus::kOk: ++summary.ok; break;
+      case JobStatus::kRejected: ++summary.rejected; break;
+      case JobStatus::kTimedOut: ++summary.timed_out; break;
+      case JobStatus::kFaulted: ++summary.faulted; break;
+      case JobStatus::kError: ++summary.errors; break;
+    }
+    latencies.push_back(outcome.elapsed_ms);
+    ready.emplace(seq, outcome.envelope);
+    if (admitted) --in_flight;
+    flush_ready();
+    cv.notify_all();
+  }
+};
+
 }  // namespace
 
 std::string ServeSummary::render_bench_json() const {
@@ -484,50 +542,7 @@ ServeSummary serve_stdin_jsonl(std::istream& in, std::ostream& out,
   const int capacity = std::max(1, opts.queue_capacity);
   util::ThreadPool pool(workers);
 
-  struct Shared {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::map<std::int64_t, std::string> ready;  // seq -> envelope line
-    std::int64_t next_flush = 0;
-    int in_flight = 0;  // admitted jobs whose envelope is not yet recorded
-    ServeSummary summary;
-    std::vector<double> latencies;
-    bool out_failed = false;
-  } shared;
-
-  // Writes every envelope whose turn has come, in input order. Called under
-  // shared.mu; the output stream is only ever touched here.
-  auto flush_ready = [&] {
-    bool wrote = false;
-    for (auto it = shared.ready.begin();
-         it != shared.ready.end() && it->first == shared.next_flush;
-         it = shared.ready.erase(it), ++shared.next_flush) {
-      out << it->second << '\n';
-      wrote = true;
-    }
-    if (wrote) {
-      out.flush();
-      if (out.fail()) shared.out_failed = true;
-    }
-  };
-
-  auto record = [&](std::int64_t seq, const JobOutcome& outcome,
-                    bool admitted) {
-    std::lock_guard<std::mutex> lock(shared.mu);
-    ++shared.summary.jobs;
-    switch (outcome.status) {
-      case JobStatus::kOk: ++shared.summary.ok; break;
-      case JobStatus::kRejected: ++shared.summary.rejected; break;
-      case JobStatus::kTimedOut: ++shared.summary.timed_out; break;
-      case JobStatus::kFaulted: ++shared.summary.faulted; break;
-      case JobStatus::kError: ++shared.summary.errors; break;
-    }
-    shared.latencies.push_back(outcome.elapsed_ms);
-    shared.ready.emplace(seq, outcome.envelope);
-    if (admitted) --shared.in_flight;
-    flush_ready();
-    shared.cv.notify_all();
-  };
+  Shared shared(out);
 
   const auto t0 = Clock::now();
   std::string line;
@@ -545,11 +560,11 @@ ServeSummary serve_stdin_jsonl(std::istream& in, std::ostream& out,
       outcome.envelope =
           render_job_envelope("job-" + std::to_string(this_seq), this_seq,
                               outcome.status, 0.0, sink);
-      record(this_seq, outcome, /*admitted=*/false);
+      shared.record(this_seq, outcome, /*admitted=*/false);
     } else {
       bool admitted = false;
       {
-        std::lock_guard<std::mutex> lock(shared.mu);
+        util::MutexLock lock(shared.mu);
         if (shared.in_flight < capacity) {
           ++shared.in_flight;
           admitted = true;
@@ -567,9 +582,9 @@ ServeSummary serve_stdin_jsonl(std::istream& in, std::ostream& out,
         outcome.envelope =
             render_job_envelope("job-" + std::to_string(this_seq), this_seq,
                                 outcome.status, 0.0, sink);
-        record(this_seq, outcome, /*admitted=*/false);
+        shared.record(this_seq, outcome, /*admitted=*/false);
       } else {
-        pool.post([&opts, &record, this_seq, line] {
+        pool.post([&opts, &shared, this_seq, line] {
           Job job;
           std::string error;
           JobOutcome outcome;
@@ -584,39 +599,48 @@ ServeSummary serve_stdin_jsonl(std::istream& in, std::ostream& out,
             if (job.id.empty()) job.id = "job-" + std::to_string(this_seq);
             outcome = run_job(job, this_seq, opts);
           }
-          record(this_seq, outcome, /*admitted=*/true);
+          shared.record(this_seq, outcome, /*admitted=*/true);
         });
       }
     }
     // A dead downstream is a server-stopping condition; stop admitting.
     {
-      std::lock_guard<std::mutex> lock(shared.mu);
+      util::MutexLock lock(shared.mu);
       if (shared.out_failed) break;
     }
   }
 
   // Drain: every admitted job delivers its envelope (even after an output
-  // failure — workers must never be abandoned mid-run).
+  // failure — workers must never be abandoned mid-run). The final state is
+  // copied out under the same critical section: once in_flight hits zero no
+  // worker can touch it again, but the lock makes that proof local instead
+  // of an argument about the whole function.
+  bool out_failed = false;
+  ServeSummary summary;
+  std::vector<double> latencies;
   {
-    std::unique_lock<std::mutex> lock(shared.mu);
-    shared.cv.wait(lock, [&] { return shared.in_flight == 0; });
-    flush_ready();
+    util::MutexLock lock(shared.mu);
+    while (shared.in_flight != 0) lock.wait(shared.cv);
+    shared.flush_ready();
+    out_failed = shared.out_failed;
+    summary = shared.summary;
+    latencies = std::move(shared.latencies);
   }
 
-  if (shared.out_failed) {
-    fail("E-IO-003: cannot write job envelope to output stream");
+  if (out_failed) {
+    fail(std::string(kCodeIoWriteOutput) +
+         ": cannot write job envelope to output stream");
   }
 
-  ServeSummary summary = shared.summary;
   summary.wall_ms = ms_since(t0);
   summary.jobs_per_sec =
       summary.wall_ms > 0.0
           ? 1000.0 * static_cast<double>(summary.jobs) / summary.wall_ms
           : 0.0;
-  std::sort(shared.latencies.begin(), shared.latencies.end());
-  summary.p50_ms = percentile(shared.latencies, 0.50);
-  summary.p99_ms = percentile(shared.latencies, 0.99);
-  summary.max_ms = shared.latencies.empty() ? 0.0 : shared.latencies.back();
+  std::sort(latencies.begin(), latencies.end());
+  summary.p50_ms = percentile(latencies, 0.50);
+  summary.p99_ms = percentile(latencies, 0.99);
+  summary.max_ms = latencies.empty() ? 0.0 : latencies.back();
   return summary;
 }
 

@@ -44,6 +44,15 @@ class ResourceError : public Error {
   std::string code_;
 };
 
+// The I/O diagnostic codes shared by every front end (tools/feio_cli.cc and
+// the serve loop). One constant per code keeps the emission sites, the
+// catalog in docs/DIAGNOSTICS.md, and tools/check_invariants.py in lockstep
+// — a bare "E-IO-00x" literal at a new site is exactly the drift the
+// invariant checker exists to catch.
+inline constexpr const char kCodeIoDeckOpen[] = "E-IO-001";
+inline constexpr const char kCodeIoWriteFile[] = "E-IO-002";
+inline constexpr const char kCodeIoWriteOutput[] = "E-IO-003";
+
 // Throws feio::Error with printf-style convenience handled by the caller.
 [[noreturn]] void fail(const std::string& message);
 [[noreturn]] void fail(const std::string& message, const std::string& context);

@@ -22,9 +22,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace feio::util {
 
@@ -83,8 +85,8 @@ class MetricsRegistry {
   Shard* shard_for_this_thread();
 
   std::int64_t epoch_;
-  mutable std::mutex mu_;  // guards shards_
-  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_ FEIO_GUARDED_BY(mu_);
 };
 
 // Scoped install/uninstall used by feio::RunOptions; same contract as

@@ -87,7 +87,7 @@ ThreadPool::ThreadPool(int workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -99,8 +99,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) lock.wait(cv_);
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -114,7 +114,7 @@ bool ThreadPool::on_worker_thread() { return tl_on_worker; }
 void ThreadPool::post(std::function<void()> task) {
   FEIO_ASSERT(!threads_.empty());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.emplace_back(std::move(task));
   }
   cv_.notify_one();
@@ -181,10 +181,14 @@ void ThreadPool::run_chunks(std::int64_t n, int chunks,
     const ChunkBody* body = nullptr;
     std::atomic<int> next{0};
     std::atomic<int> remaining{0};
+    // errors is deliberately NOT guarded_by(mu): each slot c is written by
+    // exactly the thread that claimed chunk c (claims are unique via the
+    // `next` fetch_add), and all writes are published to the waiting reader
+    // by the acq_rel fetch_sub on `remaining` before `done` is signalled.
     std::vector<std::exception_ptr> errors;
-    std::mutex mu;
+    Mutex mu;
     std::condition_variable done_cv;
-    bool done = false;
+    bool done FEIO_GUARDED_BY(mu) = false;
   };
   auto batch = std::make_shared<Batch>();
   batch->n = n;
@@ -204,7 +208,7 @@ void ThreadPool::run_chunks(std::int64_t n, int chunks,
         batch->errors[static_cast<size_t>(c)] = std::current_exception();
       }
       if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(batch->mu);
+        MutexLock lock(batch->mu);
         batch->done = true;
         batch->done_cv.notify_all();
       }
@@ -212,7 +216,7 @@ void ThreadPool::run_chunks(std::int64_t n, int chunks,
   };
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const int helpers = std::min(c_total - 1, workers());
     for (int i = 0; i < helpers; ++i) queue_.emplace_back(claim_loop);
   }
@@ -221,8 +225,8 @@ void ThreadPool::run_chunks(std::int64_t n, int chunks,
   claim_loop();  // the submitting thread is a full participant
 
   {
-    std::unique_lock<std::mutex> lock(batch->mu);
-    batch->done_cv.wait(lock, [&] { return batch->done; });
+    MutexLock lock(batch->mu);
+    while (!batch->done) lock.wait(batch->done_cv);
   }
   // Lowest-indexed failure wins — the one a serial sweep would throw first.
   for (const std::exception_ptr& e : batch->errors) {

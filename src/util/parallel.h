@@ -33,10 +33,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace feio::util {
 
@@ -126,10 +128,14 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ FEIO_GUARDED_BY(mu_);
+  bool stop_ FEIO_GUARDED_BY(mu_) = false;
+  // threads_ is written only by the constructor and read afterwards
+  // (workers(), post()'s emptiness check, the destructor's join loop), so
+  // it needs no lock; CI's clang thread-safety build proves the guarded
+  // members above are never touched without mu_.
   std::vector<std::thread> threads_;
 };
 

@@ -1,0 +1,67 @@
+// Clang Thread Safety Analysis annotations for the concurrency layer.
+//
+// The same ethic the 1970 paper applied to decks — let the machine prove
+// the input correct before the expensive run — applied to our own locking
+// discipline: every lock-guarded member is annotated with the mutex that
+// protects it, and a clang build with
+//
+//   -Werror=thread-safety -Werror=thread-safety-beta
+//
+// (CI's `static-analysis` job) refuses to compile an access that does not
+// hold the right lock. Deliberately deleting, say, the `MutexLock` in
+// ThreadPool::post() fails that build with
+//
+//   error: writing variable 'queue_' requires holding mutex 'mu_'
+//          exclusively [-Werror,-Wthread-safety-analysis]
+//
+// On every other compiler (gcc builds the tier-1 matrix) the macros expand
+// to nothing: zero object-code and zero behavioral difference.
+//
+// The annotations only work on types that carry capability attributes, so
+// util/mutex.h provides the annotated `Mutex` / `MutexLock` wrappers the
+// concurrency layer uses in place of raw std::mutex. See
+// docs/LINTS.md ("Source-level invariants") for the how-to.
+#pragma once
+
+#if defined(__clang__)
+#define FEIO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FEIO_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+// Declares a class to be a capability ("mutex" names the kind in
+// diagnostics).
+#define FEIO_CAPABILITY(x) FEIO_THREAD_ANNOTATION(capability(x))
+
+// Declares an RAII class whose constructor acquires and destructor releases
+// a capability (util::MutexLock).
+#define FEIO_SCOPED_CAPABILITY FEIO_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: readable/writable only while holding the named mutex.
+#define FEIO_GUARDED_BY(x) FEIO_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer members: the pointed-to data requires the mutex (the pointer
+// itself does not).
+#define FEIO_PT_GUARDED_BY(x) FEIO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions: the caller must hold / must not hold the capability.
+#define FEIO_REQUIRES(...) \
+  FEIO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FEIO_EXCLUDES(...) FEIO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Functions that acquire / release the capability themselves
+// (Mutex::lock / Mutex::unlock and the MutexLock ctor/dtor).
+#define FEIO_ACQUIRE(...) \
+  FEIO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FEIO_RELEASE(...) \
+  FEIO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// Runtime assertion that the capability is already held, for control flow
+// the static analysis cannot follow (condition-variable predicates hoisted
+// out of wait loops, callbacks invoked under a caller's lock).
+#define FEIO_ASSERT_CAPABILITY(x) FEIO_THREAD_ANNOTATION(assert_capability(x))
+
+// Escape hatch for functions whose locking is deliberately outside the
+// analysis (document why at every use).
+#define FEIO_NO_THREAD_SAFETY_ANALYSIS \
+  FEIO_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -58,7 +58,7 @@ Tracer::ThreadBuf* Tracer::buffer_for_this_thread() {
   if (tl_slot.epoch == epoch_) {
     return static_cast<ThreadBuf*>(tl_slot.buf);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   buffers_.push_back(std::make_unique<ThreadBuf>());
   ThreadBuf* buf = buffers_.back().get();
   tl_slot.epoch = epoch_;
@@ -68,22 +68,22 @@ Tracer::ThreadBuf* Tracer::buffer_for_this_thread() {
 
 void Tracer::record(TraceEvent e) {
   ThreadBuf* buf = buffer_for_this_thread();
-  std::lock_guard<std::mutex> lock(buf->mu);
+  MutexLock lock(buf->mu);
   buf->events.push_back(std::move(e));
 }
 
 int Tracer::thread_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(buffers_.size());
 }
 
 std::string Tracer::render_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\"traceEvents\": [";
   bool first = true;
   for (size_t tid = 0; tid < buffers_.size(); ++tid) {
     ThreadBuf* buf = buffers_[tid].get();
-    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    MutexLock buf_lock(buf->mu);
     for (const TraceEvent& e : buf->events) {
       out += first ? "\n" : ",\n";
       first = false;

@@ -27,9 +27,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace feio::util {
 
@@ -79,16 +81,19 @@ class Tracer {
 
  private:
   struct ThreadBuf {
-    std::mutex mu;  // owner thread appends; render_json reads
-    std::vector<TraceEvent> events;
+    // The owner thread appends (record()) and render_json()/thread_count()
+    // read; the per-buffer mutex is the capability for both sides, so the
+    // "owner writes, snapshot reads" aliasing is proven rather than assumed.
+    Mutex mu;
+    std::vector<TraceEvent> events FEIO_GUARDED_BY(mu);
   };
 
   ThreadBuf* buffer_for_this_thread();
 
   std::int64_t epoch_;                        // distinguishes tracer instances
   std::int64_t t0_ns_;                        // steady_clock at construction
-  mutable std::mutex mu_;                     // guards buffers_
-  std::vector<std::unique_ptr<ThreadBuf>> buffers_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuf>> buffers_ FEIO_GUARDED_BY(mu_);
 };
 
 // RAII span. Records a begin event at construction and an end event at

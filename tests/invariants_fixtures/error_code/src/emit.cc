@@ -1,0 +1,6 @@
+void emit(DiagSink& sink, const Diag& d) {
+  sink.error("E-FIX-001", "documented code, fine");
+  sink.error("E-XYZ-001", "seeded: not in the catalog");
+  // Seeded: a prefix builder whose family has no documented expansion.
+  if (d.code.rfind("E-ABC-00", 0) == 0) reject(d);
+}

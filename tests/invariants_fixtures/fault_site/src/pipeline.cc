@@ -1,0 +1,4 @@
+void parse_deck() {
+  FEIO_FAULT("deck.parse");
+  FEIO_FAULT("rogue.site");  // seeded: not in the kSites registry
+}

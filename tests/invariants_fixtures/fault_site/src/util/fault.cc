@@ -1,0 +1,9 @@
+// Fixture: the registry knows "deck.parse" and "unused.site"; the docs know
+// "deck.parse" and a ghost; the pipeline fires an unregistered site.
+const std::vector<std::string>& fault_sites() {
+  static const std::vector<std::string> kSites = {
+      "deck.parse",
+      "unused.site",  // registered, but no FEIO_FAULT call site exists
+  };
+  return kSites;
+}

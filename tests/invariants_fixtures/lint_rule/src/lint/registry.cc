@@ -1,0 +1,7 @@
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {"L-FIX-001", Severity::kError, "documented", "a documented rule", ""},
+      {"L-AAA-001", Severity::kError, "seeded", "not in docs/LINTS.md", ""},
+  };
+  return kRules;
+}

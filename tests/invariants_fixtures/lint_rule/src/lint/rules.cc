@@ -1,0 +1,4 @@
+void run(Findings& out) {
+  out.add("L-FIX-001", "fine: registered and documented");
+  out.add("L-BBB-002", "seeded: referenced but never registered");
+}

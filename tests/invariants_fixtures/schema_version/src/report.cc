@@ -1,0 +1,6 @@
+std::string render() {
+  std::string out = "{\"schema\": \"feio.report/1\", ";
+  // Seeded: a payload family tools/check_report.py does not accept.
+  out += "\"payload_schema\": \"feio.bench.rogue/1\"}";
+  return out;
+}

@@ -1,0 +1,5 @@
+# Fixture validator: accepts the envelope plus a family nothing emits.
+REPORT_SCHEMA = "feio.report/1"
+BENCH_KEYS = {
+    "feio.bench.ghost/1": ["seeded"],  # seeded: accepted but never emitted
+}

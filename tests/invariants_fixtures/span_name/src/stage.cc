@@ -1,0 +1,7 @@
+void stage() {
+  FEIO_TRACE_SPAN(span, "fix.stage");
+  FEIO_TRACE_SPAN(span2, "rogue.stage");  // seeded: not in the span catalog
+  FEIO_METRIC_ADD("fix.counter", 1);
+  FEIO_METRIC_ADD("rogue.counter", 1);  // seeded: not in the counter catalog
+  FEIO_METRIC_RECORD("fix.hist", 2.0);
+}

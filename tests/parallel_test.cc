@@ -221,6 +221,61 @@ TEST(ParallelTest, NestedCallFromWorkerRunsSerialInlineWithoutDeadlock) {
   }
 }
 
+TEST(ParallelTest, ShutdownWhilePostingDrainsEveryTask) {
+  // Destruction contract under load: the destructor sets stop_ and joins,
+  // but a worker only exits when the queue is *empty*, so tasks posted
+  // before — and tasks posted *by running tasks during* — the shutdown all
+  // drain. Root tasks here keep posting children while the destructor is
+  // joining; the total is deterministic. (Runs under the TSan CI job, which
+  // would flag any unsynchronized queue access this shutdown path hid.)
+  std::atomic<int> ran{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.post([&pool, &ran] {
+        ran.fetch_add(1);
+        for (int child = 0; child < 3; ++child) {
+          pool.post([&ran] { ran.fetch_add(1); });
+        }
+      });
+    }
+    // ~ThreadPool runs here, racing the posts above on purpose.
+  }
+  EXPECT_EQ(ran.load(), 8 + 8 * 3);
+}
+
+TEST(ParallelTest, RunChunksReentryFromWorkerRunsInlineInAscendingOrder) {
+  // run_chunks re-entered from one of the pool's own workers (a posted task
+  // rather than a nested chunk body) must take the serial inline path: the
+  // same chunk partition in ascending order, executed entirely on the
+  // calling worker — never handed back to the pool, which could deadlock a
+  // fully busy queue. (Runs under the TSan CI job.)
+  util::ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool on_worker = false;
+  std::vector<int> order;
+  pool.post([&] {
+    const bool worker = util::ThreadPool::on_worker_thread();
+    std::vector<int> chunks;
+    pool.run_chunks(8, 4, [&](int c, std::int64_t begin, std::int64_t end) {
+      EXPECT_EQ(begin, 2 * c);
+      EXPECT_EQ(end, 2 * (c + 1));
+      chunks.push_back(c);  // inline-serial: no other thread touches this
+    });
+    std::lock_guard<std::mutex> lock(mu);
+    on_worker = worker;
+    order = std::move(chunks);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  EXPECT_TRUE(on_worker);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
 // --- Determinism of the parallelized pipeline stages ----------------------
 
 std::vector<double> synthetic_field(const mesh::TriMesh& m) {

@@ -64,6 +64,7 @@
 #include "feio/serve.h"
 #include "scenarios/pipeline_bench.h"
 #include "scenarios/scenarios.h"
+#include "util/error.h"
 #include "util/fault.h"
 #include "util/guard.h"
 #include "util/parallel.h"
@@ -161,12 +162,12 @@ int usage() {
 bool open_deck(const std::string& path, std::ifstream& in, DiagSink& sink) {
   std::error_code ec;
   if (!std::filesystem::is_regular_file(path, ec)) {
-    sink.error("E-IO-001", "cannot open deck '" + path + "'");
+    sink.error(kCodeIoDeckOpen, "cannot open deck '" + path + "'");
     return false;
   }
   in.open(path);
   if (!in.good()) {
-    sink.error("E-IO-001", "cannot open deck '" + path + "'");
+    sink.error(kCodeIoDeckOpen, "cannot open deck '" + path + "'");
     return false;
   }
   return true;
@@ -284,7 +285,7 @@ bool write_diag_json(const Args& args, const DiagSink& sink) {
     out.flush();
   }
   if (!out.good()) {
-    std::fprintf(stderr, "error: E-IO-002: cannot write '%s'\n",
+    std::fprintf(stderr, "error: %s: cannot write '%s'\n", kCodeIoWriteFile,
                  args.diag_json_path.c_str());
     return false;
   }
@@ -302,7 +303,7 @@ void write_text_file(const std::string& path, const std::string& content,
     out << content;
     out.flush();
   }
-  if (!out.good()) sink.error("E-IO-002", "cannot write '" + path + "'");
+  if (!out.good()) sink.error(kCodeIoWriteFile, "cannot write '" + path + "'");
 }
 
 // write_svg throws feio::Error when the file cannot be opened or written;
@@ -312,7 +313,7 @@ void write_svg_checked(const plot::PlotFile& plot, const std::string& path,
   try {
     plot::write_svg(plot, path);
   } catch (const Error& e) {
-    sink.error("E-IO-002", e.what());
+    sink.error(kCodeIoWriteFile, e.what());
   }
 }
 
@@ -594,7 +595,8 @@ int run_serve(const Args& args) {
     out.flush();
   }
   if (!out.good()) {
-    std::fprintf(stderr, "error: E-IO-002: cannot write '%s'\n", path.c_str());
+    std::fprintf(stderr, "error: %s: cannot write '%s'\n", kCodeIoWriteFile,
+                 path.c_str());
     return kExitInput;
   }
   std::fprintf(stderr, "wrote %s\n", path.c_str());
@@ -725,7 +727,8 @@ int main(int argc, char** argv) {
   // A closed or full stdout (downstream `head`, dead pipe, full disk) must
   // not exit 0 as if the report had been delivered.
   if (std::fflush(stdout) != 0 || std::ferror(stdout) != 0) {
-    std::fprintf(stderr, "error: E-IO-003: cannot write to stdout\n");
+    std::fprintf(stderr, "error: %s: cannot write to stdout\n",
+                 kCodeIoWriteOutput);
     if (code == kExitOk) code = kExitInput;
   }
   return code != kExitOk ? code : obs_code;
