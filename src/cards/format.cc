@@ -11,6 +11,14 @@
 namespace feio::cards {
 namespace {
 
+// Degenerate descriptors (zero repeats, zero widths, 0X) parse under
+// classic FORTRAN rules but contribute nothing, silently misaligning every
+// later field. Rejected with the stable E-CARD-006 code.
+[[noreturn]] void fail_degenerate(const std::string& detail) {
+  throw ResourceError(kCodeCardDegenerateFormat,
+                      "degenerate FORMAT descriptor: " + detail);
+}
+
 struct Cursor {
   std::string_view s;
   size_t pos = 0;
@@ -73,8 +81,12 @@ std::vector<EditDescriptor> parse_items(Cursor& cur, bool in_group) {
                    "inner group (one level of parentheses, as in "
                    "2(I5,F10.2), is accepted)");
       const std::vector<EditDescriptor> group = parse_items(cur, true);
+      if (count == 0) {
+        fail_degenerate(
+            "group repeat count 0 contributes no fields (as in "
+            "'0(I5,F10.2)')");
+      }
       const int repeat = count < 0 ? 1 : count;
-      FEIO_REQUIRE(repeat >= 1, "FORMAT group repeat count must be positive");
       for (int i = 0; i < repeat; ++i) {
         items.insert(items.end(), group.begin(), group.end());
       }
@@ -83,6 +95,10 @@ std::vector<EditDescriptor> parse_items(Cursor& cur, bool in_group) {
     }
 
     EditDescriptor d;
+    if (count == 0 && c != 'X') {
+      fail_degenerate(std::string("repeat count 0 on '") + c +
+                      "' contributes no fields (as in '0" + c + "5')");
+    }
     int repeat = count < 0 ? 1 : count;
     switch (c) {
       case 'I':
@@ -90,6 +106,10 @@ std::vector<EditDescriptor> parse_items(Cursor& cur, bool in_group) {
       case 'E':
       case 'A': {
         const int width = cur.take_number();
+        if (width == 0) {
+          fail_degenerate(std::string("zero-width '") + c +
+                          "0' occupies no card columns");
+        }
         FEIO_REQUIRE(width > 0, std::string("FORMAT descriptor ") + c +
                                     " requires a positive width");
         d.width = width;
@@ -109,6 +129,7 @@ std::vector<EditDescriptor> parse_items(Cursor& cur, bool in_group) {
         break;
       }
       case 'X': {
+        if (count == 0) fail_degenerate("'0X' skips no card columns");
         FEIO_REQUIRE(count > 0, "X descriptor requires a leading count");
         d.kind = EditKind::kSkip;
         d.width = count;

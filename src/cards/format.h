@@ -54,6 +54,16 @@ enum class ExpStyle {
   kC,        // "d.ddE+ee" (C printf %E, the pre-0.5 behaviour)
 };
 
+// Diagnostic code for degenerate FORMAT descriptors: zero repeat counts
+// ("0I5", "0(I5,F10.2)"), zero widths ("I0", "A0", "F0.2"), and "0X". Under
+// FORTRAN rules these either silently contribute no fields or occupy no
+// columns, shifting every later field left of where the deck author expects
+// it — exactly the class of quiet misalignment this library refuses.
+// Format::parse throws feio::ResourceError carrying this code so deck
+// readers can surface the precise diagnostic (plain malformed FORMATs keep
+// throwing feio::Error and are reported as E-FMT-001).
+inline constexpr const char kCodeCardDegenerateFormat[] = "E-CARD-006";
+
 struct EditDescriptor {
   EditKind kind = EditKind::kSkip;
   int width = 0;     // field width (the skip count for nX)

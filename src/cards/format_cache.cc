@@ -1,0 +1,88 @@
+#include "cards/format_cache.h"
+
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "util/lru.h"
+#include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace feio::cards {
+namespace {
+
+// (spec, policy, style); ordered so util::LruCache's map index works without
+// a hash. The spec is stored verbatim — Format::parse normalizes case and
+// blanks itself, and interning pre-normalized variants separately only costs
+// a few duplicate entries, never a wrong hit.
+using Key = std::tuple<std::string, int, int>;
+
+struct CacheState {
+  util::Mutex mu;
+  util::LruCache<Key, std::shared_ptr<const Format>> cache
+      FEIO_GUARDED_BY(mu){256};
+  std::int64_t hits FEIO_GUARDED_BY(mu) = 0;
+  std::int64_t misses FEIO_GUARDED_BY(mu) = 0;
+};
+
+CacheState& state() {
+  static CacheState s;
+  return s;
+}
+
+}  // namespace
+
+std::shared_ptr<const Format> parse_format_cached(std::string_view spec,
+                                                  BlankPolicy policy,
+                                                  ExpStyle style) {
+  CacheState& s = state();
+  Key key{std::string(spec), static_cast<int>(policy),
+          static_cast<int>(style)};
+  {
+    util::MutexLock lock(s.mu);
+    if (s.cache.capacity() == 0) {
+      // Disabled: parse below without touching the counters.
+    } else if (const auto* hit = s.cache.get(key)) {
+      ++s.hits;
+      FEIO_METRIC_ADD("cache.format.hits", 1);
+      return *hit;
+    }
+  }
+
+  // Parse outside the lock: a throwing spec never blocks other threads, and
+  // two threads racing on the same cold key just parse twice — the second
+  // put() replaces the first with an equivalent object.
+  Format parsed = Format::parse(spec);
+  parsed.set_blank_policy(policy).set_exp_style(style);
+  auto entry = std::make_shared<const Format>(std::move(parsed));
+
+  util::MutexLock lock(s.mu);
+  if (s.cache.capacity() == 0) return entry;
+  ++s.misses;
+  FEIO_METRIC_ADD("cache.format.misses", 1);
+  s.cache.put(key, entry);
+  return entry;
+}
+
+void set_format_cache_capacity(std::size_t capacity) {
+  CacheState& s = state();
+  util::MutexLock lock(s.mu);
+  s.cache.set_capacity(capacity);
+}
+
+FormatCacheStats format_cache_stats() {
+  CacheState& s = state();
+  util::MutexLock lock(s.mu);
+  return {s.hits, s.misses};
+}
+
+void reset_format_cache() {
+  CacheState& s = state();
+  util::MutexLock lock(s.mu);
+  s.cache.clear();
+  s.hits = 0;
+  s.misses = 0;
+}
+
+}  // namespace feio::cards

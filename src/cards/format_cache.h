@@ -1,0 +1,54 @@
+// Process-wide interned Format::parse cache.
+//
+// The serve loop re-reads the same handful of FORMAT strings on every job
+// (deck fixed formats are already static locals; the *user-supplied* type-7
+// punch FORMATs are not — punch re-parsed them per call). parse_cached()
+// interns the parsed Format keyed by (spec string, BlankPolicy, ExpStyle)
+// behind an annotated mutex, so concurrent serve workers share one parse.
+//
+// Entries are immutable (shared_ptr<const Format>) — a hit hands back the
+// interned object itself, which is safe because every Format consumer only
+// reads. Parse failures are never cached: a bad spec throws on every call,
+// exactly like the uncached path.
+//
+// Capacity 0 disables interning (parse_cached degenerates to plain parse +
+// setters and counts nothing) — the knob the `feio serve --cache-formats 0`
+// ablation turns. Hits and misses are tracked both in the process-local
+// FormatCacheStats (for serve session deltas) and as `cache.format.hits` /
+// `cache.format.misses` counters in the metrics registry
+// (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "cards/format.h"
+
+namespace feio::cards {
+
+struct FormatCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+};
+
+// Parses `spec` with the given field-semantics knobs, returning the interned
+// immutable Format (or a fresh one when the cache is disabled). Throws
+// exactly what Format::parse throws; failures are not cached.
+std::shared_ptr<const Format> parse_format_cached(
+    std::string_view spec, BlankPolicy policy = BlankPolicy::kBlankAsZero,
+    ExpStyle style = ExpStyle::kFortran);
+
+// Rebounds the intern cache, evicting least-recently-used entries as needed.
+// 0 disables caching. Default capacity is 256 distinct (spec, policy, style)
+// keys — far above any real deck's FORMAT vocabulary.
+void set_format_cache_capacity(std::size_t capacity);
+
+// Cumulative process-wide hit/miss counts (sessions take deltas).
+FormatCacheStats format_cache_stats();
+
+// Drops every entry and zeroes the stats; capacity is preserved. Test hook.
+void reset_format_cache();
+
+}  // namespace feio::cards

@@ -10,6 +10,10 @@ class MetricsRegistry;
 class Tracer;
 }  // namespace feio::util
 
+namespace feio::fem {
+class FactorCache;
+}  // namespace feio::fem
+
 namespace feio {
 
 // Options applied to one pipeline run. Everything here defaults to "the
@@ -40,6 +44,14 @@ struct RunOptions {
   // Diag toggle: run mesh validation inside run_checked and merge its
   // findings into the sink. Off for callers that validate separately.
   bool validate_mesh = true;
+
+  // Factorized-stiffness LRU (fem/factor_cache.h), optional. When set,
+  // fem::solve(problem, opts) consults it before assembling: a content-hash
+  // hit replays the cached factor (bit-identical to the cold path) and a
+  // successful cold solve populates it. Null keeps every solve cold. The
+  // cache must outlive the call; it is internally synchronized, so serve
+  // workers share one instance.
+  fem::FactorCache* factor_cache = nullptr;
 
   // Output toggles, ANDed with the case's own IdlzOptions: false forces
   // plots/punched cards off even when the deck asked for them (the lint

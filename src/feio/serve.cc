@@ -10,7 +10,11 @@
 #include <ostream>
 #include <vector>
 
+#include "cards/format_cache.h"
 #include "feio/api.h"
+#include "fem/assembly.h"
+#include "fem/factor_cache.h"
+#include "fem/solver.h"
 #include "idlz/deck.h"
 #include "ospl/deck.h"
 #include "util/cancel.h"
@@ -238,10 +242,11 @@ bool parse_job_line(std::string_view line, Job& job, std::string& error) {
     error = "trailing characters after job object";
     return false;
   }
-  if (job.pipeline != "idlz" && job.pipeline != "ospl") {
+  if (job.pipeline != "idlz" && job.pipeline != "ospl" &&
+      job.pipeline != "solve") {
     error = job.pipeline.empty()
-                ? std::string(
-                      "missing \"pipeline\" (want \"idlz\" or \"ospl\")")
+                ? std::string("missing \"pipeline\" (want \"idlz\", "
+                              "\"ospl\" or \"solve\")")
                 : "unknown pipeline \"" + job.pipeline + "\"";
     return false;
   }
@@ -331,6 +336,34 @@ std::string render_job_envelope(const std::string& id, std::int64_t seq,
   return out;
 }
 
+// The canonical static analysis the "solve" pipeline runs on an idealized
+// mesh: plane stress, unit-modulus isotropic material, every node on the
+// minimum-x column clamped, a unit downward load at the maximum-x node
+// (lowest index on ties). Fully determined by the mesh — two jobs with the
+// same deck build bit-identical problems, which is what lets the factor
+// cache key on content hashes alone.
+fem::StaticSolution solve_canonical(const mesh::TriMesh& mesh,
+                                    const RunOptions& ro) {
+  fem::StaticProblem problem(mesh, fem::Analysis::kPlaneStress);
+  problem.set_material(fem::Material::isotropic(1000.0, 0.3));
+  double min_x = mesh.pos(0).x;
+  double max_x = mesh.pos(0).x;
+  int load_node = 0;
+  for (int n = 0; n < mesh.num_nodes(); ++n) {
+    const double x = mesh.pos(n).x;
+    min_x = std::min(min_x, x);
+    if (x > max_x) {
+      max_x = x;
+      load_node = n;
+    }
+  }
+  for (int n = 0; n < mesh.num_nodes(); ++n) {
+    if (mesh.pos(n).x == min_x) problem.fix(n, true, true);
+  }
+  problem.point_load(load_node, {0.0, -1.0});
+  return fem::solve(problem, ro);
+}
+
 std::int64_t count_cards(const std::string& deck) {
   if (deck.empty()) return 0;
   std::int64_t n = 1;
@@ -344,12 +377,26 @@ struct JobOutcome {
   double elapsed_ms = 0.0;
 };
 
+// One completed job as the rolling-window report sees it: when it finished
+// on the session clock, how long it took, and the *cumulative* cache
+// counters at that moment (windows take deltas between their boundary
+// samples, which is what makes per-window hit rates exact even though the
+// windows are cut after the fact).
+struct JobSample {
+  double done_ms = 0.0;
+  double elapsed_ms = 0.0;
+  std::int64_t format_hits = 0;
+  std::int64_t format_misses = 0;
+  std::int64_t factor_hits = 0;
+  std::int64_t factor_misses = 0;
+};
+
 // Runs one admitted job start to finish on the calling (worker) thread.
 // All robustness state — armed faults, guard limits, cancel token — is
 // scoped to this frame, so the worker lane is pristine for the next job
 // no matter how this one ends.
-JobOutcome run_job(const Job& job, std::int64_t seq,
-                   const ServeOptions& opts) {
+JobOutcome run_job(const Job& job, std::int64_t seq, const ServeOptions& opts,
+                   fem::FactorCache* factor_cache) {
   const auto t0 = Clock::now();
   DiagSink sink;
   JobOutcome out;
@@ -399,12 +446,21 @@ JobOutcome run_job(const Job& job, std::int64_t seq,
   ro.threads = 1;  // one lane per job; the pool provides the concurrency
   ro.make_plots = false;
   ro.punch = false;
+  ro.factor_cache = factor_cache;  // consulted by the "solve" pipeline only
 
   try {
-    if (job.pipeline == "idlz") {
+    if (job.pipeline == "idlz" || job.pipeline == "solve") {
       const std::vector<idlz::IdlzCase> cases =
           idlz::read_deck_string(job.deck, sink, "job:" + job.id);
-      for (const idlz::IdlzCase& c : cases) run_idlz(c, sink, ro);
+      for (const idlz::IdlzCase& c : cases) {
+        const std::optional<idlz::IdlzResult> result = run_idlz(c, sink, ro);
+        if (job.pipeline == "solve" && result.has_value()) {
+          // Warm-path reuse happens inside fem::solve via the session
+          // factor cache; a faulted/timed-out/singular solve throws past
+          // the cache insert, so it cannot poison later jobs.
+          solve_canonical(result->mesh, ro);
+        }
+      }
     } else {
       const ospl::OsplCase c =
           ospl::read_deck_string(job.deck, sink, "job:" + job.id);
@@ -448,10 +504,19 @@ double percentile(const std::vector<double>& sorted, double p) {
 // shared.mu" comments) — lambdas cannot carry thread-safety annotations, so
 // the contract is now enforced by clang instead of prose.
 struct Shared {
-  explicit Shared(std::ostream& o) : out(o) {}
+  Shared(std::ostream& o, Clock::time_point start,
+         const fem::FactorCache* factors, cards::FormatCacheStats fmt_base)
+      : out(o), t0(start), factor_cache(factors), format_base(fmt_base) {}
 
   // The output stream is only ever written by flush_ready(), i.e. under mu.
   std::ostream& out;
+
+  // Session clock zero and the cache sources record() samples: the
+  // session-local factor cache and the process-wide FORMAT-cache baseline
+  // (its counters are cumulative across sessions; samples store deltas).
+  const Clock::time_point t0;
+  const fem::FactorCache* const factor_cache;
+  const cards::FormatCacheStats format_base;
 
   util::Mutex mu;
   std::condition_variable cv;
@@ -462,6 +527,9 @@ struct Shared {
   int in_flight FEIO_GUARDED_BY(mu) = 0;
   ServeSummary summary FEIO_GUARDED_BY(mu);
   std::vector<double> latencies FEIO_GUARDED_BY(mu);
+  // One entry per completion, in completion order (the order the rolling
+  // windows are cut in).
+  std::vector<JobSample> samples FEIO_GUARDED_BY(mu);
   bool out_failed FEIO_GUARDED_BY(mu) = false;
 
   // Writes every envelope whose turn has come, in input order.
@@ -491,12 +559,65 @@ struct Shared {
       case JobStatus::kError: ++summary.errors; break;
     }
     latencies.push_back(outcome.elapsed_ms);
+    JobSample sample;
+    sample.done_ms = ms_since(t0);
+    sample.elapsed_ms = outcome.elapsed_ms;
+    const cards::FormatCacheStats fmt = cards::format_cache_stats();
+    sample.format_hits = fmt.hits - format_base.hits;
+    sample.format_misses = fmt.misses - format_base.misses;
+    if (factor_cache != nullptr) {
+      const fem::FactorCacheStats fac = factor_cache->stats();
+      sample.factor_hits = fac.hits;
+      sample.factor_misses = fac.misses;
+    }
+    samples.push_back(sample);
     ready.emplace(seq, outcome.envelope);
     if (admitted) --in_flight;
     flush_ready();
     cv.notify_all();
   }
 };
+
+// Cuts the completion-ordered samples into rolling windows of `window_jobs`
+// (last window may be short). Per-window hit rates come from the delta of
+// the cumulative counters across the window's boundary samples.
+std::vector<ServeWindow> cut_windows(const std::vector<JobSample>& samples,
+                                     int window_jobs) {
+  std::vector<ServeWindow> windows;
+  if (window_jobs <= 0 || samples.empty()) return windows;
+  const auto rate = [](std::int64_t hits, std::int64_t misses) {
+    const std::int64_t lookups = hits + misses;
+    return lookups > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+  };
+  for (size_t begin = 0; begin < samples.size();
+       begin += static_cast<size_t>(window_jobs)) {
+    const size_t end =
+        std::min(begin + static_cast<size_t>(window_jobs), samples.size());
+    ServeWindow w;
+    w.jobs = static_cast<std::int64_t>(end - begin);
+    const double start_ms = begin == 0 ? 0.0 : samples[begin - 1].done_ms;
+    w.wall_ms = samples[end - 1].done_ms - start_ms;
+    w.jobs_per_sec = w.wall_ms > 0.0
+                         ? 1000.0 * static_cast<double>(w.jobs) / w.wall_ms
+                         : 0.0;
+    std::vector<double> lat;
+    lat.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) lat.push_back(samples[i].elapsed_ms);
+    std::sort(lat.begin(), lat.end());
+    w.p50_ms = percentile(lat, 0.50);
+    w.p99_ms = percentile(lat, 0.99);
+    const JobSample& last = samples[end - 1];
+    const JobSample prev = begin == 0 ? JobSample{} : samples[begin - 1];
+    w.format_hit_rate = rate(last.format_hits - prev.format_hits,
+                             last.format_misses - prev.format_misses);
+    w.factor_hit_rate = rate(last.factor_hits - prev.factor_hits,
+                             last.factor_misses - prev.factor_misses);
+    windows.push_back(w);
+  }
+  return windows;
+}
 
 }  // namespace
 
@@ -514,8 +635,48 @@ std::string ServeSummary::render_bench_json() const {
   out += "  \"jobs_per_sec\": " + fmt_ms(jobs_per_sec) + ",\n";
   out += "  \"p50_ms\": " + fmt_ms(p50_ms) + ",\n";
   out += "  \"p99_ms\": " + fmt_ms(p99_ms) + ",\n";
-  out += "  \"max_ms\": " + fmt_ms(max_ms) + "\n";
-  out += "}\n";
+  out += "  \"max_ms\": " + fmt_ms(max_ms) + ",\n";
+  const auto rate = [](std::int64_t hits, std::int64_t misses) {
+    const std::int64_t lookups = hits + misses;
+    return lookups > 0
+               ? static_cast<double>(hits) / static_cast<double>(lookups)
+               : 0.0;
+  };
+  char ratebuf[32];
+  out += "  \"cache\": {";
+  out += "\"format_hits\": " + std::to_string(format_hits) + ", ";
+  out += "\"format_misses\": " + std::to_string(format_misses) + ", ";
+  std::snprintf(ratebuf, sizeof ratebuf, "%.4f",
+                rate(format_hits, format_misses));
+  out += "\"format_hit_rate\": " + std::string(ratebuf) + ", ";
+  out += "\"factor_hits\": " + std::to_string(factor_hits) + ", ";
+  out += "\"factor_misses\": " + std::to_string(factor_misses) + ", ";
+  std::snprintf(ratebuf, sizeof ratebuf, "%.4f",
+                rate(factor_hits, factor_misses));
+  out += "\"factor_hit_rate\": " + std::string(ratebuf) + "},\n";
+  out += "  \"window_jobs\": " + std::to_string(window_jobs) + ",\n";
+  out += "  \"windows\": [";
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const ServeWindow& w = windows[i];
+    if (i > 0) out += ", ";
+    out += "{\"jobs\": " + std::to_string(w.jobs);
+    out += ", \"wall_ms\": " + fmt_ms(w.wall_ms);
+    out += ", \"jobs_per_sec\": " + fmt_ms(w.jobs_per_sec);
+    out += ", \"p50_ms\": " + fmt_ms(w.p50_ms);
+    out += ", \"p99_ms\": " + fmt_ms(w.p99_ms);
+    std::snprintf(ratebuf, sizeof ratebuf, "%.4f", w.format_hit_rate);
+    out += ", \"format_hit_rate\": " + std::string(ratebuf);
+    std::snprintf(ratebuf, sizeof ratebuf, "%.4f", w.factor_hit_rate);
+    out += ", \"factor_hit_rate\": " + std::string(ratebuf) + "}";
+  }
+  out += "]";
+  if (has_ablation) {
+    out += ",\n  \"ablation\": {";
+    out += "\"wall_ms\": " + fmt_ms(ablation_wall_ms) + ", ";
+    out += "\"jobs_per_sec\": " + fmt_ms(ablation_jobs_per_sec) + ", ";
+    out += "\"speedup\": " + fmt_ms(cache_speedup) + "}";
+  }
+  out += "\n}\n";
   return out;
 }
 
@@ -530,6 +691,20 @@ std::string ServeSummary::render_table() const {
   out += "  errors ...... " + std::to_string(errors) + "\n";
   out += "  latency ..... p50 " + fmt_ms(p50_ms) + " ms, p99 " +
          fmt_ms(p99_ms) + " ms, max " + fmt_ms(max_ms) + " ms\n";
+  out += "  fmt cache ... " + std::to_string(format_hits) + " hits / " +
+         std::to_string(format_misses) + " misses\n";
+  out += "  factor LRU .. " + std::to_string(factor_hits) + " hits / " +
+         std::to_string(factor_misses) + " misses\n";
+  if (!windows.empty()) {
+    out += "  windows ..... " + std::to_string(windows.size()) + " x " +
+           std::to_string(window_jobs) + " jobs, last " +
+           fmt_ms(windows.back().jobs_per_sec) + " jobs/s (p50 " +
+           fmt_ms(windows.back().p50_ms) + " ms)\n";
+  }
+  if (has_ablation) {
+    out += "  ablation .... caches off " + fmt_ms(ablation_jobs_per_sec) +
+           " jobs/s; speedup " + fmt_ms(cache_speedup) + "x\n";
+  }
   return out;
 }
 
@@ -542,9 +717,20 @@ ServeSummary serve_stdin_jsonl(std::istream& in, std::ostream& out,
   const int capacity = std::max(1, opts.queue_capacity);
   util::ThreadPool pool(workers);
 
-  Shared shared(out);
+  // Session caches: the FORMAT intern cache is process-wide (rebound to the
+  // requested capacity; stats are read as deltas from here), the factor LRU
+  // is session-local and shared by every worker. Capacity 0 disables.
+  cards::set_format_cache_capacity(
+      static_cast<std::size_t>(std::max(0, opts.format_cache_capacity)));
+  const cards::FormatCacheStats format_base = cards::format_cache_stats();
+  fem::FactorCache factor_cache(
+      static_cast<std::size_t>(std::max(0, opts.factor_cache_capacity)));
+  fem::FactorCache* const factors =
+      opts.factor_cache_capacity > 0 ? &factor_cache : nullptr;
 
   const auto t0 = Clock::now();
+  Shared shared(out, t0, factors, format_base);
+
   std::string line;
   std::int64_t seq = 0;
   while (std::getline(in, line)) {
@@ -584,7 +770,7 @@ ServeSummary serve_stdin_jsonl(std::istream& in, std::ostream& out,
                                 outcome.status, 0.0, sink);
         shared.record(this_seq, outcome, /*admitted=*/false);
       } else {
-        pool.post([&opts, &shared, this_seq, line] {
+        pool.post([&opts, &shared, this_seq, line, factors] {
           Job job;
           std::string error;
           JobOutcome outcome;
@@ -597,7 +783,7 @@ ServeSummary serve_stdin_jsonl(std::istream& in, std::ostream& out,
                 this_seq, outcome.status, 0.0, sink);
           } else {
             if (job.id.empty()) job.id = "job-" + std::to_string(this_seq);
-            outcome = run_job(job, this_seq, opts);
+            outcome = run_job(job, this_seq, opts, factors);
           }
           shared.record(this_seq, outcome, /*admitted=*/true);
         });
@@ -618,6 +804,7 @@ ServeSummary serve_stdin_jsonl(std::istream& in, std::ostream& out,
   bool out_failed = false;
   ServeSummary summary;
   std::vector<double> latencies;
+  std::vector<JobSample> samples;
   {
     util::MutexLock lock(shared.mu);
     while (shared.in_flight != 0) lock.wait(shared.cv);
@@ -625,6 +812,7 @@ ServeSummary serve_stdin_jsonl(std::istream& in, std::ostream& out,
     out_failed = shared.out_failed;
     summary = shared.summary;
     latencies = std::move(shared.latencies);
+    samples = std::move(shared.samples);
   }
 
   if (out_failed) {
@@ -641,6 +829,17 @@ ServeSummary serve_stdin_jsonl(std::istream& in, std::ostream& out,
   summary.p50_ms = percentile(latencies, 0.50);
   summary.p99_ms = percentile(latencies, 0.99);
   summary.max_ms = latencies.empty() ? 0.0 : latencies.back();
+
+  const cards::FormatCacheStats format_end = cards::format_cache_stats();
+  summary.format_hits = format_end.hits - format_base.hits;
+  summary.format_misses = format_end.misses - format_base.misses;
+  if (factors != nullptr) {
+    const fem::FactorCacheStats fac = factors->stats();
+    summary.factor_hits = fac.hits;
+    summary.factor_misses = fac.misses;
+  }
+  summary.window_jobs = std::max(0, opts.window_jobs);
+  summary.windows = cut_windows(samples, opts.window_jobs);
   return summary;
 }
 

@@ -11,10 +11,23 @@
 //
 // Job line schema (flat JSON object; unknown keys ignored):
 //   {"id": "j1",              optional label, default "job-<seq>"
-//    "pipeline": "idlz",      required: "idlz" | "ospl"
+//    "pipeline": "idlz",      required: "idlz" | "ospl" | "solve"
 //    "deck": "1\n...",        required: card images joined by \n
 //    "deadline_ms": 50,       optional, overrides ServeOptions default
 //    "fault": "site:N"}       optional, armed for this job only
+//
+// Pipeline "solve" idealizes an IDLZ deck and then runs a canonical static
+// analysis on each resulting mesh (plane stress, unit isotropic material,
+// the minimum-x node column clamped, a unit load at the maximum-x node) —
+// the deck-to-displacements round trip whose assembly+factorization cost
+// the factor cache exists to amortize.
+//
+// Serve-path caches: FORMAT parses are interned process-wide
+// (cards/format_cache.h) and factorized stiffness systems live in a
+// session-local LRU (fem/factor_cache.h) shared by all workers, so a repeat
+// deck skips assembly and factorization entirely. Cached results are
+// bit-identical to cold ones; hit/miss totals and per-window hit rates land
+// in the summary.
 //
 // Admission: a job is rejected up front — never started — when its deck
 // exceeds the configured card/byte limits (E-RES-001) or when more than
@@ -30,6 +43,7 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/guard.h"
 
@@ -43,7 +57,7 @@ namespace feio::serve {
 // One parsed job line.
 struct Job {
   std::string id;
-  std::string pipeline;       // "idlz" | "ospl"
+  std::string pipeline;       // "idlz" | "ospl" | "solve"
   std::string deck;           // card images, newline-separated
   std::int64_t deadline_ms = 0;  // 0 = use the serve default
   std::string fault;          // fault spec armed for this job only; "" = none
@@ -76,6 +90,31 @@ struct ServeOptions {
   // thread-safe; spans/metrics from concurrent jobs interleave).
   util::Tracer* tracer = nullptr;
   util::MetricsRegistry* metrics = nullptr;
+
+  // Serve-path cache capacities. format_cache rebinds the process-wide
+  // FORMAT intern cache for the session; factor_cache bounds the
+  // session-local LRU of factorized stiffness systems shared by all
+  // workers. 0 disables the respective cache (the `--ablate-caches` cold
+  // pass runs with both at 0).
+  int format_cache_capacity = 256;
+  int factor_cache_capacity = 16;
+
+  // Rolling-report window size: the summary's `windows` array carries
+  // per-window jobs/sec, p50/p99 and cache hit rates for every
+  // `window_jobs` completed jobs (the final window may be short).
+  // <= 0 disables windowing.
+  int window_jobs = 100;
+};
+
+// One rolling window over `window_jobs` consecutive job completions.
+struct ServeWindow {
+  std::int64_t jobs = 0;
+  double wall_ms = 0.0;      // window span on the session clock
+  double jobs_per_sec = 0.0;
+  double p50_ms = 0.0;       // per-job latency percentiles within the window
+  double p99_ms = 0.0;
+  double format_hit_rate = 0.0;  // FORMAT-cache hits / lookups this window
+  double factor_hit_rate = 0.0;  // factor-cache hits / lookups this window
 };
 
 // Whole-session aggregate. jobs == ok + rejected + timed_out + faulted +
@@ -93,7 +132,26 @@ struct ServeSummary {
   double p99_ms = 0.0;
   double max_ms = 0.0;
 
-  // feio.report/1 bench envelope, payload_schema feio.bench.serve/1.
+  // Session cache totals (deltas for the process-wide FORMAT cache).
+  std::int64_t format_hits = 0;
+  std::int64_t format_misses = 0;
+  std::int64_t factor_hits = 0;
+  std::int64_t factor_misses = 0;
+
+  // Rolling windows over completions (ServeOptions::window_jobs per
+  // window); empty when windowing is disabled or no jobs ran.
+  std::int64_t window_jobs = 0;
+  std::vector<ServeWindow> windows;
+
+  // Filled by the CLI's `--ablate-caches` mode: the same stream replayed
+  // with both caches disabled, and the warm/cold throughput ratio.
+  bool has_ablation = false;
+  double ablation_wall_ms = 0.0;
+  double ablation_jobs_per_sec = 0.0;
+  double cache_speedup = 0.0;  // jobs_per_sec / ablation_jobs_per_sec
+
+  // feio.report/1 bench envelope, payload_schema feio.bench.serve/1 (the
+  // cache/window/ablation fields are additive extensions of that schema).
   std::string render_bench_json() const;
   // Human-readable table for stderr.
   std::string render_table() const;

@@ -81,6 +81,18 @@ class StaticProblem {
 
   const std::vector<Constraint>& constraints() const { return constraints_; }
 
+  // Load/thermal definition, exposed read-only so the factor cache
+  // (fem/factor_cache.h) can hash the full problem content.
+  const std::vector<PointLoad>& point_loads() const { return loads_; }
+  const std::vector<EdgePressure>& edge_pressures() const {
+    return pressures_;
+  }
+  const std::vector<double>& nodal_temperatures() const {
+    return temperature_;
+  }
+  double expansion_coefficient() const { return alpha_; }
+  double reference_temperature() const { return t_ref_; }
+
  private:
   const mesh::TriMesh* mesh_;
   Analysis analysis_;

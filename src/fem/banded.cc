@@ -20,13 +20,22 @@ BandedMatrix::BandedMatrix(int n, int half_bandwidth)
   FEIO_REQUIRE(half_bandwidth >= 0, "half-bandwidth must be non-negative");
   hbw_ = std::min(hbw_, n_ - 1);
   // Guard before the one big allocation of the solve: band storage is the
-  // factor's exact footprint, n * (hbw + 1) doubles.
-  util::guard_check_factor_bytes(
-      static_cast<std::int64_t>(n_) * (hbw_ + 1) *
-          static_cast<std::int64_t>(sizeof(double)),
-      "banded factor storage bytes");
+  // factor's exact footprint, n * (hbw + 1) doubles. The estimate goes
+  // through the overflow-checked helper so a huge (n, hbw) pair trips
+  // E-RES-003 instead of wrapping past the limit.
+  util::guard_check_factor_bytes(util::checked_factor_bytes(n_, hbw_),
+                                 "banded factor storage bytes");
   FEIO_FAULT("fem.alloc");
   band_.assign(static_cast<size_t>(n_) * (hbw_ + 1), 0.0);
+}
+
+BandedMatrix BandedMatrix::adopt_factor(int n, int half_bandwidth,
+                                        std::vector<double> band) {
+  BandedMatrix m(n, half_bandwidth);
+  FEIO_ASSERT(band.size() == m.band_.size());
+  m.band_ = std::move(band);
+  m.factorized_ = true;
+  return m;
 }
 
 double& BandedMatrix::slot(int i, int j) {

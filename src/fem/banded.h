@@ -46,6 +46,14 @@ class BandedMatrix {
   // Number of stored doubles (core occupancy; for the ablation bench).
   std::size_t storage() const { return band_.size(); }
 
+  // The raw band storage. After factorize() these are the exact factor
+  // bytes; the factor cache (fem/factor_cache.h) snapshots them and later
+  // rebuilds a solve-ready matrix with adopt_factor(), which is what makes
+  // warm-path results bit-identical to the cold path.
+  const std::vector<double>& band() const { return band_; }
+  static BandedMatrix adopt_factor(int n, int half_bandwidth,
+                                   std::vector<double> band);
+
  private:
   double& slot(int i, int j);
   const double& slot(int i, int j) const;

@@ -1,0 +1,99 @@
+// Bounded LRU of factorized stiffness systems for the serve path.
+//
+// A repeat job re-assembles and re-factorizes an identical stiffness matrix
+// — the O(n * hbw^2) step that dominates every static solve. The cache keys
+// a fully-defined StaticProblem by three 64-bit content hashes (mesh
+// geometry/topology, material field, solver options: constraints + loads +
+// thermal data) and stores the factorized BandedMatrix together with the
+// constrained load vector. A hit replays the exact factor bytes produced by
+// the cold path, and BandedMatrix::solve is deterministic, so warm results
+// are bit-identical to cold ones at any thread count.
+//
+// Entries are immutable shared_ptr<const FactorEntry>; concurrent workers
+// can solve against the same cached factor (solve() only reads the band).
+// Insertion happens ONLY after a fully successful cold solve — a job that
+// faults, times out, or hits a singular pivot throws past the put(), so a
+// failed job can never poison the cache (docs/ROBUSTNESS.md).
+//
+// Thread-safe: all state sits behind an annotated util::Mutex. Capacity 0
+// disables storage (every get misses; put is a no-op).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fem/banded.h"
+#include "util/lru.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace feio::fem {
+
+class StaticProblem;
+
+struct FactorKey {
+  std::uint64_t mesh_hash = 0;
+  std::uint64_t material_hash = 0;
+  std::uint64_t options_hash = 0;
+};
+
+inline bool operator<(const FactorKey& a, const FactorKey& b) {
+  if (a.mesh_hash != b.mesh_hash) return a.mesh_hash < b.mesh_hash;
+  if (a.material_hash != b.material_hash) {
+    return a.material_hash < b.material_hash;
+  }
+  return a.options_hash < b.options_hash;
+}
+
+inline bool operator==(const FactorKey& a, const FactorKey& b) {
+  return a.mesh_hash == b.mesh_hash && a.material_hash == b.material_hash &&
+         a.options_hash == b.options_hash;
+}
+
+// The reusable result of assemble + factorize: the factorized matrix and
+// the constrained load vector it was assembled with (apply_dirichlet
+// entangles the two, so they are snapshotted together).
+struct FactorEntry {
+  BandedMatrix matrix;
+  std::vector<double> rhs;
+};
+
+struct FactorCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t entries = 0;
+};
+
+class FactorCache {
+ public:
+  explicit FactorCache(std::size_t capacity) : cache_(capacity) {}
+
+  // Looks the key up (promoting it) and counts the hit or miss — both in
+  // the local stats and as cache.factor.hits/misses metrics.
+  std::shared_ptr<const FactorEntry> get(const FactorKey& key)
+      FEIO_EXCLUDES(mu_);
+
+  // Inserts after a successful cold solve; evicts least-recently-used.
+  void put(const FactorKey& key, std::shared_ptr<const FactorEntry> entry)
+      FEIO_EXCLUDES(mu_);
+
+  FactorCacheStats stats() const FEIO_EXCLUDES(mu_);
+
+ private:
+  mutable util::Mutex mu_;
+  util::LruCache<FactorKey, std::shared_ptr<const FactorEntry>> cache_
+      FEIO_GUARDED_BY(mu_);
+  std::int64_t hits_ FEIO_GUARDED_BY(mu_) = 0;
+  std::int64_t misses_ FEIO_GUARDED_BY(mu_) = 0;
+};
+
+// Content hash of a fully-defined problem: mesh coordinates/topology/
+// boundary flags, per-element material and analysis/thickness, and the
+// option set (constraints, point loads, edge pressures, thermal load).
+// FNV-1a over exact bit patterns — any bitwise change to any input yields a
+// different key, so a hit can only replay a byte-identical problem.
+FactorKey factor_key(const StaticProblem& problem);
+
+}  // namespace feio::fem

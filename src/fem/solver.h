@@ -23,8 +23,11 @@ StaticSolution solve(const StaticProblem& problem);
 // Same, under a RunOptions block: `threads` scopes the thread count for the
 // parallel assembly/factorization stages, and the tracer/metrics sinks are
 // installed for the duration of the call (spans fem.assemble,
-// fem.factorize, fem.solve). Output is byte-identical to the one-argument
-// overload at any thread count.
+// fem.factorize, fem.solve). When opts.factor_cache is set, the solve
+// consults the factorized-stiffness LRU first (fem/factor_cache.h): a hit
+// skips assembly and factorization entirely and a successful cold solve
+// populates the cache. Output is byte-identical to the one-argument
+// overload at any thread count, cached or cold.
 StaticSolution solve(const StaticProblem& problem, const RunOptions& opts);
 
 }  // namespace feio::fem

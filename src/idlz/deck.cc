@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "cards/card_io.h"
+#include "cards/format_cache.h"
 #include "idlz/punch.h"
 #include "util/error.h"
 #include "util/fault.h"
@@ -58,7 +59,9 @@ std::string join_title(const std::vector<cards::Field>& fields) {
 }
 
 // Reads a type-7 FORMAT card; malformed user FORMATs are diagnosed
-// (E-FMT-001) and replaced by `fallback` so the set stays usable.
+// (E-FMT-001, or the precise E-CARD-006 for degenerate descriptors) and
+// replaced by `fallback` so the set stays usable. Valid FORMATs are parsed
+// through the intern cache, warming it for the punch stage.
 bool read_format_card(CardReader& reader, DiagSink& sink,
                       const char* fallback, std::string& out) {
   const auto fields = reader.try_read(fmt_title(), sink);
@@ -69,7 +72,14 @@ bool read_format_card(CardReader& reader, DiagSink& sink,
     return true;
   }
   try {
-    Format::parse(out);
+    cards::parse_format_cached(out);
+  } catch (const ResourceError& e) {
+    // Degenerate descriptors (zero repeats/widths) carry their own stable
+    // code; surface it instead of the generic bad-FORMAT one.
+    sink.error(e.code(),
+               std::string(e.what()) + " in user FORMAT '" + out + "'",
+               reader.loc());
+    out = fallback;
   } catch (const Error& e) {
     sink.error("E-FMT-001",
                std::string(e.what()) + " in user FORMAT '" + out + "'",

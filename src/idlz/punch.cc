@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cards/card_io.h"
+#include "cards/format_cache.h"
 #include "util/error.h"
 
 namespace feio::idlz {
@@ -124,7 +125,10 @@ void report_overflow(const std::vector<FieldOverflow>& overflow,
 
 std::string punch_nodal(const mesh::TriMesh& mesh, const std::string& format,
                         DiagSink* sink, const SourceLoc& loc) {
-  const cards::Format fmt = cards::Format::parse(format);
+  // Interned: the type-7 FORMAT is identical across cards (and, on the
+  // serve path, across repeat jobs), so the parse happens once per spec.
+  const auto fmt_ptr = cards::parse_format_cached(format);
+  const cards::Format& fmt = *fmt_ptr;
   FEIO_REQUIRE(fmt.field_count() == 4,
                "nodal card FORMAT must carry 4 fields (X, Y, boundary, "
                "node number); got " +
@@ -149,7 +153,8 @@ std::string punch_nodal(const mesh::TriMesh& mesh, const std::string& format,
 
 std::string punch_element(const mesh::TriMesh& mesh, const std::string& format,
                           DiagSink* sink, const SourceLoc& loc) {
-  const cards::Format fmt = cards::Format::parse(format);
+  const auto fmt_ptr = cards::parse_format_cached(format);
+  const cards::Format& fmt = *fmt_ptr;
   FEIO_REQUIRE(fmt.field_count() == 4,
                "element card FORMAT must carry 4 fields (3 node numbers + "
                "element number); got " +

@@ -27,12 +27,13 @@ class Error : public std::runtime_error {
   std::string context_;
 };
 
-// A recoverable failure that carries a stable E-RES-00x diagnostic code:
-// admission-guard rejections (util/guard.h), cooperative cancellation
-// (util/cancel.h), and injected faults (util/fault.h). run_checked maps a
-// caught ResourceError onto sink.error(code, what()) so a rejected,
-// timed-out or faulted job ends with the documented diagnostic instead of a
-// generic pipeline error. Catalog in docs/ROBUSTNESS.md.
+// A recoverable failure that carries a stable diagnostic code: the
+// E-RES-00x family — admission-guard rejections (util/guard.h), cooperative
+// cancellation (util/cancel.h), injected faults (util/fault.h) — and the
+// degenerate-FORMAT rejection E-CARD-006 (cards/format.h). run_checked and
+// the deck readers map a caught ResourceError onto sink.error(code, what())
+// so the job ends with the documented diagnostic instead of a generic
+// pipeline error. Catalogs in docs/ROBUSTNESS.md and docs/DIAGNOSTICS.md.
 class ResourceError : public Error {
  public:
   ResourceError(std::string code, std::string message);

@@ -73,4 +73,22 @@ void guard_check_factor_bytes(std::int64_t bytes, std::string_view what) {
   throw ResourceError("E-RES-003", over(what, bytes, g->max_factor_bytes));
 }
 
+std::int64_t checked_factor_bytes(std::int64_t n, std::int64_t half_bandwidth) {
+  if (n <= 0) return 0;
+  constexpr std::int64_t kSat = INT64_MAX;
+  std::int64_t rows = 0;
+  if (__builtin_add_overflow(half_bandwidth, std::int64_t{1}, &rows)) {
+    return kSat;
+  }
+  if (rows <= 0) return 0;
+  std::int64_t slots = 0;
+  if (__builtin_mul_overflow(n, rows, &slots)) return kSat;
+  std::int64_t bytes = 0;
+  if (__builtin_mul_overflow(slots, static_cast<std::int64_t>(sizeof(double)),
+                             &bytes)) {
+    return kSat;
+  }
+  return bytes;
+}
+
 }  // namespace feio::util

@@ -76,4 +76,13 @@ std::optional<Diag> admit_deck(std::string_view what, std::int64_t cards,
 void guard_check_dofs(std::int64_t dofs, std::string_view what);
 void guard_check_factor_bytes(std::int64_t bytes, std::string_view what);
 
+// The byte size of an n x n banded factor with half-bandwidth `hbw`:
+// n * (hbw + 1) * sizeof(double), computed in checked std::int64_t
+// arithmetic. Saturates to INT64_MAX on overflow so a configured
+// max_factor_bytes limit always trips instead of wrapping — call-site
+// estimates in narrower intermediate types (int, unsigned) silently went
+// negative or small past 2^31 bytes and sailed through the guard. Every
+// guard_check_factor_bytes caller must build its estimate with this.
+std::int64_t checked_factor_bytes(std::int64_t n, std::int64_t half_bandwidth);
+
 }  // namespace feio::util

@@ -1,0 +1,87 @@
+// Bounded least-recently-used cache.
+//
+// A deliberately small building block for the serve-path caches: an ordered
+// map from key to a node in an intrusively ordered recency list (front =
+// most recently used). Keys need operator< only — no std::hash requirement,
+// which keeps composite keys (spec string + policy enums, triple-of-hashes)
+// trivial to write.
+//
+// capacity == 0 means "disabled": put() stores nothing and get() always
+// misses, so callers can thread a capacity of zero through instead of
+// branching around the cache.
+//
+// NOT internally synchronized. Owners that share an LruCache across threads
+// hold their own annotated util::Mutex around every call (see
+// cards/format_cache.cc and fem/factor_cache.h for the pattern).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <utility>
+
+namespace feio::util {
+
+template <typename K, typename V>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+
+  // Shrinks (or grows) the bound, evicting least-recently-used entries as
+  // needed. Setting 0 clears the cache and disables further stores.
+  void set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    evict_over_capacity();
+  }
+
+  // Looks `key` up and promotes it to most-recently-used. The pointer is
+  // valid until the next put()/set_capacity()/clear().
+  const V* get(const K& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  // True when `key` is present; does NOT touch recency (so tests can probe
+  // eviction order without perturbing it).
+  bool contains(const K& key) const { return index_.find(key) != index_.end(); }
+
+  // Inserts or replaces `key`, makes it most-recently-used, and evicts from
+  // the cold end until the bound holds. No-op when capacity() == 0.
+  void put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+    evict_over_capacity();
+  }
+
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  void evict_over_capacity() {
+    while (index_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  std::size_t capacity_;
+  std::list<std::pair<K, V>> order_;  // front = most recently used
+  std::map<K, typename std::list<std::pair<K, V>>::iterator> index_;
+};
+
+}  // namespace feio::util

@@ -131,6 +131,40 @@ TEST(FormatParseTest, Errors) {
   EXPECT_THROW(Format::parse("(I5,"), Error);      // unbalanced paren
 }
 
+// Degenerate descriptors — syntactically well-formed but contributing no
+// fields or no columns — are rejected with their own stable code
+// (E-CARD-006, a ResourceError) instead of silently vanishing: the old
+// parser expanded "0I5" to zero items, so a deck author's typo shifted
+// every following field one descriptor to the left.
+TEST(FormatParseTest, DegenerateDescriptorsRejected) {
+  const char* degenerate[] = {
+      "(0I5)",           // zero repeat on a scalar descriptor
+      "(0F10.2)",        //
+      "(0E12.4)",        //
+      "(0A4)",           //
+      "(0(I5,F10.2))",   // zero repeat on a group
+      "(0X)",            // skips no columns
+      "(I0)",            // zero width occupies no columns
+      "(A0)",            //
+      "(F0.2)",          //
+      "(E0.3)",          //
+      "(3I0)",           // repeat does not launder a zero width
+      "(2I5,0F8.4)",     // degenerate anywhere in the list is fatal
+  };
+  for (const char* spec : degenerate) {
+    try {
+      Format::parse(spec);
+      FAIL() << spec << " parsed";
+    } catch (const ResourceError& e) {
+      EXPECT_EQ(e.code(), kCodeCardDegenerateFormat) << spec;
+    }
+  }
+  // The non-degenerate neighbours still parse.
+  EXPECT_EQ(Format::parse("(1I5)").field_count(), 1);
+  EXPECT_EQ(Format::parse("(1X)").record_width(), 1);
+  EXPECT_EQ(Format::parse("(1(I5,F10.2))").field_count(), 2);
+}
+
 // ---- Field semantics ----------------------------------------------------
 
 TEST(FieldReadTest, IntegerBasics) {
@@ -549,6 +583,66 @@ TEST(FormatRoundTripProperty, RandomFormatsAndValues) {
         EXPECT_NEAR(as_real(decoded[i]), as_real(values[i]), tolerances[i])
             << spec << " card '" << card << "'";
       }
+    }
+  }
+}
+
+// Property: take a random valid multi-descriptor spec and zero out one
+// descriptor's repeat count (or width) — the corrupted spec must be
+// rejected with E-CARD-006 no matter where the degenerate descriptor
+// lands, while the original keeps parsing.
+TEST(FormatRoundTripProperty, ZeroRepeatInjectionRejected) {
+  std::mt19937 rng(19700214u);
+  std::uniform_int_distribution<int> kind_pick(0, 3);
+  std::uniform_int_distribution<int> nfields(2, 6);
+  std::uniform_int_distribution<int> repeat_pick(1, 3);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = nfields(rng);
+    std::uniform_int_distribution<int> victim_pick(0, n - 1);
+    const int victim = victim_pick(rng);
+    std::string good = "(", bad = "(";
+    for (int i = 0; i < n; ++i) {
+      if (i) {
+        good += ",";
+        bad += ",";
+      }
+      std::string desc;
+      bool zero_width = false;
+      switch (kind_pick(rng)) {
+        case 0:
+          desc = "I" + std::to_string(3 + trial % 5);
+          zero_width = (trial % 2) == 0;  // half the trials corrupt width
+          break;
+        case 1:
+          desc = "F8." + std::to_string(2 + trial % 3);
+          break;
+        case 2:
+          desc = std::to_string(repeat_pick(rng)) + "X";
+          break;
+        default:
+          desc = std::to_string(repeat_pick(rng)) + "(I5,F10.2)";
+          break;
+      }
+      good += desc;
+      if (i != victim) {
+        bad += desc;
+      } else if (zero_width) {
+        bad += "I0";  // zero-width corruption
+      } else if (desc[0] >= '1' && desc[0] <= '9') {
+        bad += "0" + desc.substr(1);  // 2X -> 0X, 3(..) -> 0(..)
+      } else {
+        bad += "0" + desc;  // I5 -> 0I5, F8.2 -> 0F8.2
+      }
+    }
+    good += ")";
+    bad += ")";
+    EXPECT_NO_THROW(Format::parse(good)) << good;
+    try {
+      Format::parse(bad);
+      FAIL() << bad << " parsed";
+    } catch (const ResourceError& e) {
+      EXPECT_EQ(e.code(), kCodeCardDegenerateFormat) << bad;
     }
   }
 }

@@ -1,0 +1,4 @@
+void lookup() {
+  FEIO_METRIC_ADD("fix.counter", 1);
+  FEIO_METRIC_ADD("cache.rogue.total", 1);  // seeded: cache.* counter not in the catalog
+}

@@ -403,4 +403,150 @@ TEST(ServeTest, MixedStream500JobsSurvives) {
             std::string::npos);
 }
 
+// --- Serve-path caches and rolling windows (PR 8) --------------------------
+
+std::string solve_job(const std::string& id) {
+  return "{\"id\": \"" + id + "\", \"pipeline\": \"solve\", \"deck\": \"" +
+         json_escape_deck(small_idlz_deck()) + "\"}";
+}
+
+TEST(ServeCacheTest, SolvePipelineJobCompletesOk) {
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve({solve_job("s1")}, envelopes);
+  ASSERT_EQ(envelopes.size(), 1u);
+  EXPECT_EQ(string_field(envelopes[0], "status"), "ok") << envelopes[0];
+  EXPECT_EQ(s.ok, 1);
+}
+
+TEST(ServeCacheTest, RepeatSolveJobsHitTheFactorCache) {
+  std::vector<std::string> jobs;
+  for (int i = 0; i < 5; ++i) jobs.push_back(solve_job("s" + std::to_string(i)));
+  serve::ServeOptions opts;
+  opts.threads = 1;  // sequential: the first job fills, the rest hit
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve(jobs, envelopes, opts);
+  EXPECT_EQ(s.ok, 5);
+  EXPECT_EQ(s.factor_misses, 1);
+  EXPECT_EQ(s.factor_hits, 4);
+  // Every job re-reads the same deck, so its FORMAT cards intern after the
+  // first parse (the cache is process-wide; the summary reports deltas).
+  EXPECT_GT(s.format_hits, 0);
+}
+
+TEST(ServeCacheTest, ConcurrentRepeatSolvesStayConsistent) {
+  // At 4 threads several workers may miss concurrently before the first
+  // fill lands, so only the invariants hold: every lookup is a hit or a
+  // miss, at least one miss (the first), and no failures.
+  std::vector<std::string> jobs;
+  for (int i = 0; i < 12; ++i) {
+    jobs.push_back(solve_job("c" + std::to_string(i)));
+  }
+  serve::ServeOptions opts;
+  opts.threads = 4;
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve(jobs, envelopes, opts);
+  EXPECT_EQ(s.ok, 12);
+  EXPECT_EQ(s.factor_hits + s.factor_misses, 12);
+  EXPECT_GE(s.factor_misses, 1);
+  EXPECT_GE(s.factor_hits, 1);
+}
+
+TEST(ServeCacheTest, DisabledFactorCacheRunsEveryJobCold) {
+  std::vector<std::string> jobs = {solve_job("a"), solve_job("b")};
+  serve::ServeOptions opts;
+  opts.threads = 1;
+  opts.factor_cache_capacity = 0;
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve(jobs, envelopes, opts);
+  EXPECT_EQ(s.ok, 2);
+  EXPECT_EQ(s.factor_hits, 0);
+  EXPECT_EQ(s.factor_misses, 0);  // disabled: lookups are not even counted
+}
+
+TEST(ServeCacheTest, WarmAndColdEnvelopesAgreeModuloTiming) {
+  // The cache must not change what a job reports — same status, same id,
+  // same diagnostics — only how fast it got there. elapsed_ms is the one
+  // field allowed to differ.
+  const std::vector<std::string> jobs = {solve_job("x"), solve_job("x")};
+  serve::ServeOptions warm;
+  warm.threads = 1;
+  serve::ServeOptions cold = warm;
+  cold.factor_cache_capacity = 0;
+  cold.format_cache_capacity = 0;
+  std::vector<std::string> warm_env, cold_env;
+  run_serve(jobs, warm_env, warm);
+  run_serve(jobs, cold_env, cold);
+  ASSERT_EQ(warm_env.size(), cold_env.size());
+  for (size_t i = 0; i < warm_env.size(); ++i) {
+    auto strip_elapsed = [](const std::string& line) {
+      const size_t at = line.find("\"elapsed_ms\": ");
+      if (at == std::string::npos) return line;
+      const size_t end = line.find_first_of(",}", at);
+      return line.substr(0, at) + line.substr(end);
+    };
+    EXPECT_EQ(strip_elapsed(warm_env[i]), strip_elapsed(cold_env[i]));
+  }
+}
+
+TEST(ServeWindowTest, WindowsCutEveryNCompletions) {
+  std::vector<std::string> jobs;
+  for (int i = 0; i < 5; ++i) jobs.push_back(solve_job("w" + std::to_string(i)));
+  serve::ServeOptions opts;
+  opts.threads = 1;
+  opts.window_jobs = 2;
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve(jobs, envelopes, opts);
+  EXPECT_EQ(s.window_jobs, 2);
+  ASSERT_EQ(s.windows.size(), 3u);  // 2 + 2 + 1
+  EXPECT_EQ(s.windows[0].jobs, 2);
+  EXPECT_EQ(s.windows[1].jobs, 2);
+  EXPECT_EQ(s.windows[2].jobs, 1);
+  std::int64_t total = 0;
+  for (const serve::ServeWindow& w : s.windows) {
+    total += w.jobs;
+    EXPECT_GE(w.wall_ms, 0.0);
+    EXPECT_GE(w.p99_ms, w.p50_ms);
+    EXPECT_GE(w.format_hit_rate, 0.0);
+    EXPECT_LE(w.format_hit_rate, 1.0);
+    EXPECT_GE(w.factor_hit_rate, 0.0);
+    EXPECT_LE(w.factor_hit_rate, 1.0);
+  }
+  EXPECT_EQ(total, s.jobs);
+  // Sequential repeats: after the first window fills the cache, later
+  // windows run at 100% factor hit rate.
+  EXPECT_EQ(s.windows[2].factor_hit_rate, 1.0);
+}
+
+TEST(ServeWindowTest, WindowingDisabledLeavesWindowsEmpty) {
+  serve::ServeOptions opts;
+  opts.window_jobs = 0;
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s =
+      run_serve({solve_job("a"), solve_job("b")}, envelopes, opts);
+  EXPECT_EQ(s.window_jobs, 0);
+  EXPECT_TRUE(s.windows.empty());
+}
+
+TEST(ServeCacheTest, BenchJsonCarriesCacheWindowsAndAblation) {
+  std::vector<std::string> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(solve_job("b" + std::to_string(i)));
+  serve::ServeOptions opts;
+  opts.threads = 1;
+  opts.window_jobs = 2;
+  std::vector<std::string> envelopes;
+  serve::ServeSummary s = run_serve(jobs, envelopes, opts);
+  s.has_ablation = true;  // as the CLI's --ablate-caches mode fills it
+  s.ablation_wall_ms = 2.0 * s.wall_ms;
+  s.ablation_jobs_per_sec = 0.5 * s.jobs_per_sec;
+  s.cache_speedup = 2.0;
+  const std::string bench = s.render_bench_json();
+  EXPECT_TRUE(json_check::valid(bench)) << bench;
+  for (const char* key :
+       {"\"cache\":", "\"format_hits\":", "\"format_hit_rate\":",
+        "\"factor_hits\":", "\"factor_hit_rate\":", "\"window_jobs\":",
+        "\"windows\":", "\"p50_ms\":", "\"ablation\":", "\"speedup\":"}) {
+    EXPECT_NE(bench.find(key), std::string::npos) << key << "\n" << bench;
+  }
+}
+
 }  // namespace

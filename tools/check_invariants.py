@@ -374,6 +374,7 @@ CHECKS = {
 
 # Fixture directory name -> the check its seeded violation must trip.
 FIXTURE_CHECKS = {
+    "cache_counter": "observability",
     "fault_site": "fault-sites",
     "error_code": "error-codes",
     "span_name": "observability",

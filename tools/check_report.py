@@ -31,8 +31,18 @@ BENCH_KEYS = {
     "feio.bench.solver/1": ["threads", "all_identical", "cases", "metrics"],
     "feio.bench.serve/1": ["jobs", "ok", "rejected", "timed_out", "faulted",
                            "errors", "wall_ms", "jobs_per_sec", "p50_ms",
-                           "p99_ms", "max_ms"],
+                           "p99_ms", "max_ms", "cache", "window_jobs",
+                           "windows"],
 }
+
+# Additive extensions of feio.bench.serve/1 (docs/ROBUSTNESS.md): the cache
+# totals object, each rolling-window object, and the optional --ablate-caches
+# block.
+SERVE_CACHE_KEYS = ("format_hits", "format_misses", "format_hit_rate",
+                    "factor_hits", "factor_misses", "factor_hit_rate")
+SERVE_WINDOW_KEYS = ("jobs", "wall_ms", "jobs_per_sec", "p50_ms", "p99_ms",
+                     "format_hit_rate", "factor_hit_rate")
+SERVE_ABLATION_KEYS = ("wall_ms", "jobs_per_sec", "speedup")
 
 JOB_STATUSES = ("ok", "rejected", "timeout", "faulted", "error")
 
@@ -73,6 +83,7 @@ def check_report(path, want_kind=None):
             if buckets != doc["jobs"]:
                 fail(f"{path}: serve buckets sum to {buckets}, "
                      f"want jobs={doc['jobs']}")
+            check_serve_extensions(path, doc)
         else:
             for case in doc["cases"]:
                 if not case.get("identical"):
@@ -91,6 +102,43 @@ def check_report(path, want_kind=None):
             if hist["count"] < 1 or sum(hist["buckets"]) != hist["count"]:
                 fail(f"{path}: histogram {name!r} buckets do not sum to count")
     print(f"{path}: valid feio.report/1 kind={kind}")
+
+
+def check_serve_extensions(path, doc):
+    """Cache/window/ablation extensions of feio.bench.serve/1."""
+    cache = doc["cache"]
+    if not isinstance(cache, dict):
+        fail(f"{path}: serve 'cache' is not an object")
+    for key in SERVE_CACHE_KEYS:
+        if key not in cache:
+            fail(f"{path}: serve cache block is missing {key!r}")
+    for key in ("format_hit_rate", "factor_hit_rate"):
+        if not 0.0 <= cache[key] <= 1.0:
+            fail(f"{path}: serve cache {key}={cache[key]} outside [0, 1]")
+    windows = doc["windows"]
+    if not isinstance(windows, list):
+        fail(f"{path}: serve 'windows' is not a list")
+    for i, win in enumerate(windows):
+        for key in SERVE_WINDOW_KEYS:
+            if key not in win:
+                fail(f"{path}: serve window {i} is missing {key!r}")
+        if win["jobs"] < 1:
+            fail(f"{path}: serve window {i} has jobs={win['jobs']}")
+    if windows:
+        total = sum(w["jobs"] for w in windows)
+        if total != doc["jobs"]:
+            fail(f"{path}: serve windows cover {total} jobs, "
+                 f"want jobs={doc['jobs']}")
+    if "ablation" in doc:
+        ablation = doc["ablation"]
+        for key in SERVE_ABLATION_KEYS:
+            if key not in ablation:
+                fail(f"{path}: serve ablation block is missing {key!r}")
+        if ablation["jobs_per_sec"] > 0:
+            want = doc["jobs_per_sec"] / ablation["jobs_per_sec"]
+            if abs(ablation["speedup"] - want) > 0.05 * max(want, 1.0):
+                fail(f"{path}: ablation speedup {ablation['speedup']} "
+                     f"inconsistent with throughputs (want ~{want:.3f})")
 
 
 def check_trace(path):

@@ -102,6 +102,12 @@ struct Args {
   long long max_cards = -1;      // serve --max-cards; -1 = serve default
   long long max_dofs = -1;       // serve --max-dofs; -1 = serve default
 
+  // Serve-path cache flags (docs/BENCHMARKS.md, serve cache ablation).
+  long long cache_formats = -1;  // --cache-formats; -1 = serve default
+  long long cache_factors = -1;  // --cache-factors; -1 = serve default
+  long long window_jobs = -1;    // --window-jobs; -1 = serve default
+  bool ablate_caches = false;    // --ablate-caches: replay with caches off
+
   // Installed process-wide by main() for the duration of the dispatch;
   // carried here so the run_* commands can hand them to RunOptions.
   util::Tracer* tracer = nullptr;
@@ -134,7 +140,8 @@ void print_usage(std::FILE* to) {
                "  feio mesh <deck> --off FILE\n"
                "  feio serve --stdin-jsonl [--threads N] [--queue N]\n"
                "      [--deadline-ms N] [--max-cards N] [--max-dofs N]\n"
-               "      [--out DIR]\n"
+               "      [--cache-formats N] [--cache-factors N]\n"
+               "      [--window-jobs N] [--ablate-caches] [--out DIR]\n"
                "  feio help\n"
                "observability (every subcommand; see docs/OBSERVABILITY.md):\n"
                "  --trace FILE         Chrome trace-event JSON of this run\n"
@@ -146,6 +153,10 @@ void print_usage(std::FILE* to) {
                "--fault site[:N] injects a fault at the named site (builds\n"
                "  configured with -DFEIO_FAULT_INJECTION=ON only; see\n"
                "  docs/ROBUSTNESS.md for the site registry)\n"
+               "--cache-formats/--cache-factors bound the serve-path caches\n"
+               "  (0 disables); --window-jobs sizes the rolling summary\n"
+               "  windows; --ablate-caches replays the stream with caches\n"
+               "  off and adds the speedup to BENCH_serve.json\n"
                "exit status: 0 success, 1 input/deck error, 2 usage error\n"
                "  feio lint: 0 clean, 1 warnings only, 2 errors\n"
                "  feio bench: 1 when parallel output diverges from serial\n");
@@ -194,6 +205,29 @@ bool parse_count_flag(const char* text, long long& out) {
     v = v * 10 + (c - '0');
   }
   out = v;
+  return true;
+}
+
+// The cache flags accept both the repo's space-separated convention
+// ("--cache-factors 32") and the joined form the issue tracker spelled
+// ("--cache-factors=32").
+bool matches_count_flag(const std::string& arg, std::string_view name) {
+  return arg == name || arg.rfind(std::string(name) + "=", 0) == 0;
+}
+
+bool take_count_flag(const std::string& arg, std::string_view name, int argc,
+                     char** argv, int& i, long long& out) {
+  const char* value = nullptr;
+  if (arg.size() > name.size() && arg[name.size()] == '=') {
+    value = arg.c_str() + name.size() + 1;
+  } else if (i + 1 < argc) {
+    value = argv[++i];
+  }
+  if (value == nullptr || !parse_count_flag(value, out)) {
+    std::fprintf(stderr, "error: %s expects a non-negative integer\n",
+                 std::string(name).c_str());
+    return false;
+  }
   return true;
 }
 
@@ -251,6 +285,23 @@ bool parse(int argc, char** argv, Args& args) {
                      "error: --max-dofs expects a non-negative integer\n");
         return false;
       }
+    } else if (matches_count_flag(a, "--cache-formats")) {
+      if (!take_count_flag(a, "--cache-formats", argc, argv, i,
+                           args.cache_formats)) {
+        return false;
+      }
+    } else if (matches_count_flag(a, "--cache-factors")) {
+      if (!take_count_flag(a, "--cache-factors", argc, argv, i,
+                           args.cache_factors)) {
+        return false;
+      }
+    } else if (matches_count_flag(a, "--window-jobs")) {
+      if (!take_count_flag(a, "--window-jobs", argc, argv, i,
+                           args.window_jobs)) {
+        return false;
+      }
+    } else if (a == "--ablate-caches") {
+      args.ablate_caches = true;
     } else if (a == "--ospl") {
       args.check_ospl = true;
     } else if (a == "--json") {
@@ -581,8 +632,48 @@ int run_serve(const Args& args) {
   if (args.max_dofs >= 0) opts.guard.max_dofs = args.max_dofs;
   opts.tracer = args.tracer;
   opts.metrics = args.metrics;
-  const serve::ServeSummary summary =
-      serve::serve_stdin_jsonl(std::cin, std::cout, opts);
+  if (args.cache_formats >= 0) {
+    opts.format_cache_capacity =
+        static_cast<int>(std::min<long long>(args.cache_formats, 1 << 20));
+  }
+  if (args.cache_factors >= 0) {
+    opts.factor_cache_capacity =
+        static_cast<int>(std::min<long long>(args.cache_factors, 1 << 20));
+  }
+  if (args.window_jobs >= 0) {
+    opts.window_jobs =
+        static_cast<int>(std::min<long long>(args.window_jobs, 1 << 20));
+  }
+
+  serve::ServeSummary summary;
+  if (args.ablate_caches) {
+    // Cache ablation: the whole stream runs twice — warm (caches as
+    // configured, envelopes to stdout) then cold (both caches disabled,
+    // envelopes discarded so stdout stays in lockstep with the input).
+    // The warm pass goes first so any page-cache/allocator warmup benefit
+    // accrues to the cold pass, making the reported speedup conservative.
+    std::ostringstream buffered;
+    buffered << std::cin.rdbuf();
+    const std::string stream = buffered.str();
+    std::istringstream warm_in(stream);
+    summary = serve::serve_stdin_jsonl(warm_in, std::cout, opts);
+    serve::ServeOptions cold = opts;
+    cold.format_cache_capacity = 0;
+    cold.factor_cache_capacity = 0;
+    std::istringstream cold_in(stream);
+    std::ostringstream discard;
+    const serve::ServeSummary cold_summary =
+        serve::serve_stdin_jsonl(cold_in, discard, cold);
+    summary.has_ablation = true;
+    summary.ablation_wall_ms = cold_summary.wall_ms;
+    summary.ablation_jobs_per_sec = cold_summary.jobs_per_sec;
+    summary.cache_speedup =
+        cold_summary.jobs_per_sec > 0.0
+            ? summary.jobs_per_sec / cold_summary.jobs_per_sec
+            : 0.0;
+  } else {
+    summary = serve::serve_stdin_jsonl(std::cin, std::cout, opts);
+  }
   std::fprintf(stderr, "%s", summary.render_table().c_str());
   std::string path = "BENCH_serve.json";
   if (args.out_set) {
