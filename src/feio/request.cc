@@ -1,0 +1,282 @@
+#include "feio/request.h"
+
+namespace feio::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Job-line parsing: a flat JSON object with string / integer / bool / null
+// values. Hand-rolled (the repo carries no JSON library) but strict: anything
+// this parser accepts is valid JSON, and anything non-flat is rejected with
+// a message instead of half-parsed.
+
+struct Cursor {
+  std::string_view s;
+  size_t at = 0;
+
+  bool eof() const { return at >= s.size(); }
+  char peek() const { return s[at]; }
+  void skip_ws() {
+    while (!eof() && (s[at] == ' ' || s[at] == '\t' || s[at] == '\r')) ++at;
+  }
+};
+
+bool parse_json_string(Cursor& c, std::string& out, std::string& error) {
+  if (c.eof() || c.peek() != '"') {
+    error = "expected '\"'";
+    return false;
+  }
+  ++c.at;
+  out.clear();
+  while (!c.eof()) {
+    const char ch = c.s[c.at++];
+    if (ch == '"') return true;
+    if (ch != '\\') {
+      out += ch;
+      continue;
+    }
+    if (c.eof()) break;
+    const char esc = c.s[c.at++];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (c.at + 4 > c.s.size()) {
+          error = "truncated \\u escape";
+          return false;
+        }
+        int code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = c.s[c.at++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code |= h - '0';
+          } else if (h >= 'a' && h <= 'f') {
+            code |= h - 'a' + 10;
+          } else if (h >= 'A' && h <= 'F') {
+            code |= h - 'A' + 10;
+          } else {
+            error = "bad \\u escape";
+            return false;
+          }
+        }
+        // Card decks are ASCII; anything beyond is preserved as UTF-8.
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        break;
+      }
+      default:
+        error = std::string("bad escape '\\") + esc + "'";
+        return false;
+    }
+  }
+  error = "unterminated string";
+  return false;
+}
+
+bool parse_json_int(Cursor& c, std::int64_t& out, std::string& error) {
+  bool neg = false;
+  if (!c.eof() && c.peek() == '-') {
+    neg = true;
+    ++c.at;
+  }
+  if (c.eof() || c.peek() < '0' || c.peek() > '9') {
+    error = "expected an integer";
+    return false;
+  }
+  std::int64_t v = 0;
+  int digits = 0;
+  while (!c.eof() && c.peek() >= '0' && c.peek() <= '9') {
+    if (++digits > 15) {
+      error = "integer out of range";
+      return false;
+    }
+    v = v * 10 + (c.s[c.at++] - '0');
+  }
+  if (!c.eof() && (c.peek() == '.' || c.peek() == 'e' || c.peek() == 'E')) {
+    error = "expected an integer, got a fraction";
+    return false;
+  }
+  out = neg ? -v : v;
+  return true;
+}
+
+bool skip_literal(Cursor& c, std::string_view word) {
+  if (c.s.substr(c.at, word.size()) != word) return false;
+  c.at += word.size();
+  return true;
+}
+
+bool is_string_key(const std::string& key) {
+  return key == "schema" || key == "id" || key == "tenant" ||
+         key == "kind" || key == "pipeline" || key == "deck" ||
+         key == "fault";
+}
+
+bool is_int_key(const std::string& key) {
+  return key == "deadline_ms" || key == "load_case";
+}
+
+}  // namespace
+
+bool valid_tenant_name(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool parse_job_line(std::string_view line, Job& job, std::string& error) {
+  job = Job{};
+  // "kind" (feio.job/1) and "pipeline" (bare back-compat) bind one field;
+  // track both spellings to diagnose a conflicting pair.
+  std::string kind;
+  std::string pipeline;
+  Cursor c{line, 0};
+  c.skip_ws();
+  if (c.eof() || c.peek() != '{') {
+    error = "job line must be a JSON object";
+    return false;
+  }
+  ++c.at;
+  bool first = true;
+  while (true) {
+    c.skip_ws();
+    if (!c.eof() && c.peek() == '}') {
+      ++c.at;
+      break;
+    }
+    if (!first) {
+      if (c.eof() || c.peek() != ',') {
+        error = "expected ',' or '}' in job object";
+        return false;
+      }
+      ++c.at;
+      c.skip_ws();
+    }
+    first = false;
+    std::string key;
+    if (!parse_json_string(c, key, error)) {
+      error = "bad key: " + error;
+      return false;
+    }
+    c.skip_ws();
+    if (c.eof() || c.peek() != ':') {
+      error = "expected ':' after key \"" + key + "\"";
+      return false;
+    }
+    ++c.at;
+    c.skip_ws();
+    if (c.eof()) {
+      error = "missing value for key \"" + key + "\"";
+      return false;
+    }
+    if (c.peek() == '"') {
+      std::string value;
+      if (!parse_json_string(c, value, error)) {
+        error = "bad value for \"" + key + "\": " + error;
+        return false;
+      }
+      if (key == "schema") {
+        job.schema = value;
+      } else if (key == "id") {
+        job.id = value;
+      } else if (key == "tenant") {
+        job.tenant = value;
+      } else if (key == "kind") {
+        kind = value;
+      } else if (key == "pipeline") {
+        pipeline = value;
+      } else if (key == "deck") {
+        job.deck = value;
+      } else if (key == "fault") {
+        job.fault = value;
+      } else if (is_int_key(key)) {
+        error = "\"" + key + "\" must be an integer";
+        return false;
+      }  // unknown string keys ignored
+    } else if (c.peek() == '-' || (c.peek() >= '0' && c.peek() <= '9')) {
+      std::int64_t value = 0;
+      if (!parse_json_int(c, value, error)) {
+        error = "bad value for \"" + key + "\": " + error;
+        return false;
+      }
+      if (key == "deadline_ms") {
+        job.deadline_ms = value;
+      } else if (key == "load_case") {
+        job.load_case = value;
+      } else if (is_string_key(key)) {
+        error = "\"" + key + "\" must be a string";
+        return false;
+      }
+    } else if (skip_literal(c, "true") || skip_literal(c, "false") ||
+               skip_literal(c, "null")) {
+      if (is_string_key(key) || is_int_key(key)) {
+        error = "\"" + key + "\" has the wrong type";
+        return false;
+      }
+    } else {
+      error = "value for \"" + key + "\" must be flat (string or integer)";
+      return false;
+    }
+  }
+  c.skip_ws();
+  if (!c.eof()) {
+    error = "trailing characters after job object";
+    return false;
+  }
+  if (!job.schema.empty() && job.schema != kJobSchema) {
+    error = "unsupported \"schema\" \"" + job.schema + "\" (this server speaks \"" +
+            std::string(kJobSchema) + "\")";
+    return false;
+  }
+  if (!kind.empty() && !pipeline.empty() && kind != pipeline) {
+    error = "\"kind\" (\"" + kind + "\") and \"pipeline\" (\"" + pipeline +
+            "\") disagree";
+    return false;
+  }
+  job.pipeline = !kind.empty() ? kind : pipeline;
+  if (job.pipeline != "idlz" && job.pipeline != "ospl" &&
+      job.pipeline != "solve") {
+    error = job.pipeline.empty()
+                ? std::string("missing \"kind\" (want \"idlz\", "
+                              "\"ospl\" or \"solve\")")
+                : "unknown kind \"" + job.pipeline + "\"";
+    return false;
+  }
+  if (job.deck.empty()) {
+    error = "missing \"deck\"";
+    return false;
+  }
+  if (!valid_tenant_name(job.tenant)) {
+    error = "\"tenant\" must be 1-64 chars of [A-Za-z0-9_-]";
+    return false;
+  }
+  if (job.load_case < 0) {
+    error = "\"load_case\" must be >= 0";
+    return false;
+  }
+  if (job.deadline_ms < 0) {
+    error = "\"deadline_ms\" must be >= 0";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace feio::serve

@@ -1,0 +1,59 @@
+// The feio.job/1 request schema: the single wire contract for `feio serve`
+// jobs, shared by the stdin and socket transports.
+//
+// One job per line, a flat JSON object:
+//
+//   {"schema": "feio.job/1",   optional; when present must be exactly this
+//    "id": "j1",               optional label, default "job-<seq>"
+//    "tenant": "teamA",        optional admission lane, default "default"
+//    "kind": "solve",          required: "idlz" | "ospl" | "solve"
+//    "deck": "1\n...",         required: card images joined by \n
+//    "load_case": 3,           optional (solve only): selects the canonical
+//                              load vector; same deck + different load_case
+//                              reuses the cached factorization
+//    "deadline_ms": 50,        optional, overrides the serve default
+//    "fault": "site:N"}        optional, armed for this job only
+//
+// Back-compat: bare request objects (no "schema" key) are accepted, and
+// "pipeline" is the pre-versioning spelling of "kind" — both names bind the
+// same field, and giving both with different values is an error. Unknown
+// keys are ignored (additive evolution), unknown *values* of known keys are
+// not.
+//
+// parse_job_line is the one parse/validate entry point: every transport
+// funnels malformed requests through it, and every failure becomes one
+// structured E-SRV-001 diagnostic built from the returned message —
+// never an ad-hoc error path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace feio::serve {
+
+inline constexpr std::string_view kJobSchema = "feio.job/1";
+
+// One parsed job line.
+struct Job {
+  std::string schema;    // "" (bare object) or "feio.job/1"
+  std::string id;
+  std::string tenant = "default";
+  std::string pipeline;  // "idlz" | "ospl" | "solve" ("kind" in feio.job/1)
+  std::string deck;      // card images, newline-separated
+  std::int64_t load_case = 0;    // canonical load-vector selector (solve)
+  std::int64_t deadline_ms = 0;  // 0 = use the serve default
+  std::string fault;     // fault spec armed for this job only; "" = none
+};
+
+// Parses one flat-JSON job line into `job`. Returns false and fills
+// `error` (a complete message) on malformed JSON, non-flat values, a
+// wrong-typed known key, an unsupported "schema", or an invalid tenant
+// name; unknown keys are ignored. Exposed for tests.
+bool parse_job_line(std::string_view line, Job& job, std::string& error);
+
+// Tenant names feed metric names and envelopes: 1..64 chars from
+// [A-Za-z0-9_-]. Exposed for the CLI's --tenant flag validation.
+bool valid_tenant_name(std::string_view name);
+
+}  // namespace feio::serve

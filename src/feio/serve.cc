@@ -5,10 +5,23 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
+#include <cstring>
+#include <deque>
 #include <istream>
 #include <map>
 #include <ostream>
+#include <thread>
 #include <vector>
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
 
 #include "cards/format_cache.h"
 #include "feio/api.h"
@@ -19,6 +32,7 @@
 #include "ospl/deck.h"
 #include "util/cancel.h"
 #include "util/diag.h"
+#include "util/drr.h"
 #include "util/error.h"
 #include "util/fault.h"
 #include "util/mutex.h"
@@ -33,235 +47,6 @@ using Clock = std::chrono::steady_clock;
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
-
-// ---------------------------------------------------------------------------
-// Job-line parsing: a flat JSON object with string / integer / bool / null
-// values. Hand-rolled (the repo carries no JSON library) but strict: anything
-// this parser accepts is valid JSON, and anything non-flat is rejected with
-// a message instead of half-parsed.
-
-struct Cursor {
-  std::string_view s;
-  size_t at = 0;
-
-  bool eof() const { return at >= s.size(); }
-  char peek() const { return s[at]; }
-  void skip_ws() {
-    while (!eof() && (s[at] == ' ' || s[at] == '\t' || s[at] == '\r')) ++at;
-  }
-};
-
-bool parse_json_string(Cursor& c, std::string& out, std::string& error) {
-  if (c.eof() || c.peek() != '"') {
-    error = "expected '\"'";
-    return false;
-  }
-  ++c.at;
-  out.clear();
-  while (!c.eof()) {
-    const char ch = c.s[c.at++];
-    if (ch == '"') return true;
-    if (ch != '\\') {
-      out += ch;
-      continue;
-    }
-    if (c.eof()) break;
-    const char esc = c.s[c.at++];
-    switch (esc) {
-      case '"': out += '"'; break;
-      case '\\': out += '\\'; break;
-      case '/': out += '/'; break;
-      case 'b': out += '\b'; break;
-      case 'f': out += '\f'; break;
-      case 'n': out += '\n'; break;
-      case 'r': out += '\r'; break;
-      case 't': out += '\t'; break;
-      case 'u': {
-        if (c.at + 4 > c.s.size()) {
-          error = "truncated \\u escape";
-          return false;
-        }
-        int code = 0;
-        for (int i = 0; i < 4; ++i) {
-          const char h = c.s[c.at++];
-          code <<= 4;
-          if (h >= '0' && h <= '9') {
-            code |= h - '0';
-          } else if (h >= 'a' && h <= 'f') {
-            code |= h - 'a' + 10;
-          } else if (h >= 'A' && h <= 'F') {
-            code |= h - 'A' + 10;
-          } else {
-            error = "bad \\u escape";
-            return false;
-          }
-        }
-        // Card decks are ASCII; anything beyond is preserved as UTF-8.
-        if (code < 0x80) {
-          out += static_cast<char>(code);
-        } else if (code < 0x800) {
-          out += static_cast<char>(0xC0 | (code >> 6));
-          out += static_cast<char>(0x80 | (code & 0x3F));
-        } else {
-          out += static_cast<char>(0xE0 | (code >> 12));
-          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-          out += static_cast<char>(0x80 | (code & 0x3F));
-        }
-        break;
-      }
-      default:
-        error = std::string("bad escape '\\") + esc + "'";
-        return false;
-    }
-  }
-  error = "unterminated string";
-  return false;
-}
-
-bool parse_json_int(Cursor& c, std::int64_t& out, std::string& error) {
-  bool neg = false;
-  if (!c.eof() && c.peek() == '-') {
-    neg = true;
-    ++c.at;
-  }
-  if (c.eof() || c.peek() < '0' || c.peek() > '9') {
-    error = "expected an integer";
-    return false;
-  }
-  std::int64_t v = 0;
-  int digits = 0;
-  while (!c.eof() && c.peek() >= '0' && c.peek() <= '9') {
-    if (++digits > 15) {
-      error = "integer out of range";
-      return false;
-    }
-    v = v * 10 + (c.s[c.at++] - '0');
-  }
-  if (!c.eof() && (c.peek() == '.' || c.peek() == 'e' || c.peek() == 'E')) {
-    error = "expected an integer, got a fraction";
-    return false;
-  }
-  out = neg ? -v : v;
-  return true;
-}
-
-bool skip_literal(Cursor& c, std::string_view word) {
-  if (c.s.substr(c.at, word.size()) != word) return false;
-  c.at += word.size();
-  return true;
-}
-
-}  // namespace
-
-bool parse_job_line(std::string_view line, Job& job, std::string& error) {
-  job = Job{};
-  Cursor c{line, 0};
-  c.skip_ws();
-  if (c.eof() || c.peek() != '{') {
-    error = "job line must be a JSON object";
-    return false;
-  }
-  ++c.at;
-  bool first = true;
-  while (true) {
-    c.skip_ws();
-    if (!c.eof() && c.peek() == '}') {
-      ++c.at;
-      break;
-    }
-    if (!first) {
-      if (c.eof() || c.peek() != ',') {
-        error = "expected ',' or '}' in job object";
-        return false;
-      }
-      ++c.at;
-      c.skip_ws();
-    }
-    first = false;
-    std::string key;
-    if (!parse_json_string(c, key, error)) {
-      error = "bad key: " + error;
-      return false;
-    }
-    c.skip_ws();
-    if (c.eof() || c.peek() != ':') {
-      error = "expected ':' after key \"" + key + "\"";
-      return false;
-    }
-    ++c.at;
-    c.skip_ws();
-    if (c.eof()) {
-      error = "missing value for key \"" + key + "\"";
-      return false;
-    }
-    if (c.peek() == '"') {
-      std::string value;
-      if (!parse_json_string(c, value, error)) {
-        error = "bad value for \"" + key + "\": " + error;
-        return false;
-      }
-      if (key == "id") {
-        job.id = value;
-      } else if (key == "pipeline") {
-        job.pipeline = value;
-      } else if (key == "deck") {
-        job.deck = value;
-      } else if (key == "fault") {
-        job.fault = value;
-      } else if (key == "deadline_ms") {
-        error = "\"deadline_ms\" must be an integer";
-        return false;
-      }  // unknown string keys ignored
-    } else if (c.peek() == '-' || (c.peek() >= '0' && c.peek() <= '9')) {
-      std::int64_t value = 0;
-      if (!parse_json_int(c, value, error)) {
-        error = "bad value for \"" + key + "\": " + error;
-        return false;
-      }
-      if (key == "deadline_ms") {
-        job.deadline_ms = value;
-      } else if (key == "id" || key == "pipeline" || key == "deck" ||
-                 key == "fault") {
-        error = "\"" + key + "\" must be a string";
-        return false;
-      }
-    } else if (skip_literal(c, "true") || skip_literal(c, "false") ||
-               skip_literal(c, "null")) {
-      if (key == "deadline_ms" || key == "id" || key == "pipeline" ||
-          key == "deck" || key == "fault") {
-        error = "\"" + key + "\" has the wrong type";
-        return false;
-      }
-    } else {
-      error = "value for \"" + key + "\" must be flat (string or integer)";
-      return false;
-    }
-  }
-  c.skip_ws();
-  if (!c.eof()) {
-    error = "trailing characters after job object";
-    return false;
-  }
-  if (job.pipeline != "idlz" && job.pipeline != "ospl" &&
-      job.pipeline != "solve") {
-    error = job.pipeline.empty()
-                ? std::string("missing \"pipeline\" (want \"idlz\", "
-                              "\"ospl\" or \"solve\")")
-                : "unknown pipeline \"" + job.pipeline + "\"";
-    return false;
-  }
-  if (job.deck.empty()) {
-    error = "missing \"deck\"";
-    return false;
-  }
-  if (job.deadline_ms < 0) {
-    error = "\"deadline_ms\" must be >= 0";
-    return false;
-  }
-  return true;
-}
-
-namespace {
 
 // ---------------------------------------------------------------------------
 // Per-job execution.
@@ -304,8 +89,11 @@ JobStatus classify(const DiagSink& sink) {
 }
 
 // One single-line kind-"job" envelope. Diagnostics are capped so a hopeless
-// deck cannot blow the line up; the counts always cover everything.
-std::string render_job_envelope(const std::string& id, std::int64_t seq,
+// deck cannot blow the line up; the counts always cover everything. `seq` is
+// per-connection, which is what keeps socket-mode envelopes byte-identical
+// to stdin mode for the same job stream.
+std::string render_job_envelope(const std::string& id,
+                                const std::string& tenant, std::int64_t seq,
                                 JobStatus status, double elapsed_ms,
                                 const DiagSink& sink) {
   constexpr size_t kMaxDiags = 8;
@@ -315,6 +103,7 @@ std::string render_job_envelope(const std::string& id, std::int64_t seq,
   out += "\"tool_version\": \"" + std::string(kToolVersion) + "\", ";
   out += "\"generated_by\": \"feio\", ";
   out += "\"id\": \"" + json_escape(id) + "\", ";
+  out += "\"tenant\": \"" + json_escape(tenant) + "\", ";
   out += "\"seq\": " + std::to_string(seq) + ", ";
   out += "\"status\": \"" + std::string(status_name(status)) + "\", ";
   char buf[32];
@@ -338,12 +127,15 @@ std::string render_job_envelope(const std::string& id, std::int64_t seq,
 
 // The canonical static analysis the "solve" pipeline runs on an idealized
 // mesh: plane stress, unit-modulus isotropic material, every node on the
-// minimum-x column clamped, a unit downward load at the maximum-x node
-// (lowest index on ties). Fully determined by the mesh — two jobs with the
-// same deck build bit-identical problems, which is what lets the factor
-// cache key on content hashes alone.
+// minimum-x column clamped, a downward load at the maximum-x node (lowest
+// index on ties) scaled by the job's load_case (case 0 keeps the historical
+// unit load). Mesh + load_case fully determine the problem — and only the
+// load vector depends on load_case, so jobs that vary nothing else hit one
+// cached factorization (the operator/loads key split in fem/factor_cache.h)
+// and re-solve their own right-hand side against it.
 fem::StaticSolution solve_canonical(const mesh::TriMesh& mesh,
-                                    const RunOptions& ro) {
+                                    const RunOptions& ro,
+                                    std::int64_t load_case) {
   fem::StaticProblem problem(mesh, fem::Analysis::kPlaneStress);
   problem.set_material(fem::Material::isotropic(1000.0, 0.3));
   double min_x = mesh.pos(0).x;
@@ -360,7 +152,8 @@ fem::StaticSolution solve_canonical(const mesh::TriMesh& mesh,
   for (int n = 0; n < mesh.num_nodes(); ++n) {
     if (mesh.pos(n).x == min_x) problem.fix(n, true, true);
   }
-  problem.point_load(load_node, {0.0, -1.0});
+  problem.point_load(load_node,
+                     {0.0, -1.0 - static_cast<double>(load_case)});
   return fem::solve(problem, ro);
 }
 
@@ -378,13 +171,14 @@ struct JobOutcome {
 };
 
 // One completed job as the rolling-window report sees it: when it finished
-// on the session clock, how long it took, and the *cumulative* cache
-// counters at that moment (windows take deltas between their boundary
-// samples, which is what makes per-window hit rates exact even though the
-// windows are cut after the fact).
+// on the session clock, how long it took, which tenant it belonged to, and
+// the *cumulative* cache counters at that moment (windows take deltas
+// between their boundary samples, which is what makes per-window hit rates
+// exact even though the windows are cut after the fact).
 struct JobSample {
   double done_ms = 0.0;
   double elapsed_ms = 0.0;
+  int tenant = 0;
   std::int64_t format_hits = 0;
   std::int64_t format_misses = 0;
   std::int64_t factor_hits = 0;
@@ -394,8 +188,10 @@ struct JobSample {
 // Runs one admitted job start to finish on the calling (worker) thread.
 // All robustness state — armed faults, guard limits, cancel token — is
 // scoped to this frame, so the worker lane is pristine for the next job
-// no matter how this one ends.
+// no matter how this one ends. `limits` is the job's tenant's merged
+// GuardLimits (base ServeOptions::guard with the tenant's overrides).
 JobOutcome run_job(const Job& job, std::int64_t seq, const ServeOptions& opts,
+                   const util::GuardLimits& limits,
                    fem::FactorCache* factor_cache) {
   const auto t0 = Clock::now();
   DiagSink sink;
@@ -410,23 +206,23 @@ JobOutcome run_job(const Job& job, std::int64_t seq, const ServeOptions& opts,
       sink.error("E-SRV-001", "bad \"fault\": " + error);
       out.status = JobStatus::kError;
       out.elapsed_ms = ms_since(t0);
-      out.envelope =
-          render_job_envelope(job.id, seq, out.status, out.elapsed_ms, sink);
+      out.envelope = render_job_envelope(job.id, job.tenant, seq, out.status,
+                                         out.elapsed_ms, sink);
       return out;
     }
   }
 
-  util::ScopedGuard guard(&opts.guard);
+  util::ScopedGuard guard(&limits);
 
   // Deck admission before any parsing or allocation.
   if (auto rejection = util::admit_deck(
           "job \"" + job.id + "\"", count_cards(job.deck),
-          static_cast<std::int64_t>(job.deck.size()), opts.guard)) {
+          static_cast<std::int64_t>(job.deck.size()), limits)) {
     sink.add(*rejection);
     out.status = JobStatus::kRejected;
     out.elapsed_ms = ms_since(t0);
-    out.envelope =
-        render_job_envelope(job.id, seq, out.status, out.elapsed_ms, sink);
+    out.envelope = render_job_envelope(job.id, job.tenant, seq, out.status,
+                                       out.elapsed_ms, sink);
     return out;
   }
 
@@ -458,7 +254,7 @@ JobOutcome run_job(const Job& job, std::int64_t seq, const ServeOptions& opts,
           // Warm-path reuse happens inside fem::solve via the session
           // factor cache; a faulted/timed-out/singular solve throws past
           // the cache insert, so it cannot poison later jobs.
-          solve_canonical(result->mesh, ro);
+          solve_canonical(result->mesh, ro, job.load_case);
         }
       }
     } else {
@@ -478,14 +274,20 @@ JobOutcome run_job(const Job& job, std::int64_t seq, const ServeOptions& opts,
 
   out.status = classify(sink);
   out.elapsed_ms = ms_since(t0);
-  out.envelope =
-      render_job_envelope(job.id, seq, out.status, out.elapsed_ms, sink);
+  out.envelope = render_job_envelope(job.id, job.tenant, seq, out.status,
+                                     out.elapsed_ms, sink);
   return out;
 }
 
 std::string fmt_ms(double v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+std::string fmt_rate(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
   return buf;
 }
 
@@ -498,91 +300,33 @@ double percentile(const std::vector<double>& sorted, double p) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
-// The serve loop's shared state: everything the submitting thread and the
-// pool workers both touch, guarded by one output-ordering mutex. The
-// annotated member functions replace what used to be lambdas ("called under
-// shared.mu" comments) — lambdas cannot carry thread-safety annotations, so
-// the contract is now enforced by clang instead of prose.
-struct Shared {
-  Shared(std::ostream& o, Clock::time_point start,
-         const fem::FactorCache* factors, cards::FormatCacheStats fmt_base)
-      : out(o), t0(start), factor_cache(factors), format_base(fmt_base) {}
-
-  // The output stream is only ever written by flush_ready(), i.e. under mu.
-  std::ostream& out;
-
-  // Session clock zero and the cache sources record() samples: the
-  // session-local factor cache and the process-wide FORMAT-cache baseline
-  // (its counters are cumulative across sessions; samples store deltas).
-  const Clock::time_point t0;
-  const fem::FactorCache* const factor_cache;
-  const cards::FormatCacheStats format_base;
-
-  util::Mutex mu;
-  std::condition_variable cv;
-  std::map<std::int64_t, std::string> ready
-      FEIO_GUARDED_BY(mu);  // seq -> envelope line
-  std::int64_t next_flush FEIO_GUARDED_BY(mu) = 0;
-  // Admitted jobs whose envelope is not yet recorded.
-  int in_flight FEIO_GUARDED_BY(mu) = 0;
-  ServeSummary summary FEIO_GUARDED_BY(mu);
-  std::vector<double> latencies FEIO_GUARDED_BY(mu);
-  // One entry per completion, in completion order (the order the rolling
-  // windows are cut in).
-  std::vector<JobSample> samples FEIO_GUARDED_BY(mu);
-  bool out_failed FEIO_GUARDED_BY(mu) = false;
-
-  // Writes every envelope whose turn has come, in input order.
-  void flush_ready() FEIO_REQUIRES(mu) {
-    bool wrote = false;
-    for (auto it = ready.begin();
-         it != ready.end() && it->first == next_flush;
-         it = ready.erase(it), ++next_flush) {
-      out << it->second << '\n';
-      wrote = true;
+#if !defined(_WIN32)
+// Writes the whole buffer, riding out EINTR and partial sends. MSG_NOSIGNAL
+// turns a dead peer into an error return instead of SIGPIPE.
+bool send_all(int fd, const std::string& data) {
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
     }
-    if (wrote) {
-      out.flush();
-      if (out.fail()) out_failed = true;
-    }
+    p += n;
+    left -= static_cast<size_t>(n);
   }
-
-  void record(std::int64_t seq, const JobOutcome& outcome, bool admitted)
-      FEIO_EXCLUDES(mu) {
-    util::MutexLock lock(mu);
-    ++summary.jobs;
-    switch (outcome.status) {
-      case JobStatus::kOk: ++summary.ok; break;
-      case JobStatus::kRejected: ++summary.rejected; break;
-      case JobStatus::kTimedOut: ++summary.timed_out; break;
-      case JobStatus::kFaulted: ++summary.faulted; break;
-      case JobStatus::kError: ++summary.errors; break;
-    }
-    latencies.push_back(outcome.elapsed_ms);
-    JobSample sample;
-    sample.done_ms = ms_since(t0);
-    sample.elapsed_ms = outcome.elapsed_ms;
-    const cards::FormatCacheStats fmt = cards::format_cache_stats();
-    sample.format_hits = fmt.hits - format_base.hits;
-    sample.format_misses = fmt.misses - format_base.misses;
-    if (factor_cache != nullptr) {
-      const fem::FactorCacheStats fac = factor_cache->stats();
-      sample.factor_hits = fac.hits;
-      sample.factor_misses = fac.misses;
-    }
-    samples.push_back(sample);
-    ready.emplace(seq, outcome.envelope);
-    if (admitted) --in_flight;
-    flush_ready();
-    cv.notify_all();
-  }
-};
+  return true;
+}
+#endif
 
 // Cuts the completion-ordered samples into rolling windows of `window_jobs`
 // (last window may be short). Per-window hit rates come from the delta of
-// the cumulative counters across the window's boundary samples.
+// the cumulative counters across the window's boundary samples; per-window
+// tenant shares (the observable the DRR fairness tests pin down) come from
+// counting each window's completions per tenant.
 std::vector<ServeWindow> cut_windows(const std::vector<JobSample>& samples,
-                                     int window_jobs) {
+                                     int window_jobs,
+                                     const std::vector<std::string>& tenants) {
   std::vector<ServeWindow> windows;
   if (window_jobs <= 0 || samples.empty()) return windows;
   const auto rate = [](std::int64_t hits, std::int64_t misses) {
@@ -604,7 +348,14 @@ std::vector<ServeWindow> cut_windows(const std::vector<JobSample>& samples,
                          : 0.0;
     std::vector<double> lat;
     lat.reserve(end - begin);
-    for (size_t i = begin; i < end; ++i) lat.push_back(samples[i].elapsed_ms);
+    std::vector<std::int64_t> per_tenant(tenants.size(), 0);
+    for (size_t i = begin; i < end; ++i) {
+      lat.push_back(samples[i].elapsed_ms);
+      if (samples[i].tenant >= 0 &&
+          static_cast<size_t>(samples[i].tenant) < per_tenant.size()) {
+        ++per_tenant[static_cast<size_t>(samples[i].tenant)];
+      }
+    }
     std::sort(lat.begin(), lat.end());
     w.p50_ms = percentile(lat, 0.50);
     w.p99_ms = percentile(lat, 0.99);
@@ -614,10 +365,413 @@ std::vector<ServeWindow> cut_windows(const std::vector<JobSample>& samples,
                              last.format_misses - prev.format_misses);
     w.factor_hit_rate = rate(last.factor_hits - prev.factor_hits,
                              last.factor_misses - prev.factor_misses);
+    for (size_t t = 0; t < tenants.size(); ++t) {
+      w.tenant_shares.emplace_back(
+          tenants[t], static_cast<double>(per_tenant[t]) /
+                          static_cast<double>(w.jobs));
+    }
     windows.push_back(w);
   }
   return windows;
 }
+
+// One admitted job waiting in (or popped from) the DRR queue.
+struct Pending {
+  Job job;
+  std::int64_t seq = 0;  // per-connection envelope slot
+  int conn = 0;          // Session connection index
+  int tenant = 0;        // Session tenant index
+};
+
+// One transport connection: the stdin session's single ostream, or one
+// accepted socket. Envelopes are held per connection and flushed in
+// per-connection seq order. `next_seq` belongs to the connection's one
+// submitting thread; everything else is guarded by the session mutex (the
+// fields cannot carry FEIO_GUARDED_BY because the capability lives on the
+// Session — every access site below sits in a FEIO_REQUIRES(mu_) method).
+struct Connection {
+  std::ostream* stream = nullptr;  // stdin transport sink (exactly one of
+  int fd = -1;                     // stream / fd is set)
+  std::int64_t next_seq = 0;       // submitting-thread-private
+  std::map<std::int64_t, std::string> ready;  // seq -> envelope line
+  std::int64_t next_flush = 0;
+  bool failed = false;  // dead pipe / dead peer: drain, discard writes
+};
+
+// One tenant's admission lane and accounting.
+struct TenantState {
+  std::string name;
+  int weight = 1;
+  int queue_capacity = 0;  // 0 = bounded only by the session queue
+  util::GuardLimits limits;
+  int lane = 0;        // DrrQueue lane index
+  int in_flight = 0;   // admitted, envelope not yet recorded
+  TenantSummary sums;  // buckets accumulated as jobs record
+};
+
+// The serve session: one pool, one factor cache, one DRR admission queue,
+// any number of transports feeding submit_line() from their own threads.
+// One mutex orders everything the submitting threads and the pool workers
+// both touch; the annotated member functions carry the locking contract so
+// clang enforces it instead of prose.
+class Session {
+ public:
+  explicit Session(const ServeOptions& opts)
+      : opts_(opts),
+        tracer_scope_(opts.tracer),
+        metrics_scope_(opts.metrics),
+        capacity_(std::max(1, opts.queue_capacity)),
+        factor_cache_(static_cast<std::size_t>(
+            std::max(0, opts.factor_cache_capacity))),
+        factors_(opts.factor_cache_capacity > 0 ? &factor_cache_ : nullptr),
+        format_base_(rebind_format_cache(opts.format_cache_capacity)),
+        t0_(Clock::now()),
+        pool_(std::max(1, util::resolve_threads(opts.threads))) {
+    util::MutexLock lock(mu_);
+    for (const TenantConfig& cfg : opts.tenants) {
+      if (!valid_tenant_name(cfg.name)) {
+        fail("invalid tenant name \"" + cfg.name +
+             "\" (want 1-64 chars of [A-Za-z0-9_-])");
+      }
+      const int ti = tenant_index_locked(cfg.name);
+      TenantState& t = tenants_[static_cast<size_t>(ti)];
+      t.weight = std::max(1, cfg.weight);
+      t.queue_capacity = std::max(0, cfg.queue_capacity);
+      t.limits = cfg.guard.apply(opts_.guard);
+      drr_.set_weight(t.lane, t.weight);
+    }
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  fem::FactorCache* factors() { return factors_; }
+
+  // Registers a transport connection and returns its index.
+  int add_stream_connection(std::ostream& out) FEIO_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    connections_.emplace_back();
+    connections_.back().stream = &out;
+    return static_cast<int>(connections_.size()) - 1;
+  }
+
+  int add_socket_connection(int fd) FEIO_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    connections_.emplace_back();
+    connections_.back().fd = fd;
+    return static_cast<int>(connections_.size()) - 1;
+  }
+
+  bool connection_failed(int conn) FEIO_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return connections_[static_cast<size_t>(conn)].failed;
+  }
+
+  // Marks a connection's peer dead (recv error). Its admitted jobs still
+  // drain; their envelopes are discarded by flush_conn_locked.
+  void mark_connection_failed(int conn) FEIO_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    mark_failed_locked(connections_[static_cast<size_t>(conn)]);
+  }
+
+  // One input line from a connection's submitting thread: parse, admit (or
+  // reject in place), enqueue. Every line gets exactly one envelope in
+  // per-connection order, whatever happens to it.
+  void submit_line(int conn, const std::string& line) FEIO_EXCLUDES(mu_) {
+    const std::int64_t seq = next_seq(conn);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      // A blank line keeps its slot in the output order (a consumer pairing
+      // envelopes to input lines must never desynchronize) but carries no
+      // job: an immediate E-SRV-001 envelope.
+      DiagSink sink;
+      sink.error("E-SRV-001", "blank job line");
+      JobOutcome outcome;
+      outcome.status = JobStatus::kError;
+      outcome.envelope =
+          render_job_envelope("job-" + std::to_string(seq), "default", seq,
+                              outcome.status, 0.0, sink);
+      record(conn, seq, "default", outcome, /*admitted=*/false);
+      return;
+    }
+
+    Job job;
+    std::string error;
+    if (!parse_job_line(line, job, error)) {
+      // The parse may have died before or after the tenant key; attribute
+      // to the parsed tenant only when it is a usable lane name.
+      const std::string tenant =
+          valid_tenant_name(job.tenant) ? job.tenant : "default";
+      DiagSink sink;
+      sink.error("E-SRV-001", "malformed job line: " + error);
+      JobOutcome outcome;
+      outcome.status = JobStatus::kError;
+      outcome.envelope = render_job_envelope(
+          job.id.empty() ? "job-" + std::to_string(seq) : job.id, tenant,
+          seq, outcome.status, 0.0, sink);
+      record(conn, seq, tenant, outcome, /*admitted=*/false);
+      return;
+    }
+    if (job.id.empty()) job.id = "job-" + std::to_string(seq);
+
+    std::string reject;
+    bool admitted = false;
+    {
+      util::MutexLock lock(mu_);
+      const int ti = tenant_index_locked(job.tenant);
+      TenantState& t = tenants_[static_cast<size_t>(ti)];
+      if (total_in_flight_ >= capacity_) {
+        reject = "admission queue full (" + std::to_string(capacity_) +
+                 " jobs in flight); job rejected";
+      } else if (t.queue_capacity > 0 && t.in_flight >= t.queue_capacity) {
+        reject = "tenant \"" + t.name + "\" queue full (" +
+                 std::to_string(t.queue_capacity) +
+                 " jobs in flight); job rejected";
+      } else {
+        admitted = true;
+        ++total_in_flight_;
+        ++t.in_flight;
+        FEIO_METRIC_ADD_DYN("serve.tenant.", t.name + ".admitted", 1);
+        drr_.push(t.lane, Pending{std::move(job), seq, conn, ti});
+      }
+    }
+    if (admitted) {
+      // Push-then-post: every posted task pops exactly one Pending, so the
+      // queue can never underflow (tasks == queued items, always).
+      pool_.post([this] { run_one(); });
+      return;
+    }
+    // Queue-full rejection: never started, but still one envelope in order
+    // so the stream stays lockstep with its input.
+    DiagSink sink;
+    sink.error("E-RES-004", reject);
+    JobOutcome outcome;
+    outcome.status = JobStatus::kRejected;
+    outcome.envelope = render_job_envelope(job.id, job.tenant, seq,
+                                           outcome.status, 0.0, sink);
+    record(conn, seq, job.tenant, outcome, /*admitted=*/false);
+  }
+
+  // Drains every admitted job (even after connection failures — workers
+  // must never be abandoned mid-run), flushes every connection, and builds
+  // the whole-session summary. Call exactly once, after all submitting
+  // threads are done.
+  ServeSummary finish() FEIO_EXCLUDES(mu_) {
+    ServeSummary summary;
+    std::vector<double> latencies;
+    std::vector<JobSample> samples;
+    std::vector<std::string> tenant_names;
+    {
+      util::MutexLock lock(mu_);
+      while (total_in_flight_ != 0) lock.wait(cv_);
+      for (Connection& c : connections_) flush_conn_locked(c);
+      summary = summary_;
+      latencies = std::move(latencies_);
+      samples = std::move(samples_);
+      summary.connections = static_cast<std::int64_t>(connections_.size());
+      for (TenantState& t : tenants_) {
+        t.sums.tenant = t.name;
+        t.sums.weight = t.weight;
+        summary.tenants.push_back(t.sums);
+        tenant_names.push_back(t.name);
+      }
+    }
+
+    summary.wall_ms = ms_since(t0_);
+    summary.jobs_per_sec =
+        summary.wall_ms > 0.0
+            ? 1000.0 * static_cast<double>(summary.jobs) / summary.wall_ms
+            : 0.0;
+    std::sort(latencies.begin(), latencies.end());
+    summary.p50_ms = percentile(latencies, 0.50);
+    summary.p99_ms = percentile(latencies, 0.99);
+    summary.max_ms = latencies.empty() ? 0.0 : latencies.back();
+    for (TenantSummary& t : summary.tenants) {
+      t.share = summary.jobs > 0
+                    ? static_cast<double>(t.jobs) /
+                          static_cast<double>(summary.jobs)
+                    : 0.0;
+    }
+
+    // Cache totals, zeroed AND flagged when a cache is disabled so an
+    // ablation envelope can never pass stale counters off as activity.
+    summary.format_cache_enabled = opts_.format_cache_capacity > 0;
+    summary.factor_cache_enabled = factors_ != nullptr;
+    if (summary.format_cache_enabled) {
+      const cards::FormatCacheStats format_end = cards::format_cache_stats();
+      summary.format_hits = format_end.hits - format_base_.hits;
+      summary.format_misses = format_end.misses - format_base_.misses;
+    }
+    if (factors_ != nullptr) {
+      const fem::FactorCacheStats fac = factors_->stats();
+      summary.factor_hits = fac.hits;
+      summary.factor_misses = fac.misses;
+      summary.factor_load_reuses = fac.load_reuses;
+    }
+    summary.window_jobs = std::max(0, opts_.window_jobs);
+    summary.windows = cut_windows(samples, opts_.window_jobs, tenant_names);
+    return summary;
+  }
+
+ private:
+  // Rebinds the process-wide FORMAT intern cache to the session capacity
+  // and snapshots its cumulative counters (session stats are deltas).
+  static cards::FormatCacheStats rebind_format_cache(int capacity) {
+    cards::set_format_cache_capacity(
+        static_cast<std::size_t>(std::max(0, capacity)));
+    return cards::format_cache_stats();
+  }
+
+  // The connection's own submitting thread is the only writer of next_seq,
+  // but the Connection object lives in mu_-guarded storage; take the lock
+  // for the (cheap) increment rather than special-casing the field.
+  std::int64_t next_seq(int conn) FEIO_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return connections_[static_cast<size_t>(conn)].next_seq++;
+  }
+
+  // Index of the named tenant's lane, auto-registering unknown names with
+  // defaults (weight 1, inherited limits, unbounded tenant queue).
+  int tenant_index_locked(const std::string& name) FEIO_REQUIRES(mu_) {
+    const auto it = tenant_index_.find(name);
+    if (it != tenant_index_.end()) return it->second;
+    TenantState t;
+    t.name = name;
+    t.limits = opts_.guard;
+    t.lane = drr_.add_lane(1);
+    tenants_.push_back(std::move(t));
+    const int ti = static_cast<int>(tenants_.size()) - 1;
+    tenant_index_.emplace(name, ti);
+    return ti;
+  }
+
+  void mark_failed_locked(Connection& conn) FEIO_REQUIRES(mu_) {
+    if (conn.failed) return;
+    conn.failed = true;
+    ++summary_.connections_failed;
+  }
+
+  // Writes every envelope whose turn has come, in per-connection seq
+  // order. A failed connection keeps consuming its slots (the drain must
+  // not stall on a dead peer) with the writes discarded.
+  void flush_conn_locked(Connection& conn) FEIO_REQUIRES(mu_) {
+    bool wrote_stream = false;
+    for (auto it = conn.ready.begin();
+         it != conn.ready.end() && it->first == conn.next_flush;
+         it = conn.ready.erase(it), ++conn.next_flush) {
+      if (conn.failed) continue;
+      if (conn.stream != nullptr) {
+        *conn.stream << it->second << '\n';
+        wrote_stream = true;
+      } else if (!send_conn(conn.fd, it->second)) {
+        mark_failed_locked(conn);
+      }
+    }
+    if (wrote_stream) {
+      conn.stream->flush();
+      if (conn.stream->fail()) mark_failed_locked(conn);
+    }
+  }
+
+  static bool send_conn(int fd, const std::string& line) {
+#if defined(_WIN32)
+    (void)fd;
+    (void)line;
+    return false;
+#else
+    return send_all(fd, line + "\n");
+#endif
+  }
+
+  // Pops the DRR-chosen next job and runs it; posted once per admitted
+  // job, so the pop precondition (queue non-empty) always holds.
+  void run_one() FEIO_EXCLUDES(mu_) {
+    Pending p;
+    util::GuardLimits limits;
+    {
+      util::MutexLock lock(mu_);
+      p = drr_.pop();
+      limits = tenants_[static_cast<size_t>(p.tenant)].limits;
+    }
+    const JobOutcome outcome =
+        run_job(p.job, p.seq, opts_, limits, factors_);
+    util::MutexLock lock(mu_);
+    record_locked(p.conn, p.seq, p.tenant, outcome, /*admitted=*/true);
+  }
+
+  void record(int conn, std::int64_t seq, const std::string& tenant,
+              const JobOutcome& outcome, bool admitted) FEIO_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    record_locked(conn, seq, tenant_index_locked(tenant), outcome, admitted);
+  }
+
+  void record_locked(int conn, std::int64_t seq, int ti,
+                     const JobOutcome& outcome, bool admitted)
+      FEIO_REQUIRES(mu_) {
+    TenantState& t = tenants_[static_cast<size_t>(ti)];
+    ++summary_.jobs;
+    ++t.sums.jobs;
+    switch (outcome.status) {
+      case JobStatus::kOk: ++summary_.ok; ++t.sums.ok; break;
+      case JobStatus::kRejected: ++summary_.rejected; ++t.sums.rejected; break;
+      case JobStatus::kTimedOut: ++summary_.timed_out; ++t.sums.timed_out; break;
+      case JobStatus::kFaulted: ++summary_.faulted; ++t.sums.faulted; break;
+      case JobStatus::kError: ++summary_.errors; ++t.sums.errors; break;
+    }
+    if (admitted) {
+      FEIO_METRIC_ADD_DYN("serve.tenant.", t.name + ".completed", 1);
+    } else if (outcome.status == JobStatus::kRejected) {
+      FEIO_METRIC_ADD_DYN("serve.tenant.", t.name + ".rejected", 1);
+    }
+    latencies_.push_back(outcome.elapsed_ms);
+    JobSample sample;
+    sample.done_ms = ms_since(t0_);
+    sample.elapsed_ms = outcome.elapsed_ms;
+    sample.tenant = ti;
+    const cards::FormatCacheStats fmt = cards::format_cache_stats();
+    sample.format_hits = fmt.hits - format_base_.hits;
+    sample.format_misses = fmt.misses - format_base_.misses;
+    if (factors_ != nullptr) {
+      const fem::FactorCacheStats fac = factors_->stats();
+      sample.factor_hits = fac.hits;
+      sample.factor_misses = fac.misses;
+    }
+    samples_.push_back(sample);
+    Connection& c = connections_[static_cast<size_t>(conn)];
+    c.ready.emplace(seq, outcome.envelope);
+    if (admitted) {
+      --total_in_flight_;
+      --t.in_flight;
+    }
+    flush_conn_locked(c);
+    cv_.notify_all();
+  }
+
+  const ServeOptions opts_;
+  util::ScopedTracerInstall tracer_scope_;
+  util::ScopedMetricsInstall metrics_scope_;
+  const int capacity_;
+  fem::FactorCache factor_cache_;
+  fem::FactorCache* const factors_;
+  const cards::FormatCacheStats format_base_;
+  const Clock::time_point t0_;
+
+  util::Mutex mu_;
+  std::condition_variable cv_;
+  // deques: workers hold references across pool-driven growth, and deque
+  // push_back never invalidates existing elements.
+  std::deque<Connection> connections_ FEIO_GUARDED_BY(mu_);
+  std::deque<TenantState> tenants_ FEIO_GUARDED_BY(mu_);
+  std::map<std::string, int> tenant_index_ FEIO_GUARDED_BY(mu_);
+  util::DrrQueue<Pending> drr_ FEIO_GUARDED_BY(mu_);
+  int total_in_flight_ FEIO_GUARDED_BY(mu_) = 0;
+  ServeSummary summary_ FEIO_GUARDED_BY(mu_);
+  std::vector<double> latencies_ FEIO_GUARDED_BY(mu_);
+  std::vector<JobSample> samples_ FEIO_GUARDED_BY(mu_);
+
+  // Declared last: destroyed first, joining the workers while every member
+  // they touch is still alive. finish() has already drained the queue.
+  util::ThreadPool pool_;
+};
 
 }  // namespace
 
@@ -636,24 +790,45 @@ std::string ServeSummary::render_bench_json() const {
   out += "  \"p50_ms\": " + fmt_ms(p50_ms) + ",\n";
   out += "  \"p99_ms\": " + fmt_ms(p99_ms) + ",\n";
   out += "  \"max_ms\": " + fmt_ms(max_ms) + ",\n";
+  out += "  \"connections\": " + std::to_string(connections) + ",\n";
+  out += "  \"connections_failed\": " + std::to_string(connections_failed) +
+         ",\n";
   const auto rate = [](std::int64_t hits, std::int64_t misses) {
     const std::int64_t lookups = hits + misses;
     return lookups > 0
                ? static_cast<double>(hits) / static_cast<double>(lookups)
                : 0.0;
   };
-  char ratebuf[32];
   out += "  \"cache\": {";
+  out += std::string("\"format_enabled\": ") +
+         (format_cache_enabled ? "true" : "false") + ", ";
   out += "\"format_hits\": " + std::to_string(format_hits) + ", ";
   out += "\"format_misses\": " + std::to_string(format_misses) + ", ";
-  std::snprintf(ratebuf, sizeof ratebuf, "%.4f",
-                rate(format_hits, format_misses));
-  out += "\"format_hit_rate\": " + std::string(ratebuf) + ", ";
+  out += "\"format_hit_rate\": " + fmt_rate(rate(format_hits, format_misses)) +
+         ", ";
+  out += std::string("\"factor_enabled\": ") +
+         (factor_cache_enabled ? "true" : "false") + ", ";
   out += "\"factor_hits\": " + std::to_string(factor_hits) + ", ";
   out += "\"factor_misses\": " + std::to_string(factor_misses) + ", ";
-  std::snprintf(ratebuf, sizeof ratebuf, "%.4f",
-                rate(factor_hits, factor_misses));
-  out += "\"factor_hit_rate\": " + std::string(ratebuf) + "},\n";
+  out += "\"factor_load_reuses\": " + std::to_string(factor_load_reuses) +
+         ", ";
+  out += "\"factor_hit_rate\": " + fmt_rate(rate(factor_hits, factor_misses)) +
+         "},\n";
+  out += "  \"tenants\": [";
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    const TenantSummary& t = tenants[i];
+    if (i > 0) out += ", ";
+    out += "{\"tenant\": \"" + json_escape(t.tenant) + "\"";
+    out += ", \"weight\": " + std::to_string(t.weight);
+    out += ", \"jobs\": " + std::to_string(t.jobs);
+    out += ", \"ok\": " + std::to_string(t.ok);
+    out += ", \"rejected\": " + std::to_string(t.rejected);
+    out += ", \"timed_out\": " + std::to_string(t.timed_out);
+    out += ", \"faulted\": " + std::to_string(t.faulted);
+    out += ", \"errors\": " + std::to_string(t.errors);
+    out += ", \"share\": " + fmt_rate(t.share) + "}";
+  }
+  out += "],\n";
   out += "  \"window_jobs\": " + std::to_string(window_jobs) + ",\n";
   out += "  \"windows\": [";
   for (size_t i = 0; i < windows.size(); ++i) {
@@ -664,10 +839,15 @@ std::string ServeSummary::render_bench_json() const {
     out += ", \"jobs_per_sec\": " + fmt_ms(w.jobs_per_sec);
     out += ", \"p50_ms\": " + fmt_ms(w.p50_ms);
     out += ", \"p99_ms\": " + fmt_ms(w.p99_ms);
-    std::snprintf(ratebuf, sizeof ratebuf, "%.4f", w.format_hit_rate);
-    out += ", \"format_hit_rate\": " + std::string(ratebuf);
-    std::snprintf(ratebuf, sizeof ratebuf, "%.4f", w.factor_hit_rate);
-    out += ", \"factor_hit_rate\": " + std::string(ratebuf) + "}";
+    out += ", \"format_hit_rate\": " + fmt_rate(w.format_hit_rate);
+    out += ", \"factor_hit_rate\": " + fmt_rate(w.factor_hit_rate);
+    out += ", \"tenant_shares\": {";
+    for (size_t t = 0; t < w.tenant_shares.size(); ++t) {
+      if (t > 0) out += ", ";
+      out += "\"" + json_escape(w.tenant_shares[t].first) +
+             "\": " + fmt_rate(w.tenant_shares[t].second);
+    }
+    out += "}}";
   }
   out += "]";
   if (has_ablation) {
@@ -691,10 +871,31 @@ std::string ServeSummary::render_table() const {
   out += "  errors ...... " + std::to_string(errors) + "\n";
   out += "  latency ..... p50 " + fmt_ms(p50_ms) + " ms, p99 " +
          fmt_ms(p99_ms) + " ms, max " + fmt_ms(max_ms) + " ms\n";
-  out += "  fmt cache ... " + std::to_string(format_hits) + " hits / " +
-         std::to_string(format_misses) + " misses\n";
-  out += "  factor LRU .. " + std::to_string(factor_hits) + " hits / " +
-         std::to_string(factor_misses) + " misses\n";
+  out += "  connections . " + std::to_string(connections);
+  if (connections_failed > 0) {
+    out += " (" + std::to_string(connections_failed) + " failed)";
+  }
+  out += "\n";
+  if (format_cache_enabled) {
+    out += "  fmt cache ... " + std::to_string(format_hits) + " hits / " +
+           std::to_string(format_misses) + " misses\n";
+  } else {
+    out += "  fmt cache ... disabled\n";
+  }
+  if (factor_cache_enabled) {
+    out += "  factor LRU .. " + std::to_string(factor_hits) + " hits / " +
+           std::to_string(factor_misses) + " misses (" +
+           std::to_string(factor_load_reuses) + " load reuses)\n";
+  } else {
+    out += "  factor LRU .. disabled\n";
+  }
+  for (const TenantSummary& t : tenants) {
+    out += "  tenant ...... \"" + t.tenant + "\" w" +
+           std::to_string(t.weight) + ": " + std::to_string(t.jobs) +
+           " jobs (share " + fmt_rate(t.share) + ", ok " +
+           std::to_string(t.ok) + ", rejected " + std::to_string(t.rejected) +
+           ")\n";
+  }
   if (!windows.empty()) {
     out += "  windows ..... " + std::to_string(windows.size()) + " x " +
            std::to_string(window_jobs) + " jobs, last " +
@@ -710,137 +911,182 @@ std::string ServeSummary::render_table() const {
 
 ServeSummary serve_stdin_jsonl(std::istream& in, std::ostream& out,
                                const ServeOptions& opts) {
-  util::ScopedTracerInstall tracer_scope(opts.tracer);
-  util::ScopedMetricsInstall metrics_scope(opts.metrics);
-
-  const int workers = std::max(1, util::resolve_threads(opts.threads));
-  const int capacity = std::max(1, opts.queue_capacity);
-  util::ThreadPool pool(workers);
-
-  // Session caches: the FORMAT intern cache is process-wide (rebound to the
-  // requested capacity; stats are read as deltas from here), the factor LRU
-  // is session-local and shared by every worker. Capacity 0 disables.
-  cards::set_format_cache_capacity(
-      static_cast<std::size_t>(std::max(0, opts.format_cache_capacity)));
-  const cards::FormatCacheStats format_base = cards::format_cache_stats();
-  fem::FactorCache factor_cache(
-      static_cast<std::size_t>(std::max(0, opts.factor_cache_capacity)));
-  fem::FactorCache* const factors =
-      opts.factor_cache_capacity > 0 ? &factor_cache : nullptr;
-
-  const auto t0 = Clock::now();
-  Shared shared(out, t0, factors, format_base);
+  Session session(opts);
+  const int conn = session.add_stream_connection(out);
 
   std::string line;
-  std::int64_t seq = 0;
   while (std::getline(in, line)) {
-    const std::int64_t this_seq = seq++;
-    if (line.find_first_not_of(" \t\r") == std::string::npos) {
-      // A blank line keeps its slot in the output order (a consumer pairing
-      // envelopes to input lines must never desynchronize) but carries no
-      // job: an immediate E-SRV-001 envelope.
-      DiagSink sink;
-      sink.error("E-SRV-001", "blank job line");
-      JobOutcome outcome;
-      outcome.status = JobStatus::kError;
-      outcome.envelope =
-          render_job_envelope("job-" + std::to_string(this_seq), this_seq,
-                              outcome.status, 0.0, sink);
-      shared.record(this_seq, outcome, /*admitted=*/false);
-    } else {
-      bool admitted = false;
-      {
-        util::MutexLock lock(shared.mu);
-        if (shared.in_flight < capacity) {
-          ++shared.in_flight;
-          admitted = true;
-        }
-      }
-      if (!admitted) {
-        // Queue-full rejection: never started, but still one envelope in
-        // order so the stream stays lockstep with its input.
-        DiagSink sink;
-        sink.error("E-RES-004",
-                   "admission queue full (" + std::to_string(capacity) +
-                       " jobs in flight); job rejected");
-        JobOutcome outcome;
-        outcome.status = JobStatus::kRejected;
-        outcome.envelope =
-            render_job_envelope("job-" + std::to_string(this_seq), this_seq,
-                                outcome.status, 0.0, sink);
-        shared.record(this_seq, outcome, /*admitted=*/false);
-      } else {
-        pool.post([&opts, &shared, this_seq, line, factors] {
-          Job job;
-          std::string error;
-          JobOutcome outcome;
-          if (!parse_job_line(line, job, error)) {
-            DiagSink sink;
-            sink.error("E-SRV-001", "malformed job line: " + error);
-            outcome.status = JobStatus::kError;
-            outcome.envelope = render_job_envelope(
-                job.id.empty() ? "job-" + std::to_string(this_seq) : job.id,
-                this_seq, outcome.status, 0.0, sink);
-          } else {
-            if (job.id.empty()) job.id = "job-" + std::to_string(this_seq);
-            outcome = run_job(job, this_seq, opts, factors);
-          }
-          shared.record(this_seq, outcome, /*admitted=*/true);
-        });
-      }
-    }
+    session.submit_line(conn, line);
     // A dead downstream is a server-stopping condition; stop admitting.
-    {
-      util::MutexLock lock(shared.mu);
-      if (shared.out_failed) break;
-    }
+    if (session.connection_failed(conn)) break;
   }
 
-  // Drain: every admitted job delivers its envelope (even after an output
-  // failure — workers must never be abandoned mid-run). The final state is
-  // copied out under the same critical section: once in_flight hits zero no
-  // worker can touch it again, but the lock makes that proof local instead
-  // of an argument about the whole function.
-  bool out_failed = false;
-  ServeSummary summary;
-  std::vector<double> latencies;
-  std::vector<JobSample> samples;
-  {
-    util::MutexLock lock(shared.mu);
-    while (shared.in_flight != 0) lock.wait(shared.cv);
-    shared.flush_ready();
-    out_failed = shared.out_failed;
-    summary = shared.summary;
-    latencies = std::move(shared.latencies);
-    samples = std::move(shared.samples);
-  }
-
-  if (out_failed) {
+  ServeSummary summary = session.finish();
+  if (summary.connections_failed > 0) {
     fail(std::string(kCodeIoWriteOutput) +
          ": cannot write job envelope to output stream");
   }
-
-  summary.wall_ms = ms_since(t0);
-  summary.jobs_per_sec =
-      summary.wall_ms > 0.0
-          ? 1000.0 * static_cast<double>(summary.jobs) / summary.wall_ms
-          : 0.0;
-  std::sort(latencies.begin(), latencies.end());
-  summary.p50_ms = percentile(latencies, 0.50);
-  summary.p99_ms = percentile(latencies, 0.99);
-  summary.max_ms = latencies.empty() ? 0.0 : latencies.back();
-
-  const cards::FormatCacheStats format_end = cards::format_cache_stats();
-  summary.format_hits = format_end.hits - format_base.hits;
-  summary.format_misses = format_end.misses - format_base.misses;
-  if (factors != nullptr) {
-    const fem::FactorCacheStats fac = factors->stats();
-    summary.factor_hits = fac.hits;
-    summary.factor_misses = fac.misses;
-  }
-  summary.window_jobs = std::max(0, opts.window_jobs);
-  summary.windows = cut_windows(samples, opts.window_jobs);
   return summary;
 }
+
+#if defined(_WIN32)
+
+ServeSummary serve_listen(const ListenOptions&, const ServeOptions&,
+                          std::string*) {
+  fail("serve --listen needs POSIX sockets, unavailable on this platform");
+}
+
+#else
+
+namespace {
+
+// Binds listen.address ("host:port" IPv4 or "unix:/path") and returns the
+// listening fd; fills `bound` with the actual address (the kernel-chosen
+// port when binding port 0) and `unix_path` when the unix transport is
+// used (the caller unlinks it on shutdown).
+int bind_listener(const ListenOptions& listen, std::string& bound,
+                  std::string& unix_path) {
+  const std::string& addr = listen.address;
+  if (addr.rfind("unix:", 0) == 0) {
+    unix_path = addr.substr(5);
+    sockaddr_un sa{};
+    if (unix_path.empty() ||
+        unix_path.size() >= sizeof(sa.sun_path)) {
+      fail("serve --listen: unix socket path \"" + unix_path +
+           "\" is empty or too long");
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) fail("serve --listen: cannot create unix socket");
+    sa.sun_family = AF_UNIX;
+    std::memcpy(sa.sun_path, unix_path.c_str(), unix_path.size() + 1);
+    ::unlink(unix_path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0 ||
+        ::listen(fd, 64) != 0) {
+      ::close(fd);
+      fail("serve --listen: cannot bind \"" + addr + "\": " +
+           std::strerror(errno));
+    }
+    bound = addr;
+    return fd;
+  }
+
+  const size_t colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    fail("serve --listen: want \"host:port\" or \"unix:/path\", got \"" +
+         addr + "\"");
+  }
+  const std::string host = addr.substr(0, colon);
+  const std::string port_text = addr.substr(colon + 1);
+  int port = -1;
+  if (!port_text.empty() &&
+      port_text.find_first_not_of("0123456789") == std::string::npos &&
+      port_text.size() <= 5) {
+    port = std::atoi(port_text.c_str());
+  }
+  if (port < 0 || port > 65535) {
+    fail("serve --listen: bad port in \"" + addr + "\"");
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    fail("serve --listen: bad IPv4 host in \"" + addr + "\"");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("serve --listen: cannot create socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    fail("serve --listen: cannot bind \"" + addr + "\": " +
+         std::strerror(errno));
+  }
+  sockaddr_in actual{};
+  socklen_t len = sizeof actual;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+    char text[INET_ADDRSTRLEN] = {};
+    ::inet_ntop(AF_INET, &actual.sin_addr, text, sizeof text);
+    bound = std::string(text) + ":" + std::to_string(ntohs(actual.sin_port));
+  } else {
+    bound = addr;
+  }
+  return fd;
+}
+
+// One connection's reader loop: split the byte stream into lines and
+// submit each one. A trailing unterminated line is still a job (exactly
+// like std::getline at EOF). recv failure — a peer that died mid-stream —
+// is that connection's dead pipe: mark it failed (E-IO-003 semantics) so
+// its remaining bytes are never admitted and its in-flight envelopes are
+// discarded, and let the rest of the session keep serving.
+void reader_loop(Session& session, int conn, int fd) {
+  std::string buf;
+  char chunk[1 << 16];
+  bool peer_error = false;
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      peer_error = true;
+      break;
+    }
+    if (n == 0) break;  // clean EOF
+    buf.append(chunk, static_cast<size_t>(n));
+    size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!session.connection_failed(conn)) session.submit_line(conn, line);
+    }
+    if (session.connection_failed(conn)) break;
+  }
+  if (peer_error) {
+    session.mark_connection_failed(conn);
+  } else if (!buf.empty() && !session.connection_failed(conn)) {
+    session.submit_line(conn, buf);
+  }
+}
+
+}  // namespace
+
+ServeSummary serve_listen(const ListenOptions& listen,
+                          const ServeOptions& opts,
+                          std::string* bound_address) {
+  std::string bound;
+  std::string unix_path;
+  const int listen_fd = bind_listener(listen, bound, unix_path);
+  if (bound_address != nullptr) *bound_address = bound;
+  if (listen.on_bound) listen.on_bound(bound);
+
+  Session session(opts);
+  std::vector<std::thread> readers;
+  std::vector<int> conn_fds;
+  int accepted = 0;
+  while (listen.max_connections == 0 || accepted < listen.max_connections) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    ++accepted;
+    conn_fds.push_back(fd);
+    const int conn = session.add_socket_connection(fd);
+    readers.emplace_back(
+        [&session, conn, fd] { reader_loop(session, conn, fd); });
+  }
+  for (std::thread& t : readers) t.join();
+
+  // Drain before closing the connection fds: admitted jobs keep flushing
+  // replies to their (still-open) sockets until the last envelope lands.
+  ServeSummary summary = session.finish();
+  for (const int fd : conn_fds) ::close(fd);
+  ::close(listen_fd);
+  if (!unix_path.empty()) ::unlink(unix_path.c_str());
+  return summary;
+}
+
+#endif  // _WIN32
 
 }  // namespace feio::serve

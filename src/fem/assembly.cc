@@ -83,13 +83,14 @@ int StaticProblem::dof_half_bandwidth() const {
   return 2 * node_bw + 1;
 }
 
-void StaticProblem::assemble(BandedMatrix& k, std::vector<double>& rhs) const {
+void StaticProblem::assemble(BandedMatrix& k, std::vector<double>& rhs,
+                             std::vector<DirichletRhsOp>* record) const {
   assemble_unconstrained(k, rhs);
   FEIO_REQUIRE(!constraints_.empty(),
                "structure has no constraints (rigid-body motion)");
   for (const Constraint& c : constraints_) {
-    if (c.fix_x) k.apply_dirichlet(2 * c.node, c.value_x, rhs);
-    if (c.fix_y) k.apply_dirichlet(2 * c.node + 1, c.value_y, rhs);
+    if (c.fix_x) k.apply_dirichlet(2 * c.node, c.value_x, rhs, record);
+    if (c.fix_y) k.apply_dirichlet(2 * c.node + 1, c.value_y, rhs, record);
   }
 }
 
@@ -100,7 +101,6 @@ void StaticProblem::assemble_unconstrained(BandedMatrix& k,
   span.arg("elements", mesh_->num_elements());
   util::guard_check_dofs(num_dofs(), "stiffness dofs");
   FEIO_FAULT("fem.assemble");
-  rhs.assign(static_cast<size_t>(num_dofs()), 0.0);
 
   // Element stiffness, computed in parallel: each chunk of elements fills a
   // private COO scratch (21 lower-triangle entries per CST), and the chunks
@@ -146,6 +146,12 @@ void StaticProblem::assemble_unconstrained(BandedMatrix& k,
       for (const Entry& en : out) k.add(en.r, en.c, en.v);
     }
   }
+
+  assemble_load_rhs(rhs);
+}
+
+void StaticProblem::assemble_load_rhs(std::vector<double>& rhs) const {
+  rhs.assign(static_cast<size_t>(num_dofs()), 0.0);
 
   // Equivalent nodal loads of the thermal strain: f = w * B^T D eps_th.
   // Same per-chunk scratch / in-order merge scheme as the stiffness loop.

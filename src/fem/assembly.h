@@ -70,14 +70,25 @@ class StaticProblem {
   int dof_half_bandwidth() const;
 
   // Assembles stiffness and load vector with constraints applied.
-  // Exposed (rather than hidden in solve) for the bandwidth bench.
-  void assemble(BandedMatrix& k, std::vector<double>& rhs) const;
+  // Exposed (rather than hidden in solve) for the bandwidth bench. When
+  // `record` is non-null, the Dirichlet rhs transformation is recorded so
+  // the factor cache can replay it against a different load vector
+  // (fem/factor_cache.h).
+  void assemble(BandedMatrix& k, std::vector<double>& rhs,
+                std::vector<DirichletRhsOp>* record = nullptr) const;
 
   // Assembles without applying any constraint — the raw K and f needed to
   // recover constraint reactions (R = K u - f), which the contact solver
   // uses to decide which supports carry load.
   void assemble_unconstrained(BandedMatrix& k,
                               std::vector<double>& rhs) const;
+
+  // Assembles only the unconstrained load vector (thermal equivalent loads,
+  // point loads, edge pressures) — no stiffness work. This is the rhs half
+  // of assemble_unconstrained, factored out so a factor-cache hit can build
+  // a fresh load case without touching K; the arithmetic and its order are
+  // identical to the cold path, keeping warm results bit-identical.
+  void assemble_load_rhs(std::vector<double>& rhs) const;
 
   const std::vector<Constraint>& constraints() const { return constraints_; }
 

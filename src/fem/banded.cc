@@ -65,7 +65,8 @@ void BandedMatrix::add(int i, int j, double v) {
 }
 
 void BandedMatrix::apply_dirichlet(int i, double value,
-                                   std::vector<double>& rhs) {
+                                   std::vector<double>& rhs,
+                                   std::vector<DirichletRhsOp>* record) {
   FEIO_ASSERT(!factorized_);
   FEIO_ASSERT(static_cast<int>(rhs.size()) == n_);
   const int lo = std::max(0, i - hbw_);
@@ -76,10 +77,12 @@ void BandedMatrix::apply_dirichlet(int i, double value,
     if (a != 0.0) {
       rhs[static_cast<size_t>(j)] -= a * value;
       set(i, j, 0.0);
+      if (record != nullptr) record->push_back({j, a, value, false});
     }
   }
   set(i, i, 1.0);
   rhs[static_cast<size_t>(i)] = value;
+  if (record != nullptr) record->push_back({i, 0.0, value, true});
 }
 
 void BandedMatrix::multiply(const std::vector<double>& x,

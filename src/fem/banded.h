@@ -10,6 +10,31 @@
 
 namespace feio::fem {
 
+// One rhs-side effect of a Dirichlet application, recorded during the cold
+// assemble so the factor cache can re-apply the identical transformation to
+// a *different* load vector. The coefficients are the pre-elimination K
+// entries apply_dirichlet saw — load-independent, so replaying them against
+// a fresh rhs reproduces the constrained rhs bit-for-bit (same values, same
+// order, same arithmetic).
+struct DirichletRhsOp {
+  int dof = -1;        // rhs index affected
+  double coeff = 0.0;  // K(i, j) at application time (unused for set ops)
+  double value = 0.0;  // prescribed displacement
+  bool is_set = false; // true: rhs[dof] = value; false: rhs[dof] -= coeff*value
+};
+
+// Replays a recorded Dirichlet op sequence against an unconstrained rhs.
+inline void replay_dirichlet_rhs(const std::vector<DirichletRhsOp>& ops,
+                                 std::vector<double>& rhs) {
+  for (const DirichletRhsOp& op : ops) {
+    if (op.is_set) {
+      rhs[static_cast<std::size_t>(op.dof)] = op.value;
+    } else {
+      rhs[static_cast<std::size_t>(op.dof)] -= op.coeff * op.value;
+    }
+  }
+}
+
 class BandedMatrix {
  public:
   // n x n symmetric matrix with half-bandwidth hbw: entries (i, j) with
@@ -28,8 +53,12 @@ class BandedMatrix {
 
   // Replaces row/column `i` with the identity row and moves the prescribed
   // value's contributions to the right-hand side: the classic direct method
-  // for Dirichlet conditions that preserves symmetry and the band.
-  void apply_dirichlet(int i, double value, std::vector<double>& rhs);
+  // for Dirichlet conditions that preserves symmetry and the band. When
+  // `record` is non-null, every rhs mutation is appended as a
+  // DirichletRhsOp so the sequence can later be replayed against a new
+  // unconstrained rhs (see fem/factor_cache.h).
+  void apply_dirichlet(int i, double value, std::vector<double>& rhs,
+                       std::vector<DirichletRhsOp>* record = nullptr);
 
   // y = A x for the unfactorized matrix (used for reaction recovery).
   void multiply(const std::vector<double>& x, std::vector<double>& y) const;

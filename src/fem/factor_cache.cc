@@ -62,7 +62,7 @@ std::uint64_t hash_material(const StaticProblem& p) {
   return f.h;
 }
 
-std::uint64_t hash_options(const StaticProblem& p) {
+std::uint64_t hash_operator(const StaticProblem& p) {
   Fnv64 f;
   f.i64(static_cast<std::int64_t>(p.constraints().size()));
   for (const Constraint& c : p.constraints()) {
@@ -71,18 +71,6 @@ std::uint64_t hash_options(const StaticProblem& p) {
     f.i64(c.fix_y ? 1 : 0);
     f.f64(c.value_x);
     f.f64(c.value_y);
-  }
-  f.i64(static_cast<std::int64_t>(p.point_loads().size()));
-  for (const PointLoad& l : p.point_loads()) {
-    f.i64(l.node);
-    f.f64(l.force.x);
-    f.f64(l.force.y);
-  }
-  f.i64(static_cast<std::int64_t>(p.edge_pressures().size()));
-  for (const EdgePressure& e : p.edge_pressures()) {
-    f.i64(e.n1);
-    f.i64(e.n2);
-    f.f64(e.p);
   }
   f.i64(static_cast<std::int64_t>(p.nodal_temperatures().size()));
   for (double t : p.nodal_temperatures()) f.f64(t);
@@ -93,12 +81,17 @@ std::uint64_t hash_options(const StaticProblem& p) {
 
 }  // namespace
 
-std::shared_ptr<const FactorEntry> FactorCache::get(const FactorKey& key) {
+std::shared_ptr<const FactorEntry> FactorCache::get(const FactorKey& key,
+                                                    std::uint64_t loads_hash) {
   util::MutexLock lock(mu_);
   if (cache_.capacity() == 0) return nullptr;
   if (const auto* hit = cache_.get(key)) {
     ++hits_;
     FEIO_METRIC_ADD("cache.factor.hits", 1);
+    if ((*hit)->loads_hash != loads_hash) {
+      ++load_reuses_;
+      FEIO_METRIC_ADD("cache.factor.load_reuse", 1);
+    }
     return *hit;
   }
   ++misses_;
@@ -114,12 +107,30 @@ void FactorCache::put(const FactorKey& key,
 
 FactorCacheStats FactorCache::stats() const {
   util::MutexLock lock(mu_);
-  return {hits_, misses_, static_cast<std::int64_t>(cache_.size())};
+  return {hits_, misses_, load_reuses_,
+          static_cast<std::int64_t>(cache_.size())};
 }
 
 FactorKey factor_key(const StaticProblem& problem) {
   return {hash_mesh(problem.mesh()), hash_material(problem),
-          hash_options(problem)};
+          hash_operator(problem)};
+}
+
+std::uint64_t loads_key(const StaticProblem& problem) {
+  Fnv64 f;
+  f.i64(static_cast<std::int64_t>(problem.point_loads().size()));
+  for (const PointLoad& l : problem.point_loads()) {
+    f.i64(l.node);
+    f.f64(l.force.x);
+    f.f64(l.force.y);
+  }
+  f.i64(static_cast<std::int64_t>(problem.edge_pressures().size()));
+  for (const EdgePressure& e : problem.edge_pressures()) {
+    f.i64(e.n1);
+    f.i64(e.n2);
+    f.f64(e.p);
+  }
+  return f.h;
 }
 
 }  // namespace feio::fem

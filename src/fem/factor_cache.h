@@ -2,12 +2,15 @@
 //
 // A repeat job re-assembles and re-factorizes an identical stiffness matrix
 // — the O(n * hbw^2) step that dominates every static solve. The cache keys
-// a fully-defined StaticProblem by three 64-bit content hashes (mesh
-// geometry/topology, material field, solver options: constraints + loads +
-// thermal data) and stores the factorized BandedMatrix together with the
-// constrained load vector. A hit replays the exact factor bytes produced by
-// the cold path, and BandedMatrix::solve is deterministic, so warm results
-// are bit-identical to cold ones at any thread count.
+// the *operator* of a StaticProblem by three 64-bit content hashes (mesh
+// geometry/topology, material field, constraints + thermal field); the load
+// vector (point loads + edge pressures) is hashed separately via
+// loads_key() and is NOT part of the key. One cached factorization
+// therefore serves any number of load cases: a hit re-assembles only the
+// unconstrained rhs, replays the recorded Dirichlet rhs transformation
+// (whose coefficients are load-independent pre-elimination K entries), and
+// runs the const BandedMatrix::solve() against the cached factor bytes —
+// bit-identical to a cold solve at any thread count.
 //
 // Entries are immutable shared_ptr<const FactorEntry>; concurrent workers
 // can solve against the same cached factor (solve() only reads the band).
@@ -33,10 +36,12 @@ namespace feio::fem {
 
 class StaticProblem;
 
+// Operator identity: everything that determines the factorized matrix.
+// Loads are deliberately absent — see loads_key().
 struct FactorKey {
   std::uint64_t mesh_hash = 0;
   std::uint64_t material_hash = 0;
-  std::uint64_t options_hash = 0;
+  std::uint64_t operator_hash = 0;  // constraints + thermal field
 };
 
 inline bool operator<(const FactorKey& a, const FactorKey& b) {
@@ -44,25 +49,29 @@ inline bool operator<(const FactorKey& a, const FactorKey& b) {
   if (a.material_hash != b.material_hash) {
     return a.material_hash < b.material_hash;
   }
-  return a.options_hash < b.options_hash;
+  return a.operator_hash < b.operator_hash;
 }
 
 inline bool operator==(const FactorKey& a, const FactorKey& b) {
   return a.mesh_hash == b.mesh_hash && a.material_hash == b.material_hash &&
-         a.options_hash == b.options_hash;
+         a.operator_hash == b.operator_hash;
 }
 
-// The reusable result of assemble + factorize: the factorized matrix and
-// the constrained load vector it was assembled with (apply_dirichlet
-// entangles the two, so they are snapshotted together).
+// The reusable result of assemble + factorize: the factorized matrix, the
+// recorded Dirichlet rhs op sequence (so a new load vector can be
+// constrained identically), and the hash of the loads the entry was filled
+// with (only used to count load_reuses — hits that solve a different load
+// case than the one that populated the entry).
 struct FactorEntry {
   BandedMatrix matrix;
-  std::vector<double> rhs;
+  std::vector<DirichletRhsOp> rhs_ops;
+  std::uint64_t loads_hash = 0;
 };
 
 struct FactorCacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;
+  std::int64_t load_reuses = 0;  // hits whose load vector differed
   std::int64_t entries = 0;
 };
 
@@ -70,9 +79,13 @@ class FactorCache {
  public:
   explicit FactorCache(std::size_t capacity) : cache_(capacity) {}
 
-  // Looks the key up (promoting it) and counts the hit or miss — both in
-  // the local stats and as cache.factor.hits/misses metrics.
-  std::shared_ptr<const FactorEntry> get(const FactorKey& key)
+  // Looks the operator key up (promoting it) and counts the hit or miss —
+  // both in the local stats and as cache.factor.hits/misses metrics. A hit
+  // whose stored loads_hash differs from `loads_hash` additionally counts
+  // as a load reuse (cache.factor.load_reuse): the factorization is being
+  // re-solved against a new load case.
+  std::shared_ptr<const FactorEntry> get(const FactorKey& key,
+                                         std::uint64_t loads_hash)
       FEIO_EXCLUDES(mu_);
 
   // Inserts after a successful cold solve; evicts least-recently-used.
@@ -87,13 +100,21 @@ class FactorCache {
       FEIO_GUARDED_BY(mu_);
   std::int64_t hits_ FEIO_GUARDED_BY(mu_) = 0;
   std::int64_t misses_ FEIO_GUARDED_BY(mu_) = 0;
+  std::int64_t load_reuses_ FEIO_GUARDED_BY(mu_) = 0;
 };
 
-// Content hash of a fully-defined problem: mesh coordinates/topology/
-// boundary flags, per-element material and analysis/thickness, and the
-// option set (constraints, point loads, edge pressures, thermal load).
-// FNV-1a over exact bit patterns — any bitwise change to any input yields a
-// different key, so a hit can only replay a byte-identical problem.
+// Content hash of the problem's operator: mesh coordinates/topology/
+// boundary flags, per-element material and analysis/thickness, constraints,
+// and the thermal field (temperatures contribute equivalent loads, but
+// alpha/t_ref also feed stress recovery, so they stay conservative in the
+// operator key). FNV-1a over exact bit patterns — any bitwise change to any
+// input yields a different key, so a hit can only replay a byte-identical
+// operator.
 FactorKey factor_key(const StaticProblem& problem);
+
+// Content hash of the load vector definition (point loads + edge
+// pressures) — the half of the old monolithic key that no longer gates
+// factor reuse.
+std::uint64_t loads_key(const StaticProblem& problem);
 
 }  // namespace feio::fem

@@ -24,12 +24,19 @@ StaticSolution unpack(const StaticProblem& problem,
 
 StaticSolution solve_cached(const StaticProblem& problem, FactorCache& cache) {
   const FactorKey key = factor_key(problem);
-  if (const auto entry = cache.get(key)) {
-    // Warm path: the entry holds the exact factor bytes and constrained
-    // load vector the cold path produced, and BandedMatrix::solve is
-    // deterministic, so the result is bit-identical to a cold solve. No
+  const std::uint64_t loads = loads_key(problem);
+  if (const auto entry = cache.get(key, loads)) {
+    // Warm path: the operator (mesh + material + constraints + thermal)
+    // matches, so only the load vector needs rebuilding. assemble_load_rhs
+    // runs the same rhs arithmetic as the cold path, the recorded Dirichlet
+    // ops re-apply the identical constraint transformation (their
+    // coefficients are load-independent), and the cached factor bytes make
+    // BandedMatrix::solve deterministic — so the result is bit-identical to
+    // a cold solve of this exact load case at any thread count. No
     // FEIO_FAULT site runs here — an armed fault cannot fire on a hit.
-    std::vector<double> rhs = entry->rhs;
+    std::vector<double> rhs;
+    problem.assemble_load_rhs(rhs);
+    replay_dirichlet_rhs(entry->rhs_ops, rhs);
     entry->matrix.solve(rhs);
     FEIO_METRIC_ADD("fem.static_solves", 1);
     return unpack(problem, rhs);
@@ -37,7 +44,8 @@ StaticSolution solve_cached(const StaticProblem& problem, FactorCache& cache) {
 
   BandedMatrix k(problem.num_dofs(), problem.dof_half_bandwidth());
   std::vector<double> rhs;
-  problem.assemble(k, rhs);
+  std::vector<DirichletRhsOp> rhs_ops;
+  problem.assemble(k, rhs, &rhs_ops);
   k.factorize();
   std::vector<double> rhs_solved = rhs;
   k.solve(rhs_solved);
@@ -45,8 +53,8 @@ StaticSolution solve_cached(const StaticProblem& problem, FactorCache& cache) {
   // Insert only now, with the solve fully succeeded: a deadline, injected
   // fault, or singular pivot above threw past this line, so a failed job
   // never poisons the cache.
-  cache.put(key, std::make_shared<const FactorEntry>(
-                     FactorEntry{std::move(k), std::move(rhs)}));
+  cache.put(key, std::make_shared<const FactorEntry>(FactorEntry{
+                     std::move(k), std::move(rhs_ops), loads}));
   return unpack(problem, rhs_solved);
 }
 

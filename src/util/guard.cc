@@ -15,6 +15,15 @@ std::string over(std::string_view what, std::int64_t have,
 
 }  // namespace
 
+GuardLimits GuardOverrides::apply(const GuardLimits& base) const {
+  GuardLimits out = base;
+  if (max_deck_cards >= 0) out.max_deck_cards = max_deck_cards;
+  if (max_deck_bytes >= 0) out.max_deck_bytes = max_deck_bytes;
+  if (max_dofs >= 0) out.max_dofs = max_dofs;
+  if (max_factor_bytes >= 0) out.max_factor_bytes = max_factor_bytes;
+  return out;
+}
+
 GuardLimits GuardLimits::serve_defaults() {
   GuardLimits g;
   g.max_deck_cards = 100000;                  // ~1250 full 80-col boxes

@@ -46,6 +46,24 @@ struct GuardLimits {
   static GuardLimits serve_defaults();
 };
 
+// Per-tenant deltas on top of a base GuardLimits (serve's multi-tenant
+// admission): -1 inherits the base value, >= 0 replaces it (0 keeping its
+// "unlimited" meaning). Kept separate from GuardLimits so a tenant config
+// can say "cap decks at 100 cards, inherit everything else" without
+// restating the serve defaults.
+struct GuardOverrides {
+  std::int64_t max_deck_cards = -1;
+  std::int64_t max_deck_bytes = -1;
+  std::int64_t max_dofs = -1;
+  std::int64_t max_factor_bytes = -1;
+
+  GuardLimits apply(const GuardLimits& base) const;
+  bool any() const {
+    return max_deck_cards >= 0 || max_deck_bytes >= 0 || max_dofs >= 0 ||
+           max_factor_bytes >= 0;
+  }
+};
+
 // Installs `g` as the calling thread's limits for the scope; restores the
 // previous limits on destruction. Null is a no-op. parallel_chunks carries
 // the submitting thread's limits onto pool workers per chunk.

@@ -122,3 +122,18 @@ class ScopedMetricsInstall {
       feio_metric_reg->record(name, value);                                \
     }                                                                      \
   } while (0)
+
+// Counter increment for a per-entity family ("serve.tenant." + name +
+// ".admitted"). The prefix must be a string literal: it is what
+// tools/check_invariants.py scans and matches against the wildcard rows
+// ("serve.tenant.*") of the OBSERVABILITY.md catalog; the suffix is
+// runtime data (tenant names) the catalog cannot enumerate. The string
+// concatenation only happens when a registry is installed.
+#define FEIO_METRIC_ADD_DYN(prefix, suffix, delta)                         \
+  do {                                                                     \
+    if (::feio::util::MetricsRegistry* feio_metric_reg =                   \
+            ::feio::util::MetricsRegistry::current()) {                    \
+      feio_metric_reg->add((std::string(prefix) + (suffix)).c_str(),       \
+                           delta);                                         \
+    }                                                                      \
+  } while (0)

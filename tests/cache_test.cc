@@ -279,22 +279,29 @@ TEST(FactorCacheTest, RepeatSolvesHitAfterFirstMiss) {
   EXPECT_EQ(s.hits, 4);
 }
 
-TEST(FactorCacheTest, KeyIsSensitiveToMaterialAndLoads) {
+TEST(FactorCacheTest, OperatorKeyIgnoresLoadsButSeesMaterialAndConstraints) {
   const mesh::TriMesh m = strip_mesh(4);
   const fem::StaticProblem base = cantilever(m);
 
   fem::StaticProblem stiffer = cantilever(m);
   stiffer.set_material(fem::Material::isotropic(2000.0, 0.3));
 
+  fem::StaticProblem pinned = cantilever(m);
+  pinned.fix(3, false, true);
+
   fem::StaticProblem pushed = cantilever(m);
   pushed.point_load(2, {1.0, 0.0});
 
   const fem::FactorKey k0 = fem::factor_key(base);
   EXPECT_FALSE(k0 == fem::factor_key(stiffer));
-  EXPECT_FALSE(k0 == fem::factor_key(pushed));
+  EXPECT_FALSE(k0 == fem::factor_key(pinned));
+  // The split: a load change keeps the operator key but moves loads_key.
+  EXPECT_TRUE(k0 == fem::factor_key(pushed));
+  EXPECT_NE(fem::loads_key(base), fem::loads_key(pushed));
   EXPECT_TRUE(k0 == fem::factor_key(cantilever(m)));
+  EXPECT_EQ(fem::loads_key(base), fem::loads_key(cantilever(m)));
 
-  // Three distinct problems -> three cold solves, zero false hits.
+  // base and pushed share an operator: one cold solve, one load-reuse hit.
   fem::FactorCache cache(8);
   RunOptions opts;
   opts.threads = 1;
@@ -303,9 +310,61 @@ TEST(FactorCacheTest, KeyIsSensitiveToMaterialAndLoads) {
   fem::solve(stiffer, opts);
   fem::solve(pushed, opts);
   const fem::FactorCacheStats s = cache.stats();
-  EXPECT_EQ(s.misses, 3);
-  EXPECT_EQ(s.hits, 0);
-  EXPECT_EQ(s.entries, 3);
+  EXPECT_EQ(s.misses, 2);
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.load_reuses, 1);
+  EXPECT_EQ(s.entries, 2);
+}
+
+TEST(FactorCacheTest, LoadReuseIsBitIdenticalToColdAtAnyThreadCount) {
+  // The acceptance contract for the key split: warm-solving a *different*
+  // load case against a cached factorization must be bit-identical to
+  // cold-solving that load case, at 1 and 8 threads.
+  const mesh::TriMesh m = strip_mesh(8);
+
+  auto loaded = [&](double fx, double fy) {
+    fem::StaticProblem p(m, fem::Analysis::kPlaneStress);
+    p.set_material(fem::Material::isotropic(1000.0, 0.3));
+    p.fix(0, true, true);
+    p.fix(1, true, true);
+    p.point_load(m.num_nodes() - 1, {fx, fy});
+    return p;
+  };
+
+  for (const int threads : {1, 8}) {
+    const fem::StaticProblem first = loaded(0.0, -1.0);
+    const fem::StaticProblem second = loaded(2.5, 0.75);
+
+    RunOptions cold;
+    cold.threads = threads;
+    const fem::StaticSolution u_cold = fem::solve(second, cold);
+
+    fem::FactorCache cache(4);
+    RunOptions warm = cold;
+    warm.factor_cache = &cache;
+    fem::solve(first, warm);  // miss: fills the operator entry
+    const fem::StaticSolution u_warm = fem::solve(second, warm);
+
+    const fem::FactorCacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, 1) << "threads=" << threads;
+    EXPECT_EQ(s.hits, 1) << "threads=" << threads;
+    EXPECT_EQ(s.load_reuses, 1) << "threads=" << threads;
+    EXPECT_EQ(s.entries, 1) << "threads=" << threads;
+
+    EXPECT_EQ(solution_bits(m, second, u_cold),
+              solution_bits(m, second, u_warm))
+        << "load-reuse mismatch at threads=" << threads;
+  }
+}
+
+TEST(FactorCacheTest, ThermalFieldStaysInTheOperatorKey) {
+  // Temperatures feed equivalent loads AND stress recovery; a thermal
+  // change must never reuse a factor entry filled without it.
+  const mesh::TriMesh m = strip_mesh(4);
+  fem::StaticProblem heated = cantilever(m);
+  std::vector<double> temps(static_cast<size_t>(m.num_nodes()), 10.0);
+  heated.set_temperature_load(std::move(temps), 1e-5, 0.0);
+  EXPECT_FALSE(fem::factor_key(cantilever(m)) == fem::factor_key(heated));
 }
 
 TEST(FactorCacheTest, DisabledCacheNeverCounts) {

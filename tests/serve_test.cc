@@ -83,6 +83,73 @@ TEST(ServeParseTest, RejectsMalformedLines) {
   }
 }
 
+// --- feio.job/1 (PR 9) -----------------------------------------------------
+
+TEST(ServeParseTest, VersionedJobLineIsAccepted) {
+  serve::Job job;
+  std::string error;
+  ASSERT_TRUE(serve::parse_job_line(
+      R"({"schema": "feio.job/1", "id": "j9", "tenant": "team-a",)"
+      R"( "kind": "solve", "deck": "X", "load_case": 3})",
+      job, error))
+      << error;
+  EXPECT_EQ(job.schema, serve::kJobSchema);
+  EXPECT_EQ(job.id, "j9");
+  EXPECT_EQ(job.tenant, "team-a");
+  EXPECT_EQ(job.pipeline, "solve");  // "kind" is the feio.job/1 spelling
+  EXPECT_EQ(job.load_case, 3);
+}
+
+TEST(ServeParseTest, UnsupportedSchemaVersionIsRejected) {
+  serve::Job job;
+  std::string error;
+  EXPECT_FALSE(serve::parse_job_line(
+      R"({"schema": "feio.job/2", "kind": "idlz", "deck": "X"})", job, error));
+  EXPECT_NE(error.find("feio.job/1"), std::string::npos) << error;
+}
+
+TEST(ServeParseTest, KindAndPipelineAreAliases) {
+  serve::Job job;
+  std::string error;
+  // Agreeing duplicates are fine; disagreeing ones are an error, never a
+  // silent pick-one.
+  ASSERT_TRUE(serve::parse_job_line(
+      R"({"kind": "ospl", "pipeline": "ospl", "deck": "X"})", job, error))
+      << error;
+  EXPECT_EQ(job.pipeline, "ospl");
+  EXPECT_FALSE(serve::parse_job_line(
+      R"({"kind": "idlz", "pipeline": "ospl", "deck": "X"})", job, error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeParseTest, TenantNamesAreValidated) {
+  serve::Job job;
+  std::string error;
+  ASSERT_TRUE(serve::parse_job_line(
+      R"({"kind": "idlz", "deck": "X", "tenant": "Team_9-a"})", job, error))
+      << error;
+  EXPECT_EQ(job.tenant, "Team_9-a");
+  const char* bad[] = {
+      R"({"kind": "idlz", "deck": "X", "tenant": ""})",
+      R"({"kind": "idlz", "deck": "X", "tenant": "has space"})",
+      R"({"kind": "idlz", "deck": "X", "tenant": "dot.dot"})",
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(serve::parse_job_line(line, job, error)) << line;
+  }
+  EXPECT_FALSE(serve::valid_tenant_name(std::string(65, 'a')));
+  EXPECT_TRUE(serve::valid_tenant_name(std::string(64, 'a')));
+}
+
+TEST(ServeParseTest, NegativeLoadCaseIsRejected) {
+  serve::Job job;
+  std::string error;
+  EXPECT_FALSE(serve::parse_job_line(
+      R"({"kind": "solve", "deck": "X", "load_case": -1})", job, error));
+  EXPECT_FALSE(serve::parse_job_line(
+      R"({"kind": "solve", "deck": "X", "load_case": "2"})", job, error));
+}
+
 // --- Serve loop fixtures ---------------------------------------------------
 
 // A deck string must be embeddable in a flat JSON line: escape the newlines.
@@ -241,7 +308,7 @@ TEST(ServeTest, TinyDeadlineTimesOutDeterministically) {
   // Table 2 caps an assemblage at 500 nodes, so "slow" means many data
   // sets, each near the cap, run back to back within the one job.
   const std::string deck = idlz::write_deck(std::vector<idlz::IdlzCase>(
-      8, scenarios::strip_case(18, 24, 2)));
+      8, scenarios::strip_case(16, 24, 2)));
   const std::string line =
       "{\"id\": \"slow\", \"pipeline\": \"idlz\", \"deck\": \"" +
       json_escape_deck(deck) + "\", \"deadline_ms\": 1}";
@@ -261,7 +328,7 @@ TEST(ServeTest, QueueCapacityOneRejectsTheOverflow) {
   // remaining lines are read: at least one later line must be rejected
   // with E-RES-004 while keeping its envelope slot.
   const std::string deck = idlz::write_deck(std::vector<idlz::IdlzCase>(
-      8, scenarios::strip_case(18, 24, 2)));
+      8, scenarios::strip_case(16, 24, 2)));
   const std::string slow =
       "{\"id\": \"slow\", \"pipeline\": \"idlz\", \"deck\": \"" +
       json_escape_deck(deck) + "\"}";
@@ -525,6 +592,249 @@ TEST(ServeWindowTest, WindowingDisabledLeavesWindowsEmpty) {
       run_serve({solve_job("a"), solve_job("b")}, envelopes, opts);
   EXPECT_EQ(s.window_jobs, 0);
   EXPECT_TRUE(s.windows.empty());
+}
+
+// --- Split factor keys: many loads, one factorization (PR 9) ---------------
+
+std::string solve_job_case(const std::string& id, long long load_case,
+                           const std::string& tenant = "") {
+  std::string line = "{\"id\": \"" + id + "\", \"kind\": \"solve\"";
+  if (!tenant.empty()) line += ", \"tenant\": \"" + tenant + "\"";
+  line += ", \"load_case\": " + std::to_string(load_case);
+  line += ", \"deck\": \"" + json_escape_deck(small_idlz_deck()) + "\"}";
+  return line;
+}
+
+TEST(ServeCacheTest, LoadCasesShareOneFactorization) {
+  // Same deck, five different load cases: one cold factorization, four
+  // warm re-solves of new load vectors (the split operator/loads key).
+  std::vector<std::string> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(solve_job_case("lc" + std::to_string(i), i));
+  }
+  serve::ServeOptions opts;
+  opts.threads = 1;
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve(jobs, envelopes, opts);
+  EXPECT_EQ(s.ok, 5);
+  EXPECT_EQ(s.factor_misses, 1);
+  EXPECT_EQ(s.factor_hits, 4);
+  EXPECT_EQ(s.factor_load_reuses, 4);  // every hit carried a new load vector
+}
+
+TEST(ServeCacheTest, LoadReuseIsBitIdenticalAtAnyThreadCount) {
+  // The acceptance bar for the split key: a warm load-reuse solve must be
+  // bit-identical to a cold solve, at 1 thread and at 8. Envelopes carry
+  // the solution digest through their status/diagnostics, and elapsed_ms
+  // is the only field allowed to differ.
+  std::vector<std::string> jobs;
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      jobs.push_back(solve_job_case("r" + std::to_string(round) + "c" +
+                                        std::to_string(i),
+                                    i));
+    }
+  }
+  const auto strip_elapsed = [](const std::string& line) {
+    const size_t at = line.find("\"elapsed_ms\": ");
+    if (at == std::string::npos) return line;
+    const size_t end = line.find_first_of(",}", at);
+    return line.substr(0, at) + line.substr(end);
+  };
+  serve::ServeOptions warm1;
+  warm1.threads = 1;
+  serve::ServeOptions warm8 = warm1;
+  warm8.threads = 8;
+  serve::ServeOptions cold = warm1;
+  cold.factor_cache_capacity = 0;
+  cold.format_cache_capacity = 0;
+  std::vector<std::string> warm1_env, warm8_env, cold_env;
+  const serve::ServeSummary s1 = run_serve(jobs, warm1_env, warm1);
+  run_serve(jobs, warm8_env, warm8);
+  run_serve(jobs, cold_env, cold);
+  EXPECT_GT(s1.factor_load_reuses, 0);
+  ASSERT_EQ(warm1_env.size(), jobs.size());
+  ASSERT_EQ(warm8_env.size(), jobs.size());
+  ASSERT_EQ(cold_env.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(strip_elapsed(warm1_env[i]), strip_elapsed(cold_env[i])) << i;
+    EXPECT_EQ(strip_elapsed(warm1_env[i]), strip_elapsed(warm8_env[i])) << i;
+  }
+}
+
+TEST(ServeCacheTest, DisabledCachesAreFlaggedAndZeroedInTheSummary) {
+  serve::ServeOptions opts;
+  opts.threads = 1;
+  opts.format_cache_capacity = 0;
+  opts.factor_cache_capacity = 0;
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s =
+      run_serve({solve_job("a"), solve_job("b")}, envelopes, opts);
+  EXPECT_EQ(s.ok, 2);
+  EXPECT_FALSE(s.format_cache_enabled);
+  EXPECT_FALSE(s.factor_cache_enabled);
+  EXPECT_EQ(s.format_hits, 0);
+  EXPECT_EQ(s.format_misses, 0);
+  EXPECT_EQ(s.factor_hits, 0);
+  EXPECT_EQ(s.factor_misses, 0);
+  EXPECT_EQ(s.factor_load_reuses, 0);
+  const std::string bench = s.render_bench_json();
+  EXPECT_NE(bench.find("\"format_enabled\": false"), std::string::npos);
+  EXPECT_NE(bench.find("\"factor_enabled\": false"), std::string::npos);
+  EXPECT_NE(bench.find("\"factor_load_reuses\": 0"), std::string::npos);
+}
+
+// --- Multi-tenant admission (PR 9) -----------------------------------------
+
+TEST(ServeTenantTest, EnvelopesAndSummaryCarryTheTenant) {
+  std::vector<std::string> jobs = {solve_job_case("a", 0, "acme"),
+                                   solve_job("b")};
+  serve::ServeOptions opts;
+  opts.threads = 1;
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve(jobs, envelopes, opts);
+  ASSERT_EQ(envelopes.size(), 2u);
+  EXPECT_EQ(string_field(envelopes[0], "tenant"), "acme");
+  EXPECT_EQ(string_field(envelopes[1], "tenant"), "default");
+  ASSERT_EQ(s.tenants.size(), 2u);
+  std::int64_t tenant_jobs = 0;
+  for (const serve::TenantSummary& t : s.tenants) tenant_jobs += t.jobs;
+  EXPECT_EQ(tenant_jobs, s.jobs);
+}
+
+TEST(ServeTenantTest, TenantQueueCapRejectsNamingTheTenant) {
+  // Tenant "small" may hold one job at a time. While its slow job runs,
+  // its later submissions bounce with an E-RES-004 that names the tenant;
+  // the session queue has room to spare, so this is the tenant cap firing.
+  const std::string deck = idlz::write_deck(std::vector<idlz::IdlzCase>(
+      8, scenarios::strip_case(16, 24, 2)));
+  const std::string slow =
+      "{\"id\": \"slow\", \"tenant\": \"small\", \"pipeline\": \"idlz\","
+      " \"deck\": \"" + json_escape_deck(deck) + "\"}";
+  std::vector<std::string> jobs = {slow};
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(solve_job_case("s" + std::to_string(i), 0, "small"));
+  }
+  serve::ServeOptions opts;
+  opts.threads = 1;
+  serve::TenantConfig small;
+  small.name = "small";
+  small.queue_capacity = 1;
+  opts.tenants.push_back(small);
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve(jobs, envelopes, opts);
+  ASSERT_EQ(envelopes.size(), jobs.size());
+  EXPECT_GE(s.rejected, 1) << "capacity-1 tenant queue never filled";
+  bool saw_tenant_full = false;
+  for (const std::string& e : envelopes) {
+    saw_tenant_full |=
+        e.find("E-RES-004") != std::string::npos &&
+        e.find("tenant \\\"small\\\" queue full") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_tenant_full);
+}
+
+TEST(ServeTenantTest, TenantGuardOverridesTightenAdmission) {
+  // Tenant "strict" caps decks at 3 cards; the identical deck sails
+  // through for the default tenant, so the rejection is the override.
+  serve::ServeOptions opts;
+  opts.threads = 1;
+  serve::TenantConfig strict;
+  strict.name = "strict";
+  strict.guard.max_deck_cards = 3;
+  opts.tenants.push_back(strict);
+  std::vector<std::string> jobs = {solve_job_case("tight", 0, "strict"),
+                                   solve_job("loose")};
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve(jobs, envelopes, opts);
+  ASSERT_EQ(envelopes.size(), 2u);
+  EXPECT_EQ(string_field(envelopes[0], "status"), "rejected");
+  EXPECT_NE(envelopes[0].find("E-RES-001"), std::string::npos);
+  EXPECT_EQ(string_field(envelopes[1], "status"), "ok");
+  EXPECT_EQ(s.rejected, 1);
+  EXPECT_EQ(s.ok, 1);
+}
+
+// The per-window share of `tenant` in window `w`, or 0 when absent.
+double window_share(const serve::ServeWindow& w, const std::string& tenant) {
+  for (const auto& [name, share] : w.tenant_shares) {
+    if (name == tenant) return share;
+  }
+  return 0.0;
+}
+
+TEST(ServeTenantTest, WeightedSharesHoldPerRollingWindow) {
+  // The fairness acceptance bar: tenant "heavy" (weight 3) and "light"
+  // (weight 1), both backlogged, must split every rolling window 3:1
+  // within 10%. The whole heavy backlog arrives first — under FIFO the
+  // early windows would be all heavy and the late ones all light, so any
+  // interleave at all is the DRR quantum at work. The factor cache is off
+  // to keep every job slow enough that the backlog outlives submission.
+  serve::ServeOptions opts;
+  opts.threads = 1;
+  opts.window_jobs = 40;
+  opts.factor_cache_capacity = 0;
+  serve::TenantConfig heavy;
+  heavy.name = "heavy";
+  heavy.weight = 3;
+  serve::TenantConfig light;
+  light.name = "light";
+  light.weight = 1;
+  opts.tenants = {heavy, light};
+  // A slow first job pins the single worker while the reader queues the
+  // rest, so every later completion is a pure DRR pick from a full
+  // backlog — no startup transient where the worker outruns submission.
+  const std::string slow_deck = idlz::write_deck(
+      std::vector<idlz::IdlzCase>(8, scenarios::strip_case(16, 24, 2)));
+  std::vector<std::string> jobs = {
+      "{\"id\": \"h-slow\", \"tenant\": \"heavy\", \"pipeline\": \"idlz\","
+      " \"deck\": \"" + json_escape_deck(slow_deck) + "\"}"};
+  for (int i = 0; i < 119; ++i) {
+    jobs.push_back(solve_job_case("h" + std::to_string(i), i, "heavy"));
+  }
+  for (int i = 0; i < 40; ++i) {
+    jobs.push_back(solve_job_case("l" + std::to_string(i), i, "light"));
+  }
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve(jobs, envelopes, opts);
+  EXPECT_EQ(s.ok, 160);
+  ASSERT_EQ(s.tenants.size(), 2u);
+  EXPECT_EQ(s.tenants[0].tenant, "heavy");
+  EXPECT_EQ(s.tenants[0].jobs, 120);
+  EXPECT_EQ(s.tenants[1].jobs, 40);
+  ASSERT_EQ(s.windows.size(), 4u);
+  for (size_t w = 0; w < s.windows.size(); ++w) {
+    const double share = window_share(s.windows[w], "heavy");
+    EXPECT_NEAR(share, 0.75, 0.10) << "window " << w;
+  }
+}
+
+TEST(ServeTenantTest, SkewedStreamDoesNotStarveTheMinority) {
+  // The 100:1 skew scenario: tenant "bulk" floods 100 jobs before tenant
+  // "interactive" submits its one. Equal weights mean DRR alternates the
+  // moment both lanes are backlogged, so the interactive job completes in
+  // an early window instead of dead last (which is where FIFO would put
+  // it — the no-starvation property).
+  serve::ServeOptions opts;
+  opts.threads = 1;
+  opts.window_jobs = 10;
+  opts.factor_cache_capacity = 0;
+  const std::string slow_deck = idlz::write_deck(
+      std::vector<idlz::IdlzCase>(8, scenarios::strip_case(16, 24, 2)));
+  std::vector<std::string> jobs = {
+      "{\"id\": \"b-slow\", \"tenant\": \"bulk\", \"pipeline\": \"idlz\","
+      " \"deck\": \"" + json_escape_deck(slow_deck) + "\"}"};
+  for (int i = 0; i < 99; ++i) {
+    jobs.push_back(solve_job_case("b" + std::to_string(i), i, "bulk"));
+  }
+  jobs.push_back(solve_job_case("urgent", 0, "interactive"));
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s = run_serve(jobs, envelopes, opts);
+  EXPECT_EQ(s.ok, 101);
+  ASSERT_GE(s.windows.size(), 3u);
+  EXPECT_GT(window_share(s.windows[0], "interactive"), 0.0)
+      << "the interactive job was starved out of the first window";
+  EXPECT_EQ(window_share(s.windows.back(), "interactive"), 0.0);
 }
 
 TEST(ServeCacheTest, BenchJsonCarriesCacheWindowsAndAblation) {

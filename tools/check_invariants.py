@@ -255,6 +255,10 @@ def check_observability(root):
     for pattern in SPAN_PATTERNS:
         spans.extend(scan(root, pattern))
     counters = scan(root, r'FEIO_METRIC_ADD\(\s*"([^"]+)"')
+    # Dynamic counters (FEIO_METRIC_ADD_DYN) take a literal name prefix plus
+    # a runtime suffix; the captured prefix is what a `prefix.*` wildcard row
+    # in the catalog documents.
+    counters.extend(scan(root, r'FEIO_METRIC_ADD_DYN\(\s*"([^"]+)"'))
     histograms = scan(root, r'FEIO_METRIC_RECORD\(\s*"([^"]+)"')
 
     observability = maybe_read(os.path.join(root, "docs", "OBSERVABILITY.md"))

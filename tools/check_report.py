@@ -20,8 +20,8 @@ REQUIRED_KEYS = {
     "lint": ["ok", "errors", "warnings", "notes", "capped", "diagnostics"],
     "bench": ["payload_schema"],
     "metrics": ["counters", "histograms"],
-    "job": ["id", "seq", "status", "elapsed_ms", "errors", "warnings",
-            "diagnostics"],
+    "job": ["id", "tenant", "seq", "status", "elapsed_ms", "errors",
+            "warnings", "diagnostics"],
 }
 
 # Required keys per bench payload_schema (the "bench" kind is a family of
@@ -31,17 +31,22 @@ BENCH_KEYS = {
     "feio.bench.solver/1": ["threads", "all_identical", "cases", "metrics"],
     "feio.bench.serve/1": ["jobs", "ok", "rejected", "timed_out", "faulted",
                            "errors", "wall_ms", "jobs_per_sec", "p50_ms",
-                           "p99_ms", "max_ms", "cache", "window_jobs",
-                           "windows"],
+                           "p99_ms", "max_ms", "connections",
+                           "connections_failed", "cache", "tenants",
+                           "window_jobs", "windows"],
 }
 
 # Additive extensions of feio.bench.serve/1 (docs/ROBUSTNESS.md): the cache
-# totals object, each rolling-window object, and the optional --ablate-caches
-# block.
-SERVE_CACHE_KEYS = ("format_hits", "format_misses", "format_hit_rate",
-                    "factor_hits", "factor_misses", "factor_hit_rate")
+# totals object (with enabled flags — a disabled cache must report zero
+# traffic), the per-tenant array, each rolling-window object (with per-window
+# tenant shares), and the optional --ablate-caches block.
+SERVE_CACHE_KEYS = ("format_enabled", "format_hits", "format_misses",
+                    "format_hit_rate", "factor_enabled", "factor_hits",
+                    "factor_misses", "factor_load_reuses", "factor_hit_rate")
+SERVE_TENANT_KEYS = ("tenant", "weight", "jobs", "ok", "rejected",
+                     "timed_out", "faulted", "errors", "share")
 SERVE_WINDOW_KEYS = ("jobs", "wall_ms", "jobs_per_sec", "p50_ms", "p99_ms",
-                     "format_hit_rate", "factor_hit_rate")
+                     "format_hit_rate", "factor_hit_rate", "tenant_shares")
 SERVE_ABLATION_KEYS = ("wall_ms", "jobs_per_sec", "speedup")
 
 JOB_STATUSES = ("ok", "rejected", "timeout", "faulted", "error")
@@ -115,6 +120,43 @@ def check_serve_extensions(path, doc):
     for key in ("format_hit_rate", "factor_hit_rate"):
         if not 0.0 <= cache[key] <= 1.0:
             fail(f"{path}: serve cache {key}={cache[key]} outside [0, 1]")
+    for side in ("format", "factor"):
+        if not isinstance(cache[f"{side}_enabled"], bool):
+            fail(f"{path}: serve cache {side}_enabled is not a boolean")
+        if not cache[f"{side}_enabled"]:
+            busy = (cache[f"{side}_hits"] + cache[f"{side}_misses"]
+                    + cache[f"{side}_hit_rate"])
+            if side == "factor":
+                busy += cache["factor_load_reuses"]
+            if busy != 0:
+                fail(f"{path}: serve {side} cache is disabled but reports "
+                     "non-zero traffic")
+    if cache["factor_load_reuses"] > cache["factor_hits"]:
+        fail(f"{path}: factor_load_reuses={cache['factor_load_reuses']} "
+             f"exceeds factor_hits={cache['factor_hits']}")
+    tenants = doc["tenants"]
+    if not isinstance(tenants, list):
+        fail(f"{path}: serve 'tenants' is not a list")
+    if doc["jobs"] > 0 and not tenants:
+        fail(f"{path}: serve ran {doc['jobs']} jobs but lists no tenants")
+    for t in tenants:
+        for key in SERVE_TENANT_KEYS:
+            if key not in t:
+                fail(f"{path}: serve tenant entry is missing {key!r}: {t}")
+        buckets = (t["ok"] + t["rejected"] + t["timed_out"] + t["faulted"]
+                   + t["errors"])
+        if buckets != t["jobs"]:
+            fail(f"{path}: tenant {t['tenant']!r} buckets sum to {buckets}, "
+                 f"want jobs={t['jobs']}")
+        if not 0.0 <= t["share"] <= 1.0:
+            fail(f"{path}: tenant {t['tenant']!r} share={t['share']} "
+                 "outside [0, 1]")
+        if t["weight"] < 1:
+            fail(f"{path}: tenant {t['tenant']!r} weight={t['weight']} < 1")
+    tenant_total = sum(t["jobs"] for t in tenants)
+    if tenant_total != doc["jobs"]:
+        fail(f"{path}: tenant jobs sum to {tenant_total}, "
+             f"want jobs={doc['jobs']} (every job lands in one tenant)")
     windows = doc["windows"]
     if not isinstance(windows, list):
         fail(f"{path}: serve 'windows' is not a list")
@@ -124,6 +166,13 @@ def check_serve_extensions(path, doc):
                 fail(f"{path}: serve window {i} is missing {key!r}")
         if win["jobs"] < 1:
             fail(f"{path}: serve window {i} has jobs={win['jobs']}")
+        shares = win["tenant_shares"]
+        if not isinstance(shares, dict):
+            fail(f"{path}: serve window {i} tenant_shares is not an object")
+        for name, share in shares.items():
+            if not 0.0 <= share <= 1.0:
+                fail(f"{path}: serve window {i} tenant {name!r} "
+                     f"share={share} outside [0, 1]")
     if windows:
         total = sum(w["jobs"] for w in windows)
         if total != doc["jobs"]:

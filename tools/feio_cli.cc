@@ -17,10 +17,12 @@
 //       the schema-stable BENCH_pipeline.json (see docs/BENCHMARKS.md)
 //   feio figures [--out DIR]          regenerate every paper figure
 //   feio mesh <deck> --off FILE       idealize and export the mesh as OFF
-//   feio serve --stdin-jsonl [--threads N] [--queue N] [--deadline-ms N]
-//       long-lived batch loop: one JSON job per stdin line, one
-//       feio.report/1 envelope (kind "job") per line on stdout in input
-//       order, session summary in BENCH_serve.json (docs/ROBUSTNESS.md)
+//   feio serve (--stdin-jsonl | --listen host:port|unix:path) [--threads N]
+//       long-lived batch loop: one feio.job/1 job per line (stdin, or per
+//       socket connection under --listen), one feio.report/1 envelope
+//       (kind "job") per line back in per-connection input order; tenants
+//       share the pool by weighted deficit-round-robin (--tenant); session
+//       summary in BENCH_serve.json (docs/ROBUSTNESS.md)
 //   feio help | --help | -h
 //
 // --threads N runs the parallel pipeline stages (contour extraction,
@@ -61,6 +63,7 @@
 #include <iostream>
 
 #include "feio.h"
+#include "feio/options.h"
 #include "feio/serve.h"
 #include "scenarios/pipeline_bench.h"
 #include "scenarios/scenarios.h"
@@ -77,52 +80,25 @@ constexpr int kExitOk = 0;
 constexpr int kExitInput = 1;
 constexpr int kExitUsage = 2;
 
-struct Args {
+// Subcommand-specific arguments on top of the shared flag surface: every
+// flag in api::CommonOptions (--threads, --out, --fault, the serve and
+// cache knobs, the observability sinks) is parsed and validated by
+// api::consume_flag, so this front end only owns what no other front end
+// shares.
+struct Args : api::CommonOptions {
   std::string command;
   std::vector<std::string> decks;
-  std::string out_dir = "out";
   std::string off_path;
-  std::string diag_json_path;
-  std::string trace_path;         // --trace FILE; empty = off
-  std::string metrics_json_path;  // --metrics-json FILE; "-" = stdout
-  bool metrics_set = false;       // user passed --metrics-json
   bool check_ospl = false;
   bool json = false;
   bool sarif = false;
   bool quick = false;
-  int threads = 1;           // --threads; 0 = all hardware ("all")
-  bool threads_set = false;  // user passed --threads
-  bool out_set = false;      // user passed --out
-
-  // Robustness flags (docs/ROBUSTNESS.md).
-  std::string fault_spec;        // --fault site[:N]; empty = off
-  bool stdin_jsonl = false;      // serve --stdin-jsonl
-  int queue = 256;               // serve --queue
-  long long deadline_ms = 0;     // serve --deadline-ms; 0 = none
-  long long max_cards = -1;      // serve --max-cards; -1 = serve default
-  long long max_dofs = -1;       // serve --max-dofs; -1 = serve default
-
-  // Serve-path cache flags (docs/BENCHMARKS.md, serve cache ablation).
-  long long cache_formats = -1;  // --cache-formats; -1 = serve default
-  long long cache_factors = -1;  // --cache-factors; -1 = serve default
-  long long window_jobs = -1;    // --window-jobs; -1 = serve default
-  bool ablate_caches = false;    // --ablate-caches: replay with caches off
-
-  // Installed process-wide by main() for the duration of the dispatch;
-  // carried here so the run_* commands can hand them to RunOptions.
-  util::Tracer* tracer = nullptr;
-  util::MetricsRegistry* metrics = nullptr;
 };
 
 // The RunOptions every pipeline call made on behalf of this invocation
 // uses. `threads` stays 0: main() already pinned the process default, and
 // per-deck workers must not race on re-pinning it.
-RunOptions run_options(const Args& args) {
-  RunOptions opts;
-  opts.tracer = args.tracer;
-  opts.metrics = args.metrics;
-  return opts;
-}
+RunOptions run_options(const Args& args) { return api::run_options(args); }
 
 void print_usage(std::FILE* to) {
   std::fprintf(to,
@@ -138,10 +114,11 @@ void print_usage(std::FILE* to) {
                "  feio bench [--quick] [--threads N] [--out DIR]\n"
                "  feio figures [--out DIR]\n"
                "  feio mesh <deck> --off FILE\n"
-               "  feio serve --stdin-jsonl [--threads N] [--queue N]\n"
-               "      [--deadline-ms N] [--max-cards N] [--max-dofs N]\n"
-               "      [--cache-formats N] [--cache-factors N]\n"
+               "  feio serve (--stdin-jsonl | --listen ADDR) [--threads N]\n"
+               "      [--queue N] [--deadline-ms N] [--max-cards N]\n"
+               "      [--max-dofs N] [--cache-formats N] [--cache-factors N]\n"
                "      [--window-jobs N] [--ablate-caches] [--out DIR]\n"
+               "      [--max-conns N] [--tenant NAME:weight=W,queue=N,...]\n"
                "  feio help\n"
                "observability (every subcommand; see docs/OBSERVABILITY.md):\n"
                "  --trace FILE         Chrome trace-event JSON of this run\n"
@@ -157,6 +134,13 @@ void print_usage(std::FILE* to) {
                "  (0 disables); --window-jobs sizes the rolling summary\n"
                "  windows; --ablate-caches replays the stream with caches\n"
                "  off and adds the speedup to BENCH_serve.json\n"
+               "--listen ADDR serves concurrent connections on host:port or\n"
+               "  unix:path; --max-conns N stops after N connections\n"
+               "  (0 = accept forever)\n"
+               "--tenant NAME:weight=W,queue=N,max-cards=N,max-bytes=N,\n"
+               "  max-dofs=N,max-factor-bytes=N declares a weighted-fair\n"
+               "  admission lane with per-tenant guard overrides; jobs pick\n"
+               "  a lane with their \"tenant\" field (docs/ROBUSTNESS.md)\n"
                "exit status: 0 success, 1 input/deck error, 2 usage error\n"
                "  feio lint: 0 clean, 1 warnings only, 2 errors\n"
                "  feio bench: 1 when parallel output diverges from serial\n");
@@ -195,113 +179,23 @@ bool ensure_out_dir(const std::string& dir) {
   return true;
 }
 
-// A non-negative decimal integer flag value; false on junk or overflow.
-bool parse_count_flag(const char* text, long long& out) {
-  const std::string s = text;
-  if (s.empty() || s.size() > 15) return false;
-  long long v = 0;
-  for (const char c : s) {
-    if (c < '0' || c > '9') return false;
-    v = v * 10 + (c - '0');
-  }
-  out = v;
-  return true;
-}
-
-// The cache flags accept both the repo's space-separated convention
-// ("--cache-factors 32") and the joined form the issue tracker spelled
-// ("--cache-factors=32").
-bool matches_count_flag(const std::string& arg, std::string_view name) {
-  return arg == name || arg.rfind(std::string(name) + "=", 0) == 0;
-}
-
-bool take_count_flag(const std::string& arg, std::string_view name, int argc,
-                     char** argv, int& i, long long& out) {
-  const char* value = nullptr;
-  if (arg.size() > name.size() && arg[name.size()] == '=') {
-    value = arg.c_str() + name.size() + 1;
-  } else if (i + 1 < argc) {
-    value = argv[++i];
-  }
-  if (value == nullptr || !parse_count_flag(value, out)) {
-    std::fprintf(stderr, "error: %s expects a non-negative integer\n",
-                 std::string(name).c_str());
-    return false;
-  }
-  return true;
-}
-
+// Every shared flag goes through api::consume_flag (one parser, one
+// validation, one error message for all front ends); the loop below only
+// keeps this binary's subcommand-specific flags and the deck operands.
 bool parse(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
+    std::string error;
+    const api::FlagStatus shared = api::consume_flag(args, argc, argv, i, error);
+    if (shared == api::FlagStatus::kOk) continue;
+    if (shared == api::FlagStatus::kError) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return false;
+    }
     const std::string a = argv[i];
-    if (a == "--out" && i + 1 < argc) {
-      args.out_dir = argv[++i];
-      args.out_set = true;
-    } else if (a == "--off" && i + 1 < argc) {
+    if (a == "--off" && i + 1 < argc) {
       args.off_path = argv[++i];
-    } else if (a == "--diag-json" && i + 1 < argc) {
-      args.diag_json_path = argv[++i];
-    } else if (a == "--trace" && i + 1 < argc) {
-      args.trace_path = argv[++i];
-    } else if (a == "--metrics-json" && i + 1 < argc) {
-      args.metrics_json_path = argv[++i];
-      args.metrics_set = true;
-    } else if (a == "--threads" && i + 1 < argc) {
-      // One shared parser and one shared error message for every
-      // subcommand (util/parallel.h): positive integer or "all".
-      if (!util::parse_thread_count(argv[++i], args.threads)) {
-        std::fprintf(stderr, "error: %s\n", util::kThreadsFlagError);
-        return false;
-      }
-      args.threads_set = true;
-    } else if (a == "--fault" && i + 1 < argc) {
-      args.fault_spec = argv[++i];
-    } else if (a == "--stdin-jsonl") {
-      args.stdin_jsonl = true;
-    } else if (a == "--queue" && i + 1 < argc) {
-      long long v = 0;
-      if (!parse_count_flag(argv[++i], v) || v < 1) {
-        std::fprintf(stderr, "error: --queue expects a positive integer\n");
-        return false;
-      }
-      args.queue = static_cast<int>(std::min<long long>(v, 1 << 20));
-    } else if (a == "--deadline-ms" && i + 1 < argc) {
-      if (!parse_count_flag(argv[++i], args.deadline_ms)) {
-        std::fprintf(stderr,
-                     "error: --deadline-ms expects a non-negative integer\n");
-        return false;
-      }
-    } else if (a == "--max-cards" && i + 1 < argc) {
-      if (!parse_count_flag(argv[++i], args.max_cards)) {
-        std::fprintf(stderr,
-                     "error: --max-cards expects a non-negative integer\n");
-        return false;
-      }
-    } else if (a == "--max-dofs" && i + 1 < argc) {
-      if (!parse_count_flag(argv[++i], args.max_dofs)) {
-        std::fprintf(stderr,
-                     "error: --max-dofs expects a non-negative integer\n");
-        return false;
-      }
-    } else if (matches_count_flag(a, "--cache-formats")) {
-      if (!take_count_flag(a, "--cache-formats", argc, argv, i,
-                           args.cache_formats)) {
-        return false;
-      }
-    } else if (matches_count_flag(a, "--cache-factors")) {
-      if (!take_count_flag(a, "--cache-factors", argc, argv, i,
-                           args.cache_factors)) {
-        return false;
-      }
-    } else if (matches_count_flag(a, "--window-jobs")) {
-      if (!take_count_flag(a, "--window-jobs", argc, argv, i,
-                           args.window_jobs)) {
-        return false;
-      }
-    } else if (a == "--ablate-caches") {
-      args.ablate_caches = true;
     } else if (a == "--ospl") {
       args.check_ospl = true;
     } else if (a == "--json") {
@@ -619,34 +513,28 @@ int run_mesh(const Args& args) {
   return kExitOk;
 }
 
-// `feio serve --stdin-jsonl`: the long-lived batch loop. One JSON job per
-// stdin line, one feio.report/1 job envelope per line on stdout, session
-// summary table on stderr and BENCH_serve.json on disk
-// (docs/ROBUSTNESS.md documents both schemas).
+// `feio serve`: the long-lived batch loop. One feio.job/1 JSON job per
+// line (stdin with --stdin-jsonl, or per connection with --listen), one
+// feio.report/1 job envelope per line back in per-connection input order,
+// session summary table on stderr and BENCH_serve.json on disk
+// (docs/ROBUSTNESS.md documents all three schemas).
 int run_serve(const Args& args) {
-  serve::ServeOptions opts;
-  opts.threads = args.threads;
-  opts.queue_capacity = args.queue;
-  opts.default_deadline_ms = args.deadline_ms;
-  if (args.max_cards >= 0) opts.guard.max_deck_cards = args.max_cards;
-  if (args.max_dofs >= 0) opts.guard.max_dofs = args.max_dofs;
-  opts.tracer = args.tracer;
-  opts.metrics = args.metrics;
-  if (args.cache_formats >= 0) {
-    opts.format_cache_capacity =
-        static_cast<int>(std::min<long long>(args.cache_formats, 1 << 20));
-  }
-  if (args.cache_factors >= 0) {
-    opts.factor_cache_capacity =
-        static_cast<int>(std::min<long long>(args.cache_factors, 1 << 20));
-  }
-  if (args.window_jobs >= 0) {
-    opts.window_jobs =
-        static_cast<int>(std::min<long long>(args.window_jobs, 1 << 20));
-  }
+  const serve::ServeOptions opts = api::serve_options(args);
 
   serve::ServeSummary summary;
-  if (args.ablate_caches) {
+  if (!args.listen_address.empty()) {
+    if (args.ablate_caches) {
+      std::fprintf(stderr,
+                   "error: --ablate-caches replays a buffered stdin stream; "
+                   "it cannot be combined with --listen\n");
+      return kExitUsage;
+    }
+    serve::ListenOptions listen = api::listen_options(args);
+    listen.on_bound = [](const std::string& bound) {
+      std::fprintf(stderr, "serve: listening on %s\n", bound.c_str());
+    };
+    summary = serve::serve_listen(listen, opts);
+  } else if (args.ablate_caches) {
     // Cache ablation: the whole stream runs twice — warm (caches as
     // configured, envelopes to stdout) then cold (both caches disabled,
     // envelopes discarded so stdout stays in lockstep with the input).
@@ -719,7 +607,8 @@ int dispatch(const Args& args) {
       return run_mesh(args);
     }
     if (args.command == "serve") {
-      if (!args.stdin_jsonl) return usage();  // the only mode there is
+      // Two transports: --stdin-jsonl (pipe) or --listen (socket).
+      if (!args.stdin_jsonl && args.listen_address.empty()) return usage();
       return run_serve(args);
     }
     return usage();
