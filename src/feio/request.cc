@@ -20,6 +20,31 @@ struct Cursor {
   }
 };
 
+// Reads the four hex digits of a \uXXXX escape (the "\u" already
+// consumed) into `code`.
+bool parse_hex4(Cursor& c, int& code, std::string& error) {
+  if (c.at + 4 > c.s.size()) {
+    error = "truncated \\u escape";
+    return false;
+  }
+  code = 0;
+  for (int i = 0; i < 4; ++i) {
+    const char h = c.s[c.at++];
+    code <<= 4;
+    if (h >= '0' && h <= '9') {
+      code |= h - '0';
+    } else if (h >= 'a' && h <= 'f') {
+      code |= h - 'a' + 10;
+    } else if (h >= 'A' && h <= 'F') {
+      code |= h - 'A' + 10;
+    } else {
+      error = "bad \\u escape";
+      return false;
+    }
+  }
+  return true;
+}
+
 bool parse_json_string(Cursor& c, std::string& out, std::string& error) {
   if (c.eof() || c.peek() != '"') {
     error = "expected '\"'";
@@ -46,24 +71,29 @@ bool parse_json_string(Cursor& c, std::string& out, std::string& error) {
       case 'r': out += '\r'; break;
       case 't': out += '\t'; break;
       case 'u': {
-        if (c.at + 4 > c.s.size()) {
-          error = "truncated \\u escape";
-          return false;
-        }
         int code = 0;
-        for (int i = 0; i < 4; ++i) {
-          const char h = c.s[c.at++];
-          code <<= 4;
-          if (h >= '0' && h <= '9') {
-            code |= h - '0';
-          } else if (h >= 'a' && h <= 'f') {
-            code |= h - 'a' + 10;
-          } else if (h >= 'A' && h <= 'F') {
-            code |= h - 'A' + 10;
-          } else {
-            error = "bad \\u escape";
+        if (!parse_hex4(c, code, error)) return false;
+        // A high surrogate must be immediately followed by its \uXXXX low
+        // half; the pair combines into one supplementary code point (the
+        // CESU-8 alternative — encoding each half on its own — is not
+        // valid UTF-8). Unpaired halves are rejected, not passed through.
+        if (code >= 0xD800 && code <= 0xDBFF) {
+          if (c.at + 2 > c.s.size() || c.s[c.at] != '\\' ||
+              c.s[c.at + 1] != 'u') {
+            error = "high surrogate \\u escape without a \\u low surrogate";
             return false;
           }
+          c.at += 2;
+          int low = 0;
+          if (!parse_hex4(c, low, error)) return false;
+          if (low < 0xDC00 || low > 0xDFFF) {
+            error = "bad low surrogate in \\u escape pair";
+            return false;
+          }
+          code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else if (code >= 0xDC00 && code <= 0xDFFF) {
+          error = "lone low surrogate in \\u escape";
+          return false;
         }
         // Card decks are ASCII; anything beyond is preserved as UTF-8.
         if (code < 0x80) {
@@ -71,8 +101,13 @@ bool parse_json_string(Cursor& c, std::string& out, std::string& error) {
         } else if (code < 0x800) {
           out += static_cast<char>(0xC0 | (code >> 6));
           out += static_cast<char>(0x80 | (code & 0x3F));
-        } else {
+        } else if (code < 0x10000) {
           out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xF0 | (code >> 18));
+          out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
           out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
           out += static_cast<char>(0x80 | (code & 0x3F));
         }

@@ -17,6 +17,8 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -302,7 +304,8 @@ double percentile(const std::vector<double>& sorted, double p) {
 
 #if !defined(_WIN32)
 // Writes the whole buffer, riding out EINTR and partial sends. MSG_NOSIGNAL
-// turns a dead peer into an error return instead of SIGPIPE.
+// turns a dead peer into an error return instead of SIGPIPE; EAGAIN from an
+// expired SO_SNDTIMEO (a peer that stopped reading) is likewise a failure.
 bool send_all(int fd, const std::string& data) {
   const char* p = data.data();
   size_t left = data.size();
@@ -389,13 +392,18 @@ struct Pending {
 // submitting thread; everything else is guarded by the session mutex (the
 // fields cannot carry FEIO_GUARDED_BY because the capability lives on the
 // Session — every access site below sits in a FEIO_REQUIRES(mu_) method).
+// The actual stream/socket write happens *outside* the session mutex:
+// `writing` elects exactly one flushing thread per connection, so a peer
+// that stops reading blocks only that one thread (until its send timeout),
+// never mu_, the pool, or the other connections.
 struct Connection {
   std::ostream* stream = nullptr;  // stdin transport sink (exactly one of
   int fd = -1;                     // stream / fd is set)
   std::int64_t next_seq = 0;       // submitting-thread-private
   std::map<std::int64_t, std::string> ready;  // seq -> envelope line
   std::int64_t next_flush = 0;
-  bool failed = false;  // dead pipe / dead peer: drain, discard writes
+  bool writing = false;  // a thread is sending this connection's batch
+  bool failed = false;   // dead pipe / dead peer: drain, discard writes
 };
 
 // One tenant's admission lane and accounting.
@@ -425,6 +433,7 @@ class Session {
             std::max(0, opts.factor_cache_capacity))),
         factors_(opts.factor_cache_capacity > 0 ? &factor_cache_ : nullptr),
         format_base_(rebind_format_cache(opts.format_cache_capacity)),
+        max_line_bytes_(line_cap(opts)),
         t0_(Clock::now()),
         pool_(std::max(1, util::resolve_threads(opts.threads))) {
     util::MutexLock lock(mu_);
@@ -446,6 +455,31 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   fem::FactorCache* factors() { return factors_; }
+
+  // Transport-level bound on one buffered request line: a reader that has
+  // accumulated more than this without seeing '\n' must stop buffering
+  // (the admission guards only run on complete lines, so the transport
+  // has to bound the in-progress line itself).
+  std::int64_t max_line_bytes() const { return max_line_bytes_; }
+
+  // Records the one-envelope rejection for an over-long unterminated
+  // request line — the transport twin of admit_deck's E-RES-001 — so the
+  // client learns why before the caller marks the connection failed.
+  void reject_oversize_line(int conn, std::int64_t bytes)
+      FEIO_EXCLUDES(mu_) {
+    const std::int64_t seq = next_seq(conn);
+    DiagSink sink;
+    sink.error("E-RES-001",
+               "request line exceeds " + std::to_string(max_line_bytes_) +
+                   " bytes (" + std::to_string(bytes) +
+                   " buffered without a newline); closing connection");
+    JobOutcome outcome;
+    outcome.status = JobStatus::kRejected;
+    outcome.envelope =
+        render_job_envelope("job-" + std::to_string(seq), "default", seq,
+                            outcome.status, 0.0, sink);
+    record(conn, seq, "default", outcome, /*admitted=*/false);
+  }
 
   // Registers a transport connection and returns its index.
   int add_stream_connection(std::ostream& out) FEIO_EXCLUDES(mu_) {
@@ -560,10 +594,24 @@ class Session {
     std::vector<double> latencies;
     std::vector<JobSample> samples;
     std::vector<std::string> tenant_names;
+    int nconns = 0;
     {
       util::MutexLock lock(mu_);
       while (total_in_flight_ != 0) lock.wait(cv_);
-      for (Connection& c : connections_) flush_conn_locked(c);
+      nconns = static_cast<int>(connections_.size());
+    }
+    // Every envelope is recorded; push each connection's leftovers out
+    // (off the lock), then wait for in-progress writers to go idle.
+    for (int i = 0; i < nconns; ++i) flush_conn(i);
+    {
+      util::MutexLock lock(mu_);
+      for (bool busy = true; busy; ) {
+        busy = false;
+        for (const Connection& c : connections_) {
+          busy = busy || c.writing || !c.ready.empty();
+        }
+        if (busy) lock.wait(cv_);
+      }
       summary = summary_;
       latencies = std::move(latencies_);
       samples = std::move(samples_);
@@ -613,6 +661,27 @@ class Session {
   }
 
  private:
+  // The request-line cap: the largest effective tenant deck limit with
+  // headroom for JSON escaping (worst case 6 bytes per deck byte, the
+  // \uXXXX form) plus the request's non-deck fields. Any lane left with
+  // an unlimited deck guard falls back to an absolute transport bound —
+  // the connection buffer must stay finite even when admission is not.
+  static std::int64_t line_cap(const ServeOptions& opts) {
+    std::int64_t deck = opts.guard.max_deck_bytes;
+    bool unlimited = deck <= 0;
+    for (const TenantConfig& cfg : opts.tenants) {
+      const std::int64_t b = cfg.guard.apply(opts.guard).max_deck_bytes;
+      if (b <= 0) {
+        unlimited = true;
+      } else {
+        deck = std::max(deck, b);
+      }
+    }
+    std::int64_t cap = 6 * deck + (std::int64_t{1} << 16);
+    if (unlimited) cap = std::max(cap, std::int64_t{1} << 28);
+    return cap;
+  }
+
   // Rebinds the process-wide FORMAT intern cache to the session capacity
   // and snapshots its cumulative counters (session stats are deltas).
   static cards::FormatCacheStats rebind_format_cache(int capacity) {
@@ -650,35 +719,74 @@ class Session {
     ++summary_.connections_failed;
   }
 
-  // Writes every envelope whose turn has come, in per-connection seq
-  // order. A failed connection keeps consuming its slots (the drain must
-  // not stall on a dead peer) with the writes discarded.
-  void flush_conn_locked(Connection& conn) FEIO_REQUIRES(mu_) {
-    bool wrote_stream = false;
+  // Consumes the contiguous run of envelopes whose turn has come, in
+  // per-connection seq order, appending the newline-terminated lines to
+  // `batch`. A failed connection keeps consuming its slots (the drain
+  // must not stall on a dead peer) with the writes discarded.
+  void collect_ready_locked(Connection& conn, std::string& batch)
+      FEIO_REQUIRES(mu_) {
     for (auto it = conn.ready.begin();
          it != conn.ready.end() && it->first == conn.next_flush;
          it = conn.ready.erase(it), ++conn.next_flush) {
       if (conn.failed) continue;
-      if (conn.stream != nullptr) {
-        *conn.stream << it->second << '\n';
-        wrote_stream = true;
-      } else if (!send_conn(conn.fd, it->second)) {
-        mark_failed_locked(conn);
-      }
-    }
-    if (wrote_stream) {
-      conn.stream->flush();
-      if (conn.stream->fail()) mark_failed_locked(conn);
+      batch += it->second;
+      batch += '\n';
     }
   }
 
-  static bool send_conn(int fd, const std::string& line) {
+  // Sends every envelope whose turn has come on `conn`, with the blocking
+  // stream/socket write OUTSIDE the session mutex. Connection::writing
+  // elects one flushing thread at a time (preserving in-order replies);
+  // a latecomer returns immediately and the active writer re-collects, so
+  // nothing is dropped. A peer that stops reading therefore stalls only
+  // the elected thread — its socket's SO_SNDTIMEO turns persistent
+  // backpressure into a failed connection — never mu_ or other tenants.
+  void flush_conn(int conn) FEIO_EXCLUDES(mu_) {
+    {
+      util::MutexLock lock(mu_);
+      Connection& c = connections_[static_cast<size_t>(conn)];
+      if (c.writing) return;  // the active writer picks these up
+      c.writing = true;
+    }
+    for (;;) {
+      std::string batch;
+      std::ostream* stream = nullptr;
+      int fd = -1;
+      {
+        util::MutexLock lock(mu_);
+        Connection& c = connections_[static_cast<size_t>(conn)];
+        collect_ready_locked(c, batch);
+        if (batch.empty()) {
+          c.writing = false;
+          cv_.notify_all();  // finish() waits for writers to go idle
+          return;
+        }
+        stream = c.stream;
+        fd = c.fd;
+      }
+      bool ok;
+      if (stream != nullptr) {
+        *stream << batch;
+        stream->flush();
+        ok = !stream->fail();
+      } else {
+        ok = send_conn(fd, batch);
+      }
+      if (!ok) {
+        util::MutexLock lock(mu_);
+        mark_failed_locked(connections_[static_cast<size_t>(conn)]);
+        // Keep looping: remaining ready slots drain via the discard path.
+      }
+    }
+  }
+
+  static bool send_conn(int fd, const std::string& data) {
 #if defined(_WIN32)
     (void)fd;
-    (void)line;
+    (void)data;
     return false;
 #else
-    return send_all(fd, line + "\n");
+    return send_all(fd, data);
 #endif
   }
 
@@ -694,14 +802,21 @@ class Session {
     }
     const JobOutcome outcome =
         run_job(p.job, p.seq, opts_, limits, factors_);
-    util::MutexLock lock(mu_);
-    record_locked(p.conn, p.seq, p.tenant, outcome, /*admitted=*/true);
+    {
+      util::MutexLock lock(mu_);
+      record_locked(p.conn, p.seq, p.tenant, outcome, /*admitted=*/true);
+    }
+    flush_conn(p.conn);
   }
 
   void record(int conn, std::int64_t seq, const std::string& tenant,
               const JobOutcome& outcome, bool admitted) FEIO_EXCLUDES(mu_) {
-    util::MutexLock lock(mu_);
-    record_locked(conn, seq, tenant_index_locked(tenant), outcome, admitted);
+    {
+      util::MutexLock lock(mu_);
+      record_locked(conn, seq, tenant_index_locked(tenant), outcome,
+                    admitted);
+    }
+    flush_conn(conn);
   }
 
   void record_locked(int conn, std::int64_t seq, int ti,
@@ -742,7 +857,8 @@ class Session {
       --total_in_flight_;
       --t.in_flight;
     }
-    flush_conn_locked(c);
+    // The caller flushes after releasing mu_ (flush_conn): the envelope
+    // send must never run inside the session-wide critical section.
     cv_.notify_all();
   }
 
@@ -753,6 +869,7 @@ class Session {
   fem::FactorCache factor_cache_;
   fem::FactorCache* const factors_;
   const cards::FormatCacheStats format_base_;
+  const std::int64_t max_line_bytes_;
   const Clock::time_point t0_;
 
   util::Mutex mu_;
@@ -943,23 +1060,35 @@ namespace {
 // Binds listen.address ("host:port" IPv4 or "unix:/path") and returns the
 // listening fd; fills `bound` with the actual address (the kernel-chosen
 // port when binding port 0) and `unix_path` when the unix transport is
-// used (the caller unlinks it on shutdown).
+// used. `unix_path` is set only once *this server's* socket occupies the
+// path — the caller unlinks whatever `unix_path` names on shutdown (and on
+// its error paths), so filling it early would delete a file we refused to
+// replace.
 int bind_listener(const ListenOptions& listen, std::string& bound,
                   std::string& unix_path) {
   const std::string& addr = listen.address;
   if (addr.rfind("unix:", 0) == 0) {
-    unix_path = addr.substr(5);
+    const std::string path = addr.substr(5);
     sockaddr_un sa{};
-    if (unix_path.empty() ||
-        unix_path.size() >= sizeof(sa.sun_path)) {
-      fail("serve --listen: unix socket path \"" + unix_path +
+    if (path.empty() || path.size() >= sizeof(sa.sun_path)) {
+      fail("serve --listen: unix socket path \"" + path +
            "\" is empty or too long");
     }
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) fail("serve --listen: cannot create unix socket");
     sa.sun_family = AF_UNIX;
-    std::memcpy(sa.sun_path, unix_path.c_str(), unix_path.size() + 1);
-    ::unlink(unix_path.c_str());
+    std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+    // Replace a stale socket, but never silently delete something else
+    // living at the path (a config typo must not eat a regular file).
+    struct stat st;
+    if (::lstat(path.c_str(), &st) == 0) {
+      if (!S_ISSOCK(st.st_mode)) {
+        ::close(fd);
+        fail("serve --listen: \"" + path +
+             "\" exists and is not a socket; refusing to replace it");
+      }
+      ::unlink(path.c_str());
+    }
     if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0 ||
         ::listen(fd, 64) != 0) {
       ::close(fd);
@@ -967,6 +1096,7 @@ int bind_listener(const ListenOptions& listen, std::string& bound,
            std::strerror(errno));
     }
     bound = addr;
+    unix_path = path;
     return fd;
   }
 
@@ -1019,7 +1149,11 @@ int bind_listener(const ListenOptions& listen, std::string& bound,
 // like std::getline at EOF). recv failure — a peer that died mid-stream —
 // is that connection's dead pipe: mark it failed (E-IO-003 semantics) so
 // its remaining bytes are never admitted and its in-flight envelopes are
-// discarded, and let the rest of the session keep serving.
+// discarded, and let the rest of the session keep serving. The in-progress
+// line is capped at Session::max_line_bytes(): the deck admission guards
+// only see complete lines, so the transport itself must bound how much of
+// an unterminated line it will buffer — overflow gets one E-RES-001
+// envelope and the connection is dropped.
 void reader_loop(Session& session, int conn, int fd) {
   std::string buf;
   char chunk[1 << 16];
@@ -1040,6 +1174,12 @@ void reader_loop(Session& session, int conn, int fd) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (!session.connection_failed(conn)) session.submit_line(conn, line);
     }
+    if (static_cast<std::int64_t>(buf.size()) > session.max_line_bytes() &&
+        !session.connection_failed(conn)) {
+      session.reject_oversize_line(
+          conn, static_cast<std::int64_t>(buf.size()));
+      session.mark_connection_failed(conn);
+    }
     if (session.connection_failed(conn)) break;
   }
   if (peer_error) {
@@ -1049,14 +1189,26 @@ void reader_loop(Session& session, int conn, int fd) {
   }
 }
 
+// Owns the listening fd and the bound unix socket path for every exit
+// path out of serve_listen — the Session constructor and the on_bound
+// callback can throw, and a leaked bound path would block the next bind.
+struct ListenerGuard {
+  int fd = -1;
+  std::string unix_path;
+  ~ListenerGuard() {
+    if (fd >= 0) ::close(fd);
+    if (!unix_path.empty()) ::unlink(unix_path.c_str());
+  }
+};
+
 }  // namespace
 
 ServeSummary serve_listen(const ListenOptions& listen,
                           const ServeOptions& opts,
                           std::string* bound_address) {
   std::string bound;
-  std::string unix_path;
-  const int listen_fd = bind_listener(listen, bound, unix_path);
+  ListenerGuard guard;
+  guard.fd = bind_listener(listen, bound, guard.unix_path);
   if (bound_address != nullptr) *bound_address = bound;
   if (listen.on_bound) listen.on_bound(bound);
 
@@ -1065,10 +1217,19 @@ ServeSummary serve_listen(const ListenOptions& listen,
   std::vector<int> conn_fds;
   int accepted = 0;
   while (listen.max_connections == 0 || accepted < listen.max_connections) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    const int fd = ::accept(guard.fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;
+    }
+    if (listen.send_timeout_ms > 0) {
+      // Bounds how long one blocked envelope send can park its flushing
+      // thread on a peer that stopped reading; on expiry the send fails
+      // and the connection is marked failed (see Connection::writing).
+      timeval tv{};
+      tv.tv_sec = listen.send_timeout_ms / 1000;
+      tv.tv_usec = (listen.send_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
     }
     ++accepted;
     conn_fds.push_back(fd);
@@ -1080,10 +1241,9 @@ ServeSummary serve_listen(const ListenOptions& listen,
 
   // Drain before closing the connection fds: admitted jobs keep flushing
   // replies to their (still-open) sockets until the last envelope lands.
+  // The listening fd and unix path are released by `guard`.
   ServeSummary summary = session.finish();
   for (const int fd : conn_fds) ::close(fd);
-  ::close(listen_fd);
-  if (!unix_path.empty()) ::unlink(unix_path.c_str());
   return summary;
 }
 

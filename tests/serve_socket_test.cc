@@ -12,11 +12,13 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <sstream>
 #include <string>
@@ -360,6 +362,59 @@ TEST(ServeSocketTest, DeadPeerIsIsolatedToItsConnection) {
     EXPECT_EQ(polite_replies[i].find("doomed"), std::string::npos)
         << "a dead peer's reply leaked to the wrong connection";
   }
+}
+
+TEST(ServeSocketTest, OversizeUnterminatedLineIsRejectedAndDropped) {
+  // The admission guards only see complete lines, so the transport must
+  // bound the in-progress line itself: a client streaming an endless
+  // unterminated line gets one E-RES-001 envelope and loses the
+  // connection instead of growing the server's buffer without limit.
+  serve::ListenOptions listen;
+  listen.address = "127.0.0.1:0";
+  listen.max_connections = 1;
+  std::promise<std::string> bound_promise;
+  std::future<std::string> bound_future = bound_promise.get_future();
+  listen.on_bound = [&bound_promise](const std::string& bound) {
+    bound_promise.set_value(bound);
+  };
+  serve::ServeOptions opts;
+  opts.threads = 2;
+  opts.guard.max_deck_bytes = 1024;  // line cap = 6x this + escape slack
+  serve::ServeSummary summary;
+  std::thread server(
+      [&] { summary = serve::serve_listen(listen, opts); });
+  const std::string bound = bound_future.get();
+
+  const int fd = connect_to(bound);
+  send_text(fd, std::string(200 * 1024, 'x'));  // no newline, ever
+  const std::string replies = recv_all(fd);
+  ::close(fd);
+  server.join();
+
+  EXPECT_EQ(summary.jobs, 1);
+  EXPECT_EQ(summary.rejected, 1);
+  EXPECT_EQ(summary.connections_failed, 1);
+  EXPECT_NE(replies.find("E-RES-001"), std::string::npos) << replies;
+  EXPECT_NE(replies.find("\"status\": \"rejected\""), std::string::npos)
+      << replies;
+}
+
+TEST(ServeSocketTest, RefusesToReplaceANonSocketFileAtTheUnixPath) {
+  // A stale *socket* at the path is replaced (see UnixDomainSocketServes);
+  // anything else there is somebody's file and must survive a bind typo.
+  const std::string path = ::testing::TempDir() + "feio_serve_notasock";
+  {
+    std::ofstream out(path);
+    out << "precious\n";
+  }
+  serve::ListenOptions listen;
+  listen.address = "unix:" + path;
+  listen.max_connections = 1;
+  EXPECT_THROW(serve::serve_listen(listen, serve::ServeOptions{}), Error);
+  struct stat st;
+  EXPECT_EQ(::stat(path.c_str(), &st), 0) << "the file was deleted";
+  EXPECT_TRUE(S_ISREG(st.st_mode));
+  ::unlink(path.c_str());
 }
 
 TEST(ServeSocketTest, BadAddressesThrowBeforeServing) {

@@ -61,6 +61,39 @@ TEST(ServeParseTest, EscapesDecodeIntoTheDeck) {
   EXPECT_EQ(job.deck, "a\tb\\c\"dA");
 }
 
+TEST(ServeParseTest, SurrogatePairsDecodeToOneUtf8Sequence) {
+  serve::Job job;
+  std::string error;
+  // \uD83D\uDE00 is U+1F600 (grinning face): one 4-byte UTF-8 sequence,
+  // never the CESU-8 pair of 3-byte surrogate encodings.
+  ASSERT_TRUE(serve::parse_job_line(
+      R"({"pipeline": "idlz", "deck": "A", "id": "\uD83D\uDE00"})", job,
+      error))
+      << error;
+  EXPECT_EQ(job.id, "\xF0\x9F\x98\x80");
+  // Non-surrogate BMP escapes still decode to 3-byte UTF-8.
+  ASSERT_TRUE(serve::parse_job_line(
+      R"({"pipeline": "idlz", "deck": "A", "id": "\u20AC"})", job, error))
+      << error;
+  EXPECT_EQ(job.id, "\xE2\x82\xAC");
+}
+
+TEST(ServeParseTest, UnpairedSurrogatesAreRejected) {
+  serve::Job job;
+  std::string error;
+  const char* bad[] = {
+      R"({"pipeline": "idlz", "deck": "A", "id": "\uD83D"})",        // lone hi
+      R"({"pipeline": "idlz", "deck": "A", "id": "\uD83Dx"})",       // hi + text
+      R"({"pipeline": "idlz", "deck": "A", "id": "\uD83D\n"})",      // hi + esc
+      R"({"pipeline": "idlz", "deck": "A", "id": "\uD83D\uD83D"})",  // hi + hi
+      R"({"pipeline": "idlz", "deck": "A", "id": "\uDE00"})",        // lone lo
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(serve::parse_job_line(line, job, error)) << line;
+    EXPECT_NE(error.find("surrogate"), std::string::npos) << line;
+  }
+}
+
 TEST(ServeParseTest, RejectsMalformedLines) {
   serve::Job job;
   std::string error;
