@@ -1,11 +1,12 @@
-// Serial-vs-threaded timing of the FEM hot path — parallel element
-// assembly and the blocked banded LDL^T factorize+solve — on
-// RCM-renumbered IDLZ strip meshes spanning an N x bandwidth grid.
+// The ordering x storage x threads ablation of the FEM hot path: element
+// assembly and blocked LDL^T factorize+solve in both stiffness layouts
+// (banded and compressed skyline) under none/RCM/Hilbert node orderings,
+// on IDLZ strips and plate-with-holes meshes.
 //
-// Artifacts: BENCH_solver.json (payload schema "feio.bench.solver/1", the
+// Artifacts: BENCH_solver.json (payload schema "feio.bench.solver/2", the
 // feio.report/1 bench envelope; see docs/BENCHMARKS.md), then the
-// Google-Benchmark runs. `--quick` restricts the harness to one small
-// mesh (the CI smoke configuration). Pass --benchmark_format=json for
+// Google-Benchmark runs. `--quick` restricts the harness to two small
+// meshes (the CI smoke configuration). Pass --benchmark_format=json for
 // GB's own JSON.
 #include <cstdio>
 #include <cstring>

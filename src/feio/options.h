@@ -60,11 +60,20 @@ struct CommonOptions {
   std::vector<serve::TenantConfig> tenants;
 
   // serve caches / report: --cache-formats, --cache-factors,
+  // --factor-ttl-ms (idle TTL for factor-cache entries; 0 = no TTL),
   // --window-jobs (-1 = serve default), --ablate-caches.
   long long cache_formats = -1;
   long long cache_factors = -1;
+  long long factor_ttl_ms = -1;
   long long window_jobs = -1;
   bool ablate_caches = false;
+
+  // solver layout / ordering overrides: --storage auto|banded|skyline
+  // (kAuto lets the fill predictor pick) and --order deck|none|rcm|hilbert
+  // (kDeckDefault keeps the deck's own NONUMB option). Both feed the
+  // factor-cache key, so pinning a serve deployment re-keys its factors.
+  SolverStorage solver_storage = SolverStorage::kAuto;
+  OrderingChoice ordering = OrderingChoice::kDeckDefault;
 
   // Installed process-wide by the front end for the invocation; carried
   // here so run_options()/serve_options() can hand them on.

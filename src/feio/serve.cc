@@ -245,6 +245,8 @@ JobOutcome run_job(const Job& job, std::int64_t seq, const ServeOptions& opts,
   ro.make_plots = false;
   ro.punch = false;
   ro.factor_cache = factor_cache;  // consulted by the "solve" pipeline only
+  ro.solver_storage = opts.solver_storage;
+  ro.ordering = opts.ordering;
 
   try {
     if (job.pipeline == "idlz" || job.pipeline == "solve") {
@@ -429,8 +431,9 @@ class Session {
         tracer_scope_(opts.tracer),
         metrics_scope_(opts.metrics),
         capacity_(std::max(1, opts.queue_capacity)),
-        factor_cache_(static_cast<std::size_t>(
-            std::max(0, opts.factor_cache_capacity))),
+        factor_cache_(
+            static_cast<std::size_t>(std::max(0, opts.factor_cache_capacity)),
+            std::max<std::int64_t>(0, opts.factor_ttl_ms)),
         factors_(opts.factor_cache_capacity > 0 ? &factor_cache_ : nullptr),
         format_base_(rebind_format_cache(opts.format_cache_capacity)),
         max_line_bytes_(line_cap(opts)),
@@ -654,6 +657,7 @@ class Session {
       summary.factor_hits = fac.hits;
       summary.factor_misses = fac.misses;
       summary.factor_load_reuses = fac.load_reuses;
+      summary.factor_ttl_evictions = fac.ttl_evictions;
     }
     summary.window_jobs = std::max(0, opts_.window_jobs);
     summary.windows = cut_windows(samples, opts_.window_jobs, tenant_names);
@@ -929,6 +933,8 @@ std::string ServeSummary::render_bench_json() const {
   out += "\"factor_misses\": " + std::to_string(factor_misses) + ", ";
   out += "\"factor_load_reuses\": " + std::to_string(factor_load_reuses) +
          ", ";
+  out += "\"factor_ttl_evictions\": " + std::to_string(factor_ttl_evictions) +
+         ", ";
   out += "\"factor_hit_rate\": " + fmt_rate(rate(factor_hits, factor_misses)) +
          "},\n";
   out += "  \"tenants\": [";
@@ -1002,7 +1008,8 @@ std::string ServeSummary::render_table() const {
   if (factor_cache_enabled) {
     out += "  factor LRU .. " + std::to_string(factor_hits) + " hits / " +
            std::to_string(factor_misses) + " misses (" +
-           std::to_string(factor_load_reuses) + " load reuses)\n";
+           std::to_string(factor_load_reuses) + " load reuses, " +
+           std::to_string(factor_ttl_evictions) + " ttl evictions)\n";
   } else {
     out += "  factor LRU .. disabled\n";
   }

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "feio/request.h"  // IWYU pragma: export  (Job, parse_job_line)
+#include "feio/run_options.h"
 #include "util/guard.h"
 
 namespace feio::util {
@@ -107,11 +108,25 @@ struct ServeOptions {
   int format_cache_capacity = 256;
   int factor_cache_capacity = 16;
 
+  // Idle TTL for factor-cache entries, milliseconds: an entry not hit for
+  // this long is evicted on the next cache access (counted by
+  // cache.factor.ttl_evictions and the summary's factor_ttl_evictions), so
+  // a burst of one-off operators cannot pin factor bytes for the session's
+  // life. 0 disables idle eviction (entries live until LRU pressure).
+  std::int64_t factor_ttl_ms = 0;
+
   // Rolling-report window size: the summary's `windows` array carries
   // per-window jobs/sec, p50/p99, cache hit rates and tenant shares for
   // every `window_jobs` completed jobs (the final window may be short).
   // <= 0 disables windowing.
   int window_jobs = 100;
+
+  // Solver layout / ordering pins applied to every job's RunOptions
+  // (--storage / --order). Defaults keep the fill predictor and the deck's
+  // own renumber option; both are part of the factor-cache key, so a
+  // pinned deployment never aliases factors with an auto one.
+  SolverStorage solver_storage = SolverStorage::kAuto;
+  OrderingChoice ordering = OrderingChoice::kDeckDefault;
 };
 
 // Socket-transport configuration for serve_listen.
@@ -204,6 +219,8 @@ struct ServeSummary {
   // the entry was filled with — the many-loads-one-factor reuse the split
   // operator/loads key exists for.
   std::int64_t factor_load_reuses = 0;
+  // Entries expired by ServeOptions::factor_ttl_ms (0 when the TTL is off).
+  std::int64_t factor_ttl_evictions = 0;
 
   // Per-tenant slices, config-declared tenants first (in declaration
   // order), then auto-registered ones in first-seen order.

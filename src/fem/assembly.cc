@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <numeric>
 
+#include "fem/skyline.h"
 #include "util/error.h"
 #include "util/fault.h"
 #include "util/guard.h"
@@ -83,15 +85,99 @@ int StaticProblem::dof_half_bandwidth() const {
   return 2 * node_bw + 1;
 }
 
-void StaticProblem::assemble(BandedMatrix& k, std::vector<double>& rhs,
-                             std::vector<DirichletRhsOp>* record) const {
-  assemble_unconstrained(k, rhs);
-  FEIO_REQUIRE(!constraints_.empty(),
+namespace {
+
+// The shared element-stiffness loop, templated over the storage the
+// entries land in (BandedMatrix or SkylineMatrix — anything with add()).
+// Each chunk of elements fills a private COO scratch (21 lower-triangle
+// entries per CST), and the chunks are merged in chunk order — which is
+// exactly ascending element order, so the accumulated sums are bitwise
+// identical to a serial sweep at any thread count, in either storage.
+template <typename Matrix>
+void assemble_stiffness(const StaticProblem& p, Matrix& k) {
+  struct Entry {
+    int r, c;
+    double v;
+  };
+  const mesh::TriMesh& mesh = p.mesh();
+  const int ne = mesh.num_elements();
+  const int chunks = util::chunk_count(ne, 0);
+  std::vector<std::vector<Entry>> scratch(static_cast<size_t>(chunks));
+  util::parallel_chunks(
+      ne, chunks, [&](int chunk, std::int64_t begin, std::int64_t end) {
+        std::vector<Entry>& out = scratch[static_cast<size_t>(chunk)];
+        out.reserve(static_cast<size_t>(end - begin) * 21);
+        for (std::int64_t e64 = begin; e64 < end; ++e64) {
+          const int e = static_cast<int>(e64);
+          const DMatrix d = constitutive(p.material_of(e), p.analysis());
+          const ElementMatrices em =
+              cst_matrices(mesh, e, d, p.analysis(), p.thickness());
+          const mesh::Element& el = mesh.element(e);
+          std::array<int, 6> dof{};
+          for (int i = 0; i < 3; ++i) {
+            dof[static_cast<size_t>(2 * i)] = 2 * el.n[static_cast<size_t>(i)];
+            dof[static_cast<size_t>(2 * i + 1)] =
+                2 * el.n[static_cast<size_t>(i)] + 1;
+          }
+          for (int r = 0; r < 6; ++r) {
+            for (int c = 0; c <= r; ++c) {
+              out.push_back(
+                  Entry{dof[static_cast<size_t>(r)],
+                        dof[static_cast<size_t>(c)],
+                        em.k[static_cast<size_t>(r)][static_cast<size_t>(c)]});
+            }
+          }
+        }
+      });
+  for (const std::vector<Entry>& out : scratch) {
+    for (const Entry& en : out) k.add(en.r, en.c, en.v);
+  }
+}
+
+template <typename Matrix>
+void assemble_constrained(const StaticProblem& p, Matrix& k,
+                          std::vector<double>& rhs,
+                          std::vector<DirichletRhsOp>* record) {
+  p.assemble_unconstrained(k, rhs);
+  FEIO_REQUIRE(!p.constraints().empty(),
                "structure has no constraints (rigid-body motion)");
-  for (const Constraint& c : constraints_) {
+  for (const Constraint& c : p.constraints()) {
     if (c.fix_x) k.apply_dirichlet(2 * c.node, c.value_x, rhs, record);
     if (c.fix_y) k.apply_dirichlet(2 * c.node + 1, c.value_y, rhs, record);
   }
+}
+
+}  // namespace
+
+std::vector<int> StaticProblem::dof_skyline_lows() const {
+  const int nn = mesh_->num_nodes();
+  std::vector<int> low_node(static_cast<size_t>(nn));
+  std::iota(low_node.begin(), low_node.end(), 0);
+  for (const mesh::Element& el : mesh_->elements()) {
+    const int lo = std::min({el.n[0], el.n[1], el.n[2]});
+    for (int n : el.n) {
+      low_node[static_cast<size_t>(n)] =
+          std::min(low_node[static_cast<size_t>(n)], lo);
+    }
+  }
+  std::vector<int> low(static_cast<size_t>(num_dofs()));
+  for (int n = 0; n < nn; ++n) {
+    // Both dofs of node n reach down to the x-dof of its lowest-numbered
+    // coupled node (which is n itself when nothing lower couples in).
+    low[static_cast<size_t>(2 * n)] = 2 * low_node[static_cast<size_t>(n)];
+    low[static_cast<size_t>(2 * n + 1)] = 2 * low_node[static_cast<size_t>(n)];
+  }
+  return low;
+}
+
+void StaticProblem::assemble(BandedMatrix& k, std::vector<double>& rhs,
+                             std::vector<DirichletRhsOp>* record) const {
+  assemble_constrained(*this, k, rhs, record);
+}
+
+void StaticProblem::assemble(SkylineMatrix& k, std::vector<double>& rhs,
+                             std::vector<DirichletRhsOp>* record) const {
+  assemble_constrained(*this, k, rhs, record);
 }
 
 void StaticProblem::assemble_unconstrained(BandedMatrix& k,
@@ -101,52 +187,18 @@ void StaticProblem::assemble_unconstrained(BandedMatrix& k,
   span.arg("elements", mesh_->num_elements());
   util::guard_check_dofs(num_dofs(), "stiffness dofs");
   FEIO_FAULT("fem.assemble");
+  assemble_stiffness(*this, k);
+  assemble_load_rhs(rhs);
+}
 
-  // Element stiffness, computed in parallel: each chunk of elements fills a
-  // private COO scratch (21 lower-triangle entries per CST), and the chunks
-  // are merged into the band in chunk order — which is exactly ascending
-  // element order, so the accumulated sums are bitwise identical to the old
-  // serial sweep at any thread count.
-  {
-    struct Entry {
-      int r, c;
-      double v;
-    };
-    const int ne = mesh_->num_elements();
-    const int chunks = util::chunk_count(ne, 0);
-    std::vector<std::vector<Entry>> scratch(static_cast<size_t>(chunks));
-    util::parallel_chunks(
-        ne, chunks, [&](int chunk, std::int64_t begin, std::int64_t end) {
-          std::vector<Entry>& out = scratch[static_cast<size_t>(chunk)];
-          out.reserve(static_cast<size_t>(end - begin) * 21);
-          for (std::int64_t e64 = begin; e64 < end; ++e64) {
-            const int e = static_cast<int>(e64);
-            const DMatrix d = constitutive(material_of(e), analysis_);
-            const ElementMatrices em =
-                cst_matrices(*mesh_, e, d, analysis_, thickness_);
-            const mesh::Element& el = mesh_->element(e);
-            std::array<int, 6> dof{};
-            for (int i = 0; i < 3; ++i) {
-              dof[static_cast<size_t>(2 * i)] =
-                  2 * el.n[static_cast<size_t>(i)];
-              dof[static_cast<size_t>(2 * i + 1)] =
-                  2 * el.n[static_cast<size_t>(i)] + 1;
-            }
-            for (int r = 0; r < 6; ++r) {
-              for (int c = 0; c <= r; ++c) {
-                out.push_back(
-                    Entry{dof[static_cast<size_t>(r)],
-                          dof[static_cast<size_t>(c)],
-                          em.k[static_cast<size_t>(r)][static_cast<size_t>(c)]});
-              }
-            }
-          }
-        });
-    for (const std::vector<Entry>& out : scratch) {
-      for (const Entry& en : out) k.add(en.r, en.c, en.v);
-    }
-  }
-
+void StaticProblem::assemble_unconstrained(SkylineMatrix& k,
+                                           std::vector<double>& rhs) const {
+  FEIO_REQUIRE(k.size() == num_dofs(), "stiffness matrix size mismatch");
+  FEIO_TRACE_SPAN(span, "fem.assemble");
+  span.arg("elements", mesh_->num_elements());
+  util::guard_check_dofs(num_dofs(), "stiffness dofs");
+  FEIO_FAULT("fem.assemble");
+  assemble_stiffness(*this, k);
   assemble_load_rhs(rhs);
 }
 

@@ -11,6 +11,8 @@
 
 namespace feio::fem {
 
+class SkylineMatrix;
+
 struct Constraint {
   int node = -1;
   bool fix_x = false;  // u (radial for axisymmetric)
@@ -69,6 +71,13 @@ class StaticProblem {
   // Dof half-bandwidth implied by the node numbering.
   int dof_half_bandwidth() const;
 
+  // Per-dof skyline structure implied by the node numbering: entry d is
+  // the lowest dof column coupled to dof row d (its own diagonal when the
+  // node has no lower-numbered neighbour). This is the exact envelope the
+  // element assembly fills, so a SkylineMatrix built from it stores the
+  // true column heights and nothing more.
+  std::vector<int> dof_skyline_lows() const;
+
   // Assembles stiffness and load vector with constraints applied.
   // Exposed (rather than hidden in solve) for the bandwidth bench. When
   // `record` is non-null, the Dirichlet rhs transformation is recorded so
@@ -76,11 +85,17 @@ class StaticProblem {
   // (fem/factor_cache.h).
   void assemble(BandedMatrix& k, std::vector<double>& rhs,
                 std::vector<DirichletRhsOp>* record = nullptr) const;
+  // Skyline overload: same element loop, same merge order, same recorded
+  // Dirichlet sequence — only the storage the entries land in differs.
+  void assemble(SkylineMatrix& k, std::vector<double>& rhs,
+                std::vector<DirichletRhsOp>* record = nullptr) const;
 
   // Assembles without applying any constraint — the raw K and f needed to
   // recover constraint reactions (R = K u - f), which the contact solver
   // uses to decide which supports carry load.
   void assemble_unconstrained(BandedMatrix& k,
+                              std::vector<double>& rhs) const;
+  void assemble_unconstrained(SkylineMatrix& k,
                               std::vector<double>& rhs) const;
 
   // Assembles only the unconstrained load vector (thermal equivalent loads,

@@ -1,6 +1,7 @@
 #include "fem/factor_cache.h"
 
 #include <bit>
+#include <chrono>
 #include <utility>
 
 #include "fem/assembly.h"
@@ -79,20 +80,49 @@ std::uint64_t hash_operator(const StaticProblem& p) {
   return f.h;
 }
 
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
+
+FactorCache::FactorCache(std::size_t capacity, std::int64_t ttl_ms,
+                         Clock clock)
+    : ttl_ms_(ttl_ms), clock_(std::move(clock)), cache_(capacity) {}
+
+std::int64_t FactorCache::now_ms() const {
+  return clock_ ? clock_() : steady_now_ms();
+}
+
+void FactorCache::sweep_expired_locked(std::int64_t now) {
+  if (ttl_ms_ <= 0) return;
+  // Recency order == last-touch order (get() refreshes touched_ms as it
+  // promotes), so the expired entries are exactly a suffix of the list.
+  while (const auto* cold = cache_.oldest()) {
+    if (now - cold->second.touched_ms < ttl_ms_) break;
+    cache_.pop_oldest();
+    ++ttl_evictions_;
+    FEIO_METRIC_ADD("cache.factor.ttl_evictions", 1);
+  }
+}
 
 std::shared_ptr<const FactorEntry> FactorCache::get(const FactorKey& key,
                                                     std::uint64_t loads_hash) {
   util::MutexLock lock(mu_);
   if (cache_.capacity() == 0) return nullptr;
-  if (const auto* hit = cache_.get(key)) {
+  const std::int64_t now = now_ms();
+  sweep_expired_locked(now);
+  if (auto* hit = cache_.get(key)) {
+    hit->touched_ms = now;
     ++hits_;
     FEIO_METRIC_ADD("cache.factor.hits", 1);
-    if ((*hit)->loads_hash != loads_hash) {
+    if (hit->entry->loads_hash != loads_hash) {
       ++load_reuses_;
       FEIO_METRIC_ADD("cache.factor.load_reuse", 1);
     }
-    return *hit;
+    return hit->entry;
   }
   ++misses_;
   FEIO_METRIC_ADD("cache.factor.misses", 1);
@@ -102,18 +132,25 @@ std::shared_ptr<const FactorEntry> FactorCache::get(const FactorKey& key,
 void FactorCache::put(const FactorKey& key,
                       std::shared_ptr<const FactorEntry> entry) {
   util::MutexLock lock(mu_);
-  cache_.put(key, std::move(entry));
+  const std::int64_t now = now_ms();
+  sweep_expired_locked(now);
+  cache_.put(key, Slot{std::move(entry), now});
 }
 
 FactorCacheStats FactorCache::stats() const {
   util::MutexLock lock(mu_);
-  return {hits_, misses_, load_reuses_,
+  return {hits_, misses_, load_reuses_, ttl_evictions_,
           static_cast<std::int64_t>(cache_.size())};
 }
 
 FactorKey factor_key(const StaticProblem& problem) {
   return {hash_mesh(problem.mesh()), hash_material(problem),
           hash_operator(problem)};
+}
+
+std::uint64_t factor_config(SolverStorage storage, OrderingChoice ordering) {
+  return (static_cast<std::uint64_t>(storage) << 8) |
+         static_cast<std::uint64_t>(ordering);
 }
 
 std::uint64_t loads_key(const StaticProblem& problem) {

@@ -3,20 +3,30 @@
 // A repeat job re-assembles and re-factorizes an identical stiffness matrix
 // — the O(n * hbw^2) step that dominates every static solve. The cache keys
 // the *operator* of a StaticProblem by three 64-bit content hashes (mesh
-// geometry/topology, material field, constraints + thermal field); the load
-// vector (point loads + edge pressures) is hashed separately via
-// loads_key() and is NOT part of the key. One cached factorization
-// therefore serves any number of load cases: a hit re-assembles only the
-// unconstrained rhs, replays the recorded Dirichlet rhs transformation
-// (whose coefficients are load-independent pre-elimination K entries), and
-// runs the const BandedMatrix::solve() against the cached factor bytes —
-// bit-identical to a cold solve at any thread count.
+// geometry/topology, material field, constraints + thermal field) plus a
+// configuration tag (storage kind and ordering choice — see factor_config,
+// so a banded factor can never alias a skyline factor of the same
+// operator, nor one ordering's factor another's); the load vector (point
+// loads + edge pressures) is hashed separately via loads_key() and is NOT
+// part of the key. One cached factorization therefore serves any number of
+// load cases: a hit re-assembles only the unconstrained rhs, replays the
+// recorded Dirichlet rhs transformation (whose coefficients are
+// load-independent pre-elimination K entries), and runs the const solve()
+// against the cached factor bytes — bit-identical to a cold solve at any
+// thread count.
 //
 // Entries are immutable shared_ptr<const FactorEntry>; concurrent workers
-// can solve against the same cached factor (solve() only reads the band).
-// Insertion happens ONLY after a fully successful cold solve — a job that
-// faults, times out, or hits a singular pivot throws past the put(), so a
-// failed job can never poison the cache (docs/ROBUSTNESS.md).
+// can solve against the same cached factor (solve() only reads the
+// factor). Insertion happens ONLY after a fully successful cold solve — a
+// job that faults, times out, or hits a singular pivot throws past the
+// put(), so a failed job can never poison the cache (docs/ROBUSTNESS.md).
+//
+// Idle-entry TTL: a non-zero ttl_ms evicts entries that have not been hit
+// within the window. Expired entries are swept from the cold end of the
+// recency list on every get/put (cache.factor.ttl_evictions counts them),
+// so a burst of one-off operators cannot pin stale factor bytes for the
+// life of the session. The clock is injectable for deterministic tests;
+// the default reads the steady clock.
 //
 // Thread-safe: all state sits behind an annotated util::Mutex. Capacity 0
 // disables storage (every get misses; put is a no-op).
@@ -24,10 +34,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <variant>
 #include <vector>
 
 #include "fem/banded.h"
+#include "fem/skyline.h"
+#include "feio/run_options.h"
 #include "util/lru.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -37,11 +51,14 @@ namespace feio::fem {
 class StaticProblem;
 
 // Operator identity: everything that determines the factorized matrix.
-// Loads are deliberately absent — see loads_key().
+// Loads are deliberately absent — see loads_key(). `config` carries the
+// storage kind and ordering choice (factor_config) so differently-shaped
+// factors of the same operator occupy distinct slots.
 struct FactorKey {
   std::uint64_t mesh_hash = 0;
   std::uint64_t material_hash = 0;
   std::uint64_t operator_hash = 0;  // constraints + thermal field
+  std::uint64_t config = 0;         // storage kind + ordering choice
 };
 
 inline bool operator<(const FactorKey& a, const FactorKey& b) {
@@ -49,41 +66,62 @@ inline bool operator<(const FactorKey& a, const FactorKey& b) {
   if (a.material_hash != b.material_hash) {
     return a.material_hash < b.material_hash;
   }
-  return a.operator_hash < b.operator_hash;
+  if (a.operator_hash != b.operator_hash) {
+    return a.operator_hash < b.operator_hash;
+  }
+  return a.config < b.config;
 }
 
 inline bool operator==(const FactorKey& a, const FactorKey& b) {
   return a.mesh_hash == b.mesh_hash && a.material_hash == b.material_hash &&
-         a.operator_hash == b.operator_hash;
+         a.operator_hash == b.operator_hash && a.config == b.config;
 }
 
-// The reusable result of assemble + factorize: the factorized matrix, the
-// recorded Dirichlet rhs op sequence (so a new load vector can be
-// constrained identically), and the hash of the loads the entry was filled
-// with (only used to count load_reuses — hits that solve a different load
-// case than the one that populated the entry).
+// The reusable result of assemble + factorize: the factorized matrix (in
+// whichever storage the solve selected), the recorded Dirichlet rhs op
+// sequence (so a new load vector can be constrained identically), and the
+// hash of the loads the entry was filled with (only used to count
+// load_reuses — hits that solve a different load case than the one that
+// populated the entry).
 struct FactorEntry {
-  BandedMatrix matrix;
+  std::variant<BandedMatrix, SkylineMatrix> matrix;
   std::vector<DirichletRhsOp> rhs_ops;
   std::uint64_t loads_hash = 0;
+
+  // Solves against whichever storage the entry holds (both are const,
+  // deterministic, and bit-identical to their cold paths).
+  void solve(std::vector<double>& rhs) const {
+    std::visit([&rhs](const auto& m) { m.solve(rhs); }, matrix);
+  }
+  bool is_skyline() const {
+    return std::holds_alternative<SkylineMatrix>(matrix);
+  }
 };
 
 struct FactorCacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;
-  std::int64_t load_reuses = 0;  // hits whose load vector differed
+  std::int64_t load_reuses = 0;     // hits whose load vector differed
+  std::int64_t ttl_evictions = 0;   // idle entries expired by the TTL
   std::int64_t entries = 0;
 };
 
 class FactorCache {
  public:
-  explicit FactorCache(std::size_t capacity) : cache_(capacity) {}
+  // Monotonic milliseconds for the TTL sweep; injectable for tests.
+  using Clock = std::function<std::int64_t()>;
+
+  // ttl_ms == 0 disables idle eviction (entries live until LRU pressure).
+  // A null clock uses the process steady clock.
+  explicit FactorCache(std::size_t capacity, std::int64_t ttl_ms = 0,
+                       Clock clock = nullptr);
 
   // Looks the operator key up (promoting it) and counts the hit or miss —
   // both in the local stats and as cache.factor.hits/misses metrics. A hit
   // whose stored loads_hash differs from `loads_hash` additionally counts
   // as a load reuse (cache.factor.load_reuse): the factorization is being
-  // re-solved against a new load case.
+  // re-solved against a new load case. Expired idle entries are swept
+  // first, so a hit is always on a live entry.
   std::shared_ptr<const FactorEntry> get(const FactorKey& key,
                                          std::uint64_t loads_hash)
       FEIO_EXCLUDES(mu_);
@@ -95,12 +133,22 @@ class FactorCache {
   FactorCacheStats stats() const FEIO_EXCLUDES(mu_);
 
  private:
+  struct Slot {
+    std::shared_ptr<const FactorEntry> entry;
+    std::int64_t touched_ms = 0;  // last get() hit (or the insert)
+  };
+
+  std::int64_t now_ms() const;
+  void sweep_expired_locked(std::int64_t now) FEIO_REQUIRES(mu_);
+
+  const std::int64_t ttl_ms_;
+  const Clock clock_;
   mutable util::Mutex mu_;
-  util::LruCache<FactorKey, std::shared_ptr<const FactorEntry>> cache_
-      FEIO_GUARDED_BY(mu_);
+  util::LruCache<FactorKey, Slot> cache_ FEIO_GUARDED_BY(mu_);
   std::int64_t hits_ FEIO_GUARDED_BY(mu_) = 0;
   std::int64_t misses_ FEIO_GUARDED_BY(mu_) = 0;
   std::int64_t load_reuses_ FEIO_GUARDED_BY(mu_) = 0;
+  std::int64_t ttl_evictions_ FEIO_GUARDED_BY(mu_) = 0;
 };
 
 // Content hash of the problem's operator: mesh coordinates/topology/
@@ -109,8 +157,15 @@ class FactorCache {
 // alpha/t_ref also feed stress recovery, so they stay conservative in the
 // operator key). FNV-1a over exact bit patterns — any bitwise change to any
 // input yields a different key, so a hit can only replay a byte-identical
-// operator.
+// operator. The returned key's `config` is 0 (banded, deck-default
+// ordering); callers selecting storage/ordering stamp it via
+// factor_config().
 FactorKey factor_key(const StaticProblem& problem);
+
+// The key's configuration tag for a storage kind + ordering choice pair.
+// Kept trivially decodable rather than hashed: the enum values are small
+// and the tag only needs to separate slots, not hide structure.
+std::uint64_t factor_config(SolverStorage storage, OrderingChoice ordering);
 
 // Content hash of the load vector definition (point loads + edge
 // pressures) — the half of the old monolithic key that no longer gates

@@ -1,0 +1,280 @@
+#include "fem/skyline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "util/cancel.h"
+#include "util/error.h"
+#include "util/fault.h"
+#include "util/guard.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/trace.h"
+
+namespace feio::fem {
+
+SkylineMatrix::SkylineMatrix(std::vector<int> column_lows)
+    : n_(static_cast<int>(column_lows.size())), low_(std::move(column_lows)) {
+  FEIO_REQUIRE(n_ >= 1, "matrix size must be positive");
+  start_.resize(static_cast<std::size_t>(n_) + 1, 0);
+  std::int64_t entries = 0;
+  for (int i = 0; i < n_; ++i) {
+    const int lo = low_[static_cast<std::size_t>(i)];
+    FEIO_REQUIRE(lo >= 0 && lo <= i,
+                 "skyline column low out of range at row " + std::to_string(i));
+    start_[static_cast<std::size_t>(i)] = entries;
+    entries += i - lo + 1;
+    max_height_ = std::max(max_height_, i - lo + 1);
+  }
+  start_[static_cast<std::size_t>(n_)] = entries;
+  // Same guard discipline as the banded ctor: bound the one big allocation
+  // before it happens, through the overflow-checked byte estimate.
+  util::guard_check_factor_bytes(util::checked_skyline_bytes(entries),
+                                 "skyline factor storage bytes");
+  FEIO_FAULT("fem.alloc");
+  sky_.assign(static_cast<std::size_t>(entries), 0.0);
+}
+
+SkylineMatrix SkylineMatrix::adopt_factor(std::vector<int> column_lows,
+                                          std::vector<double> values) {
+  SkylineMatrix m(std::move(column_lows));
+  FEIO_ASSERT(values.size() == m.sky_.size());
+  m.sky_ = std::move(values);
+  m.factorized_ = true;
+  return m;
+}
+
+double SkylineMatrix::get(int i, int j) const {
+  if (i < j) std::swap(i, j);
+  if (j < low_[static_cast<std::size_t>(i)]) return 0.0;
+  return slot(i, j);
+}
+
+void SkylineMatrix::set(int i, int j, double v) {
+  if (i < j) std::swap(i, j);
+  FEIO_ASSERT(j >= low_[static_cast<std::size_t>(i)]);
+  slot(i, j) = v;
+}
+
+void SkylineMatrix::add(int i, int j, double v) {
+  if (i < j) std::swap(i, j);
+  FEIO_ASSERT(j >= low_[static_cast<std::size_t>(i)]);
+  slot(i, j) += v;
+}
+
+void SkylineMatrix::apply_dirichlet(int i, double value,
+                                    std::vector<double>& rhs,
+                                    std::vector<DirichletRhsOp>* record) {
+  FEIO_ASSERT(!factorized_);
+  FEIO_ASSERT(static_cast<int>(rhs.size()) == n_);
+  // Row part (j < i): the stored columns of row i. Column part (j > i):
+  // rows whose envelope reaches back to column i; any such row j has
+  // j - low_j < max_height_, so the scan is bounded like the banded one.
+  const int lo = low_[static_cast<std::size_t>(i)];
+  const int hi = std::min(n_ - 1, i + max_height_ - 1);
+  for (int j = lo; j <= hi; ++j) {
+    if (j == i) continue;
+    const double a = get(i, j);
+    if (a != 0.0) {
+      rhs[static_cast<std::size_t>(j)] -= a * value;
+      set(i, j, 0.0);
+      if (record != nullptr) record->push_back({j, a, value, false});
+    }
+  }
+  set(i, i, 1.0);
+  rhs[static_cast<std::size_t>(i)] = value;
+  if (record != nullptr) record->push_back({i, 0.0, value, true});
+}
+
+void SkylineMatrix::multiply(const std::vector<double>& x,
+                             std::vector<double>& y) const {
+  FEIO_ASSERT(!factorized_);
+  FEIO_ASSERT(static_cast<int>(x.size()) == n_);
+  y.assign(static_cast<std::size_t>(n_), 0.0);
+  for (int i = 0; i < n_; ++i) {
+    const int lo = low_[static_cast<std::size_t>(i)];
+    double acc = slot(i, i) * x[static_cast<std::size_t>(i)];
+    for (int j = lo; j < i; ++j) {
+      const double a = slot(i, j);
+      acc += a * x[static_cast<std::size_t>(j)];
+      y[static_cast<std::size_t>(j)] += a * x[static_cast<std::size_t>(i)];
+    }
+    y[static_cast<std::size_t>(i)] += acc;
+  }
+}
+
+void SkylineMatrix::factorize() {
+  FEIO_ASSERT(!factorized_);
+  FEIO_TRACE_SPAN(span, "fem.factorize");
+  span.arg("n", n_);
+  span.arg("profile", static_cast<std::int64_t>(sky_.size()));
+  // Same relative pivot tolerance as the banded path.
+  double max_diag = 0.0;
+  for (int j = 0; j < n_; ++j) max_diag = std::max(max_diag, slot(j, j));
+  const double tol = 1e-12 * std::max(max_diag, 1e-300);
+
+  const auto pivot_check = [&](double d, int j) {
+    FEIO_REQUIRE(d > tol,
+                 "non-positive pivot at equation " + std::to_string(j) +
+                     " (structure under-constrained or matrix indefinite)");
+  };
+
+  // Shallow envelopes take the serial left-looking row sweep — nothing to
+  // amortize a panel over. The choice depends ONLY on the structure
+  // (max column height), never the thread count, so a given matrix always
+  // takes the same code path and factors bit-identically at any setting.
+  if (max_height_ < 16) {
+    for (int i = 0; i < n_; ++i) {
+      if ((i & 127) == 0) FEIO_CHECK_CANCEL("fem.factorize.column");
+      const int lo_i = low_[static_cast<std::size_t>(i)];
+      for (int j = lo_i; j < i; ++j) {
+        double lij = slot(i, j);
+        const int klo = std::max(lo_i, low_[static_cast<std::size_t>(j)]);
+        for (int k = klo; k < j; ++k) {
+          lij -= slot(i, k) * slot(j, k) * slot(k, k);
+        }
+        slot(i, j) = lij / slot(j, j);
+      }
+      double d = slot(i, i);
+      for (int k = lo_i; k < i; ++k) {
+        const double lik = slot(i, k);
+        d -= lik * lik * slot(k, k);
+      }
+      pivot_check(d, i);
+      slot(i, i) = d;
+    }
+    factorized_ = true;
+    return;
+  }
+
+  // Blocked right-looking factorization in column panels of width B, the
+  // skyline analogue of the banded pbtrf-style path. The panel width comes
+  // from the mean column height (the profile analogue of hbw/2), clamped
+  // like the banded B — structure-only, so the partition is fixed.
+  const auto mean_height =
+      static_cast<int>(static_cast<std::int64_t>(sky_.size()) / n_);
+  const int B = std::max(8, std::min(64, mean_height / 2));
+  const int num_panels = (n_ + B - 1) / B;
+
+  // rows_by_panel[p]: rows i >= p1 whose envelope reaches into panel
+  // [p0, p1) — the phase-2/3 candidates. Row i appears for every panel
+  // fully left of i that its envelope touches: ~profile/B entries total.
+  std::vector<std::vector<int>> rows_by_panel(
+      static_cast<std::size_t>(num_panels));
+  for (int i = 0; i < n_; ++i) {
+    const int lo_i = low_[static_cast<std::size_t>(i)];
+    for (int p = lo_i / B; (p + 1) * B <= i; ++p) {
+      rows_by_panel[static_cast<std::size_t>(p)].push_back(i);
+    }
+  }
+
+  for (int p = 0; p < num_panels; ++p) {
+    FEIO_CHECK_CANCEL("fem.factorize.panel");
+    FEIO_FAULT("fem.factorize.panel");
+    const int p0 = p * B;
+    const int p1 = std::min(n_, p0 + B);
+    FEIO_METRIC_ADD("fem.factorize.panels", 1);
+
+    // Phase 1: diagonal block, serial. Contributions from columns < p0
+    // were already applied by earlier panels' trailing updates.
+    for (int j = p0; j < p1; ++j) {
+      const int lo_j = low_[static_cast<std::size_t>(j)];
+      double d = slot(j, j);
+      for (int k = std::max(p0, lo_j); k < j; ++k) {
+        const double ljk = slot(j, k);
+        d -= ljk * ljk * slot(k, k);
+      }
+      pivot_check(d, j);
+      slot(j, j) = d;
+
+      for (int i = j + 1; i < p1; ++i) {
+        const int lo_i = low_[static_cast<std::size_t>(i)];
+        if (j < lo_i) continue;
+        double lij = slot(i, j);
+        for (int k = std::max({p0, lo_i, lo_j}); k < j; ++k) {
+          lij -= slot(i, k) * slot(j, k) * slot(k, k);
+        }
+        slot(i, j) = lij / d;
+      }
+    }
+
+    const std::vector<int>& rows = rows_by_panel[static_cast<std::size_t>(p)];
+    const int nrows = static_cast<int>(rows.size());
+    if (nrows == 0) continue;
+
+    // Phase 2: off-diagonal block row solve, one independent row per item.
+    util::parallel_chunks(
+        nrows, util::chunk_count(nrows, 0),
+        [&](int /*chunk*/, std::int64_t begin, std::int64_t end) {
+          for (std::int64_t r = begin; r < end; ++r) {
+            const int i = rows[static_cast<std::size_t>(r)];
+            const int lo_i = low_[static_cast<std::size_t>(i)];
+            for (int j = std::max(p0, lo_i); j < p1; ++j) {
+              const int lo_j = low_[static_cast<std::size_t>(j)];
+              double lij = slot(i, j);
+              for (int k = std::max({p0, lo_i, lo_j}); k < j; ++k) {
+                lij -= slot(i, k) * slot(j, k) * slot(k, k);
+              }
+              slot(i, j) = lij / slot(j, j);
+            }
+          }
+        });
+
+    // Phase 3: symmetric trailing update. Every affected (i, j) pair has
+    // both rows in the candidate list (their envelopes reach the panel),
+    // j >= low_i is guaranteed by low_i < p1 <= j, and partitioning by
+    // column j gives each entry exactly one writer. Update sums run over k
+    // ascending within the fixed panel, mirroring the banded phase 3.
+    util::parallel_chunks(
+        nrows, util::chunk_count(nrows, 0),
+        [&](int /*chunk*/, std::int64_t begin, std::int64_t end) {
+          for (std::int64_t c = begin; c < end; ++c) {
+            const int j = rows[static_cast<std::size_t>(c)];
+            const int lo_j = low_[static_cast<std::size_t>(j)];
+            for (int r = static_cast<int>(c); r < nrows; ++r) {
+              const int i = rows[static_cast<std::size_t>(r)];
+              const int lo_i = low_[static_cast<std::size_t>(i)];
+              double acc = 0.0;
+              for (int k = std::max({p0, lo_i, lo_j}); k < p1; ++k) {
+                acc += slot(i, k) * slot(j, k) * slot(k, k);
+              }
+              slot(i, j) -= acc;
+            }
+          }
+        });
+  }
+  factorized_ = true;
+}
+
+void SkylineMatrix::solve(std::vector<double>& rhs) const {
+  FEIO_ASSERT(factorized_);
+  FEIO_ASSERT(static_cast<int>(rhs.size()) == n_);
+  FEIO_TRACE_SPAN(span, "fem.solve");
+  span.arg("n", n_);
+  // Forward substitution: L y = rhs, row-oriented over stored entries.
+  for (int i = 0; i < n_; ++i) {
+    const int lo = low_[static_cast<std::size_t>(i)];
+    double y = rhs[static_cast<std::size_t>(i)];
+    for (int k = lo; k < i; ++k) {
+      y -= slot(i, k) * rhs[static_cast<std::size_t>(k)];
+    }
+    rhs[static_cast<std::size_t>(i)] = y;
+  }
+  // Diagonal: z = D^-1 y.
+  for (int i = 0; i < n_; ++i) {
+    rhs[static_cast<std::size_t>(i)] /= slot(i, i);
+  }
+  // Back substitution: L^T x = z, column-sweep form so only row i's stored
+  // entries are touched (the column of L^T is the row of L).
+  for (int i = n_ - 1; i >= 0; --i) {
+    const int lo = low_[static_cast<std::size_t>(i)];
+    const double xi = rhs[static_cast<std::size_t>(i)];
+    for (int k = lo; k < i; ++k) {
+      rhs[static_cast<std::size_t>(k)] -= slot(i, k) * xi;
+    }
+  }
+}
+
+}  // namespace feio::fem

@@ -1,0 +1,96 @@
+// Symmetric compressed-skyline (envelope) matrix with in-envelope LDL^T.
+//
+// The banded solver pays n * (hbw+1) storage and n * hbw^2 factor flops
+// even when most columns are far shorter than the worst one — exactly what
+// shaped geometries (plates with holes, branches, strips meeting at
+// angles) produce after RCM. Skyline storage keeps one packed column per
+// equation, sized by that column's true height, and the no-pivoting LDL^T
+// fill stays inside the envelope, so storage and flops scale with the
+// profile (the column-height sum) instead of the worst-case band.
+//
+// The factorization is blocked and deterministic under the same contract
+// as BandedMatrix: the panel partition and every entry's update-sum order
+// depend only on the matrix structure, never the thread count, so factors
+// are bit-identical at any thread setting. Cancel, guard, and fault sites
+// mirror fem/banded.cc (fem.alloc, fem.factorize.column/panel).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fem/banded.h"  // DirichletRhsOp / replay_dirichlet_rhs
+
+namespace feio::fem {
+
+class SkylineMatrix {
+ public:
+  // n x n symmetric matrix, n = column_lows.size(). column_lows[i] is the
+  // first (lowest-index) row coupled to column i; column i stores rows
+  // [column_lows[i], i] of the upper triangle — equivalently row i of the
+  // lower triangle stores columns [column_lows[i], i]. Requires
+  // 0 <= column_lows[i] <= i.
+  explicit SkylineMatrix(std::vector<int> column_lows);
+
+  int size() const { return n_; }
+  // Height of column i, diagonal included.
+  int column_height(int i) const {
+    return i - low_[static_cast<std::size_t>(i)] + 1;
+  }
+  int max_column_height() const { return max_height_; }
+
+  // Access by (row, col); only the envelope is stored, symmetric access is
+  // transparent. Out-of-envelope reads return 0; out-of-envelope writes
+  // are programming errors.
+  double get(int i, int j) const;
+  void set(int i, int j, double v);
+  void add(int i, int j, double v);
+
+  // Identical contract to BandedMatrix::apply_dirichlet: row/column i
+  // becomes the identity, prescribed-value contributions move to the rhs,
+  // and every rhs mutation is optionally recorded for factor-cache replay.
+  void apply_dirichlet(int i, double value, std::vector<double>& rhs,
+                       std::vector<DirichletRhsOp>* record = nullptr);
+
+  // y = A x for the unfactorized matrix.
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+
+  // In-place LDL^T factorization restricted to the envelope (which is
+  // closed under no-pivoting LDL^T fill). Throws feio::Error on a
+  // non-positive pivot. Bit-identical at any thread count.
+  void factorize();
+  bool factorized() const { return factorized_; }
+
+  // Solves A x = rhs using the factorization; rhs is replaced by x.
+  void solve(std::vector<double>& rhs) const;
+
+  // Number of stored doubles (the profile in dof terms).
+  std::size_t storage() const { return sky_.size(); }
+
+  // Raw storage + structure, and the factor-cache rebuild path — the same
+  // snapshot/adopt contract as BandedMatrix::band()/adopt_factor().
+  const std::vector<double>& values() const { return sky_; }
+  const std::vector<int>& column_lows() const { return low_; }
+  static SkylineMatrix adopt_factor(std::vector<int> column_lows,
+                                    std::vector<double> values);
+
+ private:
+  double& slot(int i, int j) {
+    return sky_[static_cast<std::size_t>(
+        start_[static_cast<std::size_t>(i)] +
+        (j - low_[static_cast<std::size_t>(i)]))];
+  }
+  const double& slot(int i, int j) const {
+    return sky_[static_cast<std::size_t>(
+        start_[static_cast<std::size_t>(i)] +
+        (j - low_[static_cast<std::size_t>(i)]))];
+  }
+
+  int n_ = 0;
+  bool factorized_ = false;
+  int max_height_ = 0;
+  std::vector<int> low_;             // low_[i]: first stored column of row i
+  std::vector<std::int64_t> start_;  // start_[i]: offset of row i in sky_
+  std::vector<double> sky_;          // packed rows, columns ascending
+};
+
+}  // namespace feio::fem

@@ -1,6 +1,7 @@
 // Static linear solve: displacements from a StaticProblem.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "fem/assembly.h"
@@ -16,6 +17,23 @@ struct StaticSolution {
   }
 };
 
+// The fill predictor behind SolverStorage::kAuto: exact storage of each
+// layout for this problem's dof numbering. band_bytes is the banded factor
+// (n * (hbw+1) doubles); skyline_bytes is the true envelope (the dof
+// column-height sum, derived from mesh::profile — see predict_storage).
+// use_skyline is true when the envelope is smaller by a margin
+// (skyline < 3/4 of banded), so near-full-band meshes like uniform strips
+// keep the banded path and its wider SIMD-friendly rows.
+struct StoragePrediction {
+  bool use_skyline = false;
+  std::int64_t band_bytes = 0;
+  std::int64_t skyline_bytes = 0;
+};
+
+// Structure-only (reads the mesh numbering, touches no matrix values), so
+// the auto decision is deterministic and cheap enough to run per solve.
+StoragePrediction predict_storage(const StaticProblem& problem);
+
 // Assembles, applies constraints, factorizes (banded LDL^T) and solves.
 // Throws feio::Error on singular systems.
 StaticSolution solve(const StaticProblem& problem);
@@ -23,11 +41,18 @@ StaticSolution solve(const StaticProblem& problem);
 // Same, under a RunOptions block: `threads` scopes the thread count for the
 // parallel assembly/factorization stages, and the tracer/metrics sinks are
 // installed for the duration of the call (spans fem.assemble,
-// fem.factorize, fem.solve). When opts.factor_cache is set, the solve
-// consults the factorized-stiffness LRU first (fem/factor_cache.h): a hit
+// fem.factorize, fem.solve). opts.solver_storage selects the stiffness
+// layout — banded, skyline, or kAuto via predict_storage — recorded on the
+// fem.solver.select span (storage + both byte counts) and in the
+// fem.solver.storage.{banded,skyline} counters. When opts.factor_cache is
+// set, the solve consults the factorized-stiffness LRU first
+// (fem/factor_cache.h) under a key that includes the resolved storage and
+// opts.ordering, so differently-configured factors never alias: a hit
 // skips assembly and factorization entirely and a successful cold solve
 // populates the cache. Output is byte-identical to the one-argument
-// overload at any thread count, cached or cold.
+// overload at any thread count, cached or cold, when the banded layout is
+// selected; the skyline layout is deterministic and bit-identical across
+// thread counts in its own right.
 StaticSolution solve(const StaticProblem& problem, const RunOptions& opts);
 
 }  // namespace feio::fem

@@ -65,9 +65,30 @@ IdlzResult run(const IdlzCase& c, const RunOptions& opts) {
   }
 
   // 4. Optionally renumber the nodes to ensure a narrow bandwidth.
-  if (c.options.renumber_nodes) {
+  // opts.ordering can override the deck: kNone forces the pass off, kRcm
+  // and kHilbert force it on with the named scheme; kDeckDefault keeps the
+  // deck's NONUMB flag and scheme (the ordering axis of the solver bench's
+  // ablation rides through here).
+  bool renumber_nodes = c.options.renumber_nodes;
+  NumberingScheme scheme = c.options.scheme;
+  switch (opts.ordering) {
+    case OrderingChoice::kDeckDefault:
+      break;
+    case OrderingChoice::kNone:
+      renumber_nodes = false;
+      break;
+    case OrderingChoice::kRcm:
+      renumber_nodes = true;
+      scheme = NumberingScheme::kReverseCuthillMcKee;
+      break;
+    case OrderingChoice::kHilbert:
+      renumber_nodes = true;
+      scheme = NumberingScheme::kHilbert;
+      break;
+  }
+  if (renumber_nodes) {
     FEIO_TRACE_SPAN(span, "idlz.renumber");
-    r.renumbering = renumber(assembly.mesh, c.options.scheme);
+    r.renumbering = renumber(assembly.mesh, scheme);
     span.arg("bandwidth_before", r.renumbering.bandwidth_before);
     span.arg("bandwidth_after", r.renumbering.bandwidth_after);
     if (r.renumbering.applied) {

@@ -31,7 +31,10 @@ long profile(const TriMesh& mesh) {
   }
   long p = 0;
   for (int i = 0; i < mesh.num_nodes(); ++i) {
-    p += i - lowest[static_cast<size_t>(i)];
+    // Column height including the diagonal: a row coupled only to itself
+    // still stores one entry. The old `i - lowest[i]` sum dropped the
+    // diagonal and under-counted every skyline-bytes estimate by n.
+    p += i - lowest[static_cast<size_t>(i)] + 1;
   }
   return p;
 }

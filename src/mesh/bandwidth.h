@@ -14,8 +14,12 @@ namespace feio::mesh {
 // without elements.
 int bandwidth(const TriMesh& mesh);
 
-// Sum over rows of the per-row bandwidth (the "profile" or envelope size),
-// a finer-grained cost proxy for envelope/banded solvers.
+// Sum over rows of the column height `i - lowest(i) + 1` — the diagonal is
+// included, so this is the exact entry count of a skyline/envelope factor
+// in node terms (the storage the fem skyline path allocates, times 2x2 dof
+// blocks). Historically this sum excluded the diagonal and under-counted by
+// num_nodes; fill predictors comparing it against banded storage must use
+// the true column-height sum.
 long profile(const TriMesh& mesh);
 
 }  // namespace feio::mesh

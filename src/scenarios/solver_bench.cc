@@ -7,7 +7,9 @@
 #include <cstdio>
 #include <limits>
 #include <sstream>
+#include <utility>
 
+#include "fem/skyline.h"
 #include "fem/solver.h"
 #include "idlz/assembler.h"
 #include "idlz/renumber.h"
@@ -23,6 +25,16 @@ namespace feio::scenarios {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Cells over these caps are reported as skipped instead of run: a
+// pathological ordering (Hilbert on a long anisotropic domain) pushes the
+// half-bandwidth — or the envelope itself — toward n, and timing a
+// hundred-gigabyte or hours-of-flops factor teaches nothing the byte
+// counts don't already say. The flop model is n * (hbw+1)^2 for the band
+// and the exact sum of squared column heights for the skyline.
+constexpr std::int64_t kStorageBytesCap = std::int64_t{2} << 30;
+constexpr std::int64_t kFlopsCapQuick = 200'000'000;        // ~0.1 s
+constexpr std::int64_t kFlopsCapFull = 25'000'000'000;      // ~15 s
 
 double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
@@ -54,45 +66,117 @@ std::string bits_fingerprint(const std::vector<double>& v) {
   return out.str();
 }
 
-// One RCM-renumbered strip mesh with its static problem boundary
-// conditions: the y=0 edge clamped, a transverse tip load at max y.
-struct SolverFixture {
+// A bench mesh in generation order — the "none" ordering is whatever order
+// the generator emitted nodes in (row-major for both families here).
+struct BenchMesh {
+  std::string tag;
   mesh::TriMesh mesh;
-  int node_bw_before = 0;
-  int node_bw_after = 0;
+};
 
-  SolverFixture(int k_cells, int l_cells, int subs) {
-    const idlz::IdlzCase c = strip_case(k_cells, l_cells, subs);
-    idlz::Assembly a =
-        idlz::assemble(c.subdivisions, c.options.limits, c.options.diagonals);
-    idlz::shape(c.subdivisions, c.shaping, a, c.options.limits);
-    mesh = std::move(a.mesh);
-    node_bw_before = mesh::bandwidth(mesh);
-    idlz::renumber(mesh, idlz::NumberingScheme::kBest);
-    node_bw_after = mesh::bandwidth(mesh);
-  }
+mesh::TriMesh strip_mesh(int k_cells, int l_cells, int subs) {
+  const idlz::IdlzCase c = strip_case(k_cells, l_cells, subs);
+  idlz::Assembly a =
+      idlz::assemble(c.subdivisions, c.options.limits, c.options.diagonals);
+  idlz::shape(c.subdivisions, c.shaping, a, c.options.limits);
+  return std::move(a.mesh);
+}
 
-  fem::StaticProblem make_problem() const {
-    fem::StaticProblem prob(mesh, fem::Analysis::kPlaneStress);
-    prob.set_material(fem::Material::isotropic(30.0e6, 0.30));
-    double y_max = 0.0;
-    for (int n = 0; n < mesh.num_nodes(); ++n) {
-      y_max = std::max(y_max, mesh.pos(n).y);
-    }
-    int tip = 0;
-    for (int n = 0; n < mesh.num_nodes(); ++n) {
-      if (mesh.pos(n).y < 0.5) prob.fix(n, true, true);
-      if (mesh.pos(n).y > mesh.pos(tip).y ||
-          (mesh.pos(n).y == mesh.pos(tip).y &&
-           mesh.pos(n).x > mesh.pos(tip).x)) {
-        tip = n;
+// The Fig. 9-class geometry the skyline path exists for: a 64-cell-wide
+// plate, solid for `rim` cell rows at the bottom and top, with two big
+// rectangular slots between leaving three 4-cell-wide vertical webs. Most
+// node rows hold only the 15 web nodes (short skyline columns), while the
+// full-width rim rows pin the banded half-bandwidth near the plate width —
+// the band pays the worst row everywhere, the envelope only where it must.
+// Nodes are emitted row-major (y outer, x ascending), unit cells.
+mesh::TriMesh plate_with_holes(int rows) {
+  constexpr int kWidth = 64;  // cells across
+  constexpr int kRim = 2;     // solid cell rows at bottom and top
+  auto in_web = [&](int x) {
+    return (x >= 0 && x < 4) || (x >= 30 && x < 34) || (x >= 60 && x < 64);
+  };
+  auto solid_cell = [&](int x, int y) {
+    if (y < kRim || y >= rows - kRim) return true;
+    return in_web(x);
+  };
+
+  mesh::TriMesh m;
+  // node_id[y][x], -1 when the corner touches no solid cell.
+  std::vector<std::vector<int>> node_id(
+      static_cast<std::size_t>(rows + 1),
+      std::vector<int>(static_cast<std::size_t>(kWidth + 1), -1));
+  auto corner_used = [&](int x, int y) {
+    for (int dy = -1; dy <= 0; ++dy) {
+      for (int dx = -1; dx <= 0; ++dx) {
+        const int cx = x + dx;
+        const int cy = y + dy;
+        if (cx < 0 || cx >= kWidth || cy < 0 || cy >= rows) continue;
+        if (solid_cell(cx, cy)) return true;
       }
     }
-    prob.point_load(tip, {1000.0, -500.0});
-    (void)y_max;
-    return prob;
+    return false;
+  };
+  for (int y = 0; y <= rows; ++y) {
+    for (int x = 0; x <= kWidth; ++x) {
+      if (corner_used(x, y)) {
+        node_id[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] =
+            m.add_node({static_cast<double>(x), static_cast<double>(y)});
+      }
+    }
   }
-};
+  for (int y = 0; y < rows; ++y) {
+    for (int x = 0; x < kWidth; ++x) {
+      if (!solid_cell(x, y)) continue;
+      const int a = node_id[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)];
+      const int b = node_id[static_cast<std::size_t>(y)][static_cast<std::size_t>(x + 1)];
+      const int c = node_id[static_cast<std::size_t>(y + 1)][static_cast<std::size_t>(x + 1)];
+      const int d = node_id[static_cast<std::size_t>(y + 1)][static_cast<std::size_t>(x)];
+      m.add_element(a, b, c);
+      m.add_element(a, c, d);
+    }
+  }
+  return m;
+}
+
+std::vector<BenchMesh> bench_meshes(bool quick) {
+  std::vector<BenchMesh> meshes;
+  if (quick) {
+    meshes.push_back({"strip16x60", strip_mesh(16, 60, 6)});
+    meshes.push_back({"plate_holes96", plate_with_holes(96)});
+  } else {
+    meshes.push_back({"strip32x312", strip_mesh(32, 312, 8)});
+    meshes.push_back({"strip48x400", strip_mesh(48, 400, 8)});
+    meshes.push_back({"plate_holes1000", plate_with_holes(1000)});
+    // ~990k dofs: the "up to 10^6" point. The banded factor here is ~1 GB
+    // and ~18e9 flops under none/RCM — just inside the caps, so the 2x
+    // claim is measured at full scale; the Hilbert cells (band and
+    // envelope both pathological on this anisotropic domain) skip.
+    meshes.push_back({"plate_holes33000", plate_with_holes(33000)});
+  }
+  return meshes;
+}
+
+// Bottom edge clamped, transverse point load at the top-most (then
+// right-most) node: the cantilever boundary conditions the v1 harness used,
+// generalized to any of the bench meshes.
+fem::StaticProblem make_problem(const mesh::TriMesh& mesh) {
+  fem::StaticProblem prob(mesh, fem::Analysis::kPlaneStress);
+  prob.set_material(fem::Material::isotropic(30.0e6, 0.30));
+  double y_min = std::numeric_limits<double>::infinity();
+  for (int n = 0; n < mesh.num_nodes(); ++n) {
+    y_min = std::min(y_min, mesh.pos(n).y);
+  }
+  int tip = 0;
+  for (int n = 0; n < mesh.num_nodes(); ++n) {
+    if (mesh.pos(n).y < y_min + 0.5) prob.fix(n, true, true);
+    if (mesh.pos(n).y > mesh.pos(tip).y ||
+        (mesh.pos(n).y == mesh.pos(tip).y &&
+         mesh.pos(n).x > mesh.pos(tip).x)) {
+      tip = n;
+    }
+  }
+  prob.point_load(tip, {1000.0, -500.0});
+  return prob;
+}
 
 struct Measurement {
   double serial_ms = 0.0;
@@ -121,6 +205,20 @@ Measurement measure(int reps, int threads, Fn&& work) {
   return m;
 }
 
+const char* ordering_name(feio::OrderingChoice o) {
+  switch (o) {
+    case feio::OrderingChoice::kNone:
+      return "none";
+    case feio::OrderingChoice::kRcm:
+      return "rcm";
+    case feio::OrderingChoice::kHilbert:
+      return "hilbert";
+    case feio::OrderingChoice::kDeckDefault:
+      break;
+  }
+  return "deck";
+}
+
 }  // namespace
 
 bool SolverBenchReport::all_identical() const {
@@ -134,7 +232,7 @@ std::string SolverBenchReport::render_json() const {
   out << std::fixed;
   out << "{\n";
   out << report_header_json("bench");
-  out << "  \"payload_schema\": \"feio.bench.solver/1\",\n";
+  out << "  \"payload_schema\": \"feio.bench.solver/2\",\n";
   out << "  \"hardware_threads\": " << hardware_threads << ",\n";
   out << "  \"threads\": " << threads << ",\n";
   out << "  \"repetitions\": " << repetitions << ",\n";
@@ -146,14 +244,19 @@ std::string SolverBenchReport::render_json() const {
     const SolverBenchCase& c = cases[i];
     out << (i == 0 ? "\n" : ",\n");
     out << "    {\"name\": \"" << json_escape(c.name) << "\", \"stage\": \""
-        << json_escape(c.stage) << "\", \"n\": " << c.n
-        << ", \"half_bandwidth\": " << c.half_bandwidth
-        << ", \"node_bw_before\": " << c.node_bw_before
-        << ", \"node_bw_after\": " << c.node_bw_after
+        << json_escape(c.stage) << "\", \"mesh\": \"" << json_escape(c.mesh)
+        << "\", \"ordering\": \"" << json_escape(c.ordering)
+        << "\", \"storage\": \"" << json_escape(c.storage)
+        << "\", \"auto_storage\": \"" << json_escape(c.auto_storage)
+        << "\", \"n\": " << c.n << ", \"half_bandwidth\": " << c.half_bandwidth
+        << ", \"node_bw\": " << c.node_bw
+        << ", \"band_bytes\": " << c.band_bytes
+        << ", \"skyline_bytes\": " << c.skyline_bytes
         << ", \"serial_ms\": " << c.serial_ms
         << ", \"parallel_ms\": " << c.parallel_ms
         << ", \"speedup\": " << c.speedup
-        << ", \"identical\": " << (c.identical ? "true" : "false") << "}";
+        << ", \"identical\": " << (c.identical ? "true" : "false")
+        << ", \"skipped\": " << (c.skipped ? "true" : "false") << "}";
   }
   out << (cases.empty() ? "],\n" : "\n  ],\n");
   if (metrics_json.empty()) {
@@ -169,15 +272,29 @@ std::string SolverBenchReport::render_table() const {
   std::ostringstream out;
   out << "bench_solver: " << threads << " threads (" << hardware_threads
       << " hardware), min of " << repetitions << " reps\n";
-  out << "  case                          n   hbw  serial ms  parallel ms  "
-         "speedup  identical\n";
+  out << "  case                                            n   hbw   auto"
+         "     serial ms  parallel ms  speedup  identical\n";
   for (const SolverBenchCase& c : cases) {
     out << "  " << c.name;
-    for (size_t pad = c.name.size(); pad < 26; ++pad) out << ' ';
-    char row[100];
-    std::snprintf(row, sizeof row, "%7d %5d %10.3f  %11.3f  %6.2fx  %s\n",
-                  c.n, c.half_bandwidth, c.serial_ms, c.parallel_ms,
-                  c.speedup, c.identical ? "yes" : "NO");
+    for (size_t pad = c.name.size(); pad < 44; ++pad) out << ' ';
+    if (c.skipped) {
+      char row[120];
+      std::snprintf(row, sizeof row,
+                    "%9d %5d  %-7s  skipped (%s over harness cap; "
+                    "%lld bytes)\n",
+                    c.n, c.half_bandwidth, c.auto_storage.c_str(),
+                    c.storage.c_str(),
+                    static_cast<long long>(c.storage == "banded"
+                                               ? c.band_bytes
+                                               : c.skyline_bytes));
+      out << row;
+      continue;
+    }
+    char row[120];
+    std::snprintf(row, sizeof row,
+                  "%9d %5d  %-7s %10.3f  %11.3f  %6.2fx  %s\n", c.n,
+                  c.half_bandwidth, c.auto_storage.c_str(), c.serial_ms,
+                  c.parallel_ms, c.speedup, c.identical ? "yes" : "NO");
     out << row;
   }
   return out.str();
@@ -187,78 +304,142 @@ SolverBenchReport run_solver_bench(int threads, bool quick) {
   SolverBenchReport report;
   report.hardware_threads = util::hardware_threads();
   report.threads = threads <= 0 ? report.hardware_threads : threads;
-  report.repetitions = quick ? 2 : 3;
   report.quick = quick;
+  report.repetitions = quick ? 2 : 3;
 
-  // N x bandwidth sweep: the strip's short dimension controls the RCM
-  // bandwidth, the long dimension the equation count. The wide full-mode
-  // strips put the acceptance point (N >= 20k dofs, dof hbw >= 64) on the
-  // grid.
-  struct Size {
-    const char* tag;
-    int k, l, subs;
-  };
-  std::vector<Size> sizes;
-  if (quick) {
-    sizes.push_back({"strip16x60", 16, 60, 6});
-  } else {
-    sizes.push_back({"strip24x120", 24, 120, 12});
-    sizes.push_back({"strip32x312", 32, 312, 8});
-    sizes.push_back({"strip48x400", 48, 400, 8});
+  const feio::OrderingChoice orderings[] = {feio::OrderingChoice::kNone,
+                                            feio::OrderingChoice::kRcm,
+                                            feio::OrderingChoice::kHilbert};
+
+  for (BenchMesh& bm : bench_meshes(quick)) {
+    for (const feio::OrderingChoice ordering : orderings) {
+      mesh::TriMesh m = bm.mesh;
+      if (ordering == feio::OrderingChoice::kRcm) {
+        m.renumber_nodes(idlz::cuthill_mckee_permutation(m, /*reverse=*/true));
+      } else if (ordering == feio::OrderingChoice::kHilbert) {
+        m.renumber_nodes(idlz::hilbert_permutation(m));
+      }
+      const fem::StaticProblem prob = make_problem(m);
+      const fem::StoragePrediction pred = fem::predict_storage(prob);
+      const int n = prob.num_dofs();
+      const int hbw = prob.dof_half_bandwidth();
+      const int node_bw = mesh::bandwidth(m);
+      const char* oname = ordering_name(ordering);
+      const char* auto_name = pred.use_skyline ? "skyline" : "banded";
+      // Big systems repeat once: the factor dominates and the min-of-reps
+      // guard matters less than the wall-clock budget.
+      const int reps = n > 200000 ? 1 : report.repetitions;
+
+      auto push = [&](const char* stage, const char* storage,
+                      const Measurement& meas, bool skipped) {
+        SolverBenchCase c;
+        c.name = std::string(stage) + "/" + bm.tag + "/" + oname + "/" +
+                 storage;
+        c.stage = stage;
+        c.mesh = bm.tag;
+        c.ordering = oname;
+        c.storage = storage;
+        c.auto_storage = auto_name;
+        c.n = n;
+        c.half_bandwidth = hbw;
+        c.node_bw = node_bw;
+        c.band_bytes = pred.band_bytes;
+        c.skyline_bytes = pred.skyline_bytes;
+        c.serial_ms = meas.serial_ms;
+        c.parallel_ms = meas.parallel_ms;
+        c.speedup = skipped ? 0.0
+                            : meas.serial_ms /
+                                  std::max(meas.parallel_ms, 1e-9);
+        c.identical = skipped ? true : meas.identical;
+        c.skipped = skipped;
+        report.cases.push_back(std::move(c));
+      };
+
+      const std::int64_t flops_cap = quick ? kFlopsCapQuick : kFlopsCapFull;
+      const std::int64_t band_flops =
+          static_cast<std::int64_t>(n) * (hbw + 1) * (hbw + 1);
+      const bool band_fits =
+          pred.band_bytes <= kStorageBytesCap && band_flops <= flops_cap;
+
+      const std::vector<int> lows = prob.dof_skyline_lows();
+      std::int64_t sky_flops = 0;
+      for (int i = 0; i < n; ++i) {
+        const std::int64_t h = i - lows[static_cast<std::size_t>(i)] + 1;
+        sky_flops += h * h;
+      }
+      const bool sky_fits =
+          pred.skyline_bytes <= kStorageBytesCap && sky_flops <= flops_cap;
+
+      // Stage 1: parallel element assembly into each storage. The skyline
+      // envelope comes from the problem's exact dof column lows.
+      if (band_fits) {
+        const Measurement meas = measure(reps, report.threads, [&] {
+          fem::BandedMatrix k(n, hbw);
+          std::vector<double> rhs;
+          prob.assemble(k, rhs);
+          return bits_fingerprint(rhs);
+        });
+        push("assemble", "banded", meas, false);
+      } else {
+        push("assemble", "banded", {}, true);
+      }
+      if (sky_fits) {
+        const Measurement meas = measure(reps, report.threads, [&] {
+          fem::SkylineMatrix k(lows);
+          std::vector<double> rhs;
+          prob.assemble(k, rhs);
+          return bits_fingerprint(rhs);
+        });
+        push("assemble", "skyline", meas, false);
+      } else {
+        push("assemble", "skyline", {}, true);
+      }
+
+      // Stage 2: blocked factorize + solve. Assembly runs outside the
+      // timed lambda: each rep factorizes a fresh copy.
+      if (band_fits) {
+        fem::BandedMatrix k0(n, hbw);
+        std::vector<double> rhs0;
+        prob.assemble(k0, rhs0);
+        const Measurement meas = measure(reps, report.threads, [&] {
+          fem::BandedMatrix k = k0;
+          std::vector<double> rhs = rhs0;
+          k.factorize();
+          k.solve(rhs);
+          return bits_fingerprint(rhs);
+        });
+        push("factor_solve", "banded", meas, false);
+      } else {
+        push("factor_solve", "banded", {}, true);
+      }
+      if (sky_fits) {
+        fem::SkylineMatrix k0(lows);
+        std::vector<double> rhs0;
+        prob.assemble(k0, rhs0);
+        const Measurement meas = measure(reps, report.threads, [&] {
+          fem::SkylineMatrix k = k0;
+          std::vector<double> rhs = rhs0;
+          k.factorize();
+          k.solve(rhs);
+          return bits_fingerprint(rhs);
+        });
+        push("factor_solve", "skyline", meas, false);
+      } else {
+        push("factor_solve", "skyline", {}, true);
+      }
+    }
   }
 
-  for (const Size& size : sizes) {
-    const SolverFixture fx(size.k, size.l, size.subs);
-    const fem::StaticProblem prob = fx.make_problem();
-    const int n = prob.num_dofs();
-    const int hbw = prob.dof_half_bandwidth();
-
-    // Stage 1: parallel element assembly (stiffness + constraints).
-    {
-      const Measurement m = measure(report.repetitions, report.threads, [&] {
-        fem::BandedMatrix k(n, hbw);
-        std::vector<double> rhs;
-        prob.assemble(k, rhs);
-        return bits_fingerprint(rhs);
-      });
-      report.cases.push_back({std::string("assemble/") + size.tag, "assemble",
-                              n, hbw, fx.node_bw_before, fx.node_bw_after,
-                              m.serial_ms, m.parallel_ms,
-                              m.serial_ms / std::max(m.parallel_ms, 1e-9),
-                              m.identical});
-    }
-
-    // Stage 2: blocked factorize + solve on the assembled system. Assembly
-    // runs outside the timed lambda: each rep factorizes a fresh copy.
-    {
-      fem::BandedMatrix k0(n, hbw);
-      std::vector<double> rhs0;
-      prob.assemble(k0, rhs0);
-      const Measurement m = measure(report.repetitions, report.threads, [&] {
-        fem::BandedMatrix k = k0;
-        std::vector<double> rhs = rhs0;
-        k.factorize();
-        k.solve(rhs);
-        return bits_fingerprint(rhs);
-      });
-      report.cases.push_back({std::string("factor_solve/") + size.tag,
-                              "factor_solve", n, hbw, fx.node_bw_before,
-                              fx.node_bw_after, m.serial_ms, m.parallel_ms,
-                              m.serial_ms / std::max(m.parallel_ms, 1e-9),
-                              m.identical});
-    }
-  }
-
-  // One metered full solve outside the timed loops supplies the metrics
-  // snapshot (fem.factorize.panels, fem.static_solves, parallel.*).
+  // One metered kAuto solve of the plate mesh outside the timed loops
+  // supplies the metrics snapshot: the fem.solver.storage.* selection
+  // counters, fem.factorize.panels, fem.static_solves, parallel.*.
   {
-    const Size& size = sizes.front();
-    const SolverFixture fx(size.k, size.l, size.subs);
+    const mesh::TriMesh m = quick ? plate_with_holes(96) : plate_with_holes(400);
     util::MetricsRegistry metrics;
     RunOptions opts;
     opts.threads = report.threads;
     opts.metrics = &metrics;
-    fem::solve(fx.make_problem(), opts);
+    fem::solve(make_problem(m), opts);
     report.metrics_json = metrics.render_body_json(4);
   }
 

@@ -1,34 +1,53 @@
-// The `bench_solver` harness: measures the parallelized FEM hot path —
-// element assembly and the blocked banded LDL^T factorize+solve — serial
-// versus N threads, on RCM-renumbered IDLZ strip meshes across an
-// N x bandwidth grid. This closes the paper's loop end to end: the
-// renumbering pass exists so the banded analysis downstream is tractable,
-// and here the payoff (bandwidth before/after, then the solve cost on the
-// renumbered system) is finally measured in one report.
+// The `bench_solver` harness: an ordering x storage x threads ablation of
+// the FEM hot path. For every bench mesh (IDLZ strips plus a
+// plate-with-holes geometry whose webs blow the band up while keeping the
+// envelope thin) and every node ordering (none = generation order, RCM,
+// Hilbert), the harness measures blocked factorize+solve in both stiffness
+// layouts (banded and compressed skyline), serial versus N threads, and
+// records what the kAuto fill predictor would have picked. This closes the
+// paper's bandwidth claim (C6) from both ends: the renumbering pass keeps
+// the band tractable where it can, and the skyline layout keeps the solve
+// profile-bound where it cannot.
 //
 // Like the pipeline harness, every measurement byte-compares the parallel
 // result against the serial one (`identical`), so the perf numbers double
-// as a determinism check. The JSON rendering is a feio.report/1 envelope
-// of kind "bench" whose payload is schema-stable ("feio.bench.solver/1",
-// see docs/BENCHMARKS.md): fields may be added, never renamed or removed.
+// as a determinism check. A cell whose factor would exceed the harness
+// byte or flop caps in its storage (a pathological ordering on a big
+// mesh blows up the band — or, on an anisotropic domain, the envelope
+// itself) is reported with `skipped` = true rather than silently dropped. The JSON rendering is a
+// feio.report/1 envelope of kind "bench" whose payload is schema-stable
+// ("feio.bench.solver/2", see docs/BENCHMARKS.md): fields may be added,
+// never renamed or removed.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace feio::scenarios {
 
 struct SolverBenchCase {
-  std::string name;   // e.g. "factor_solve/strip32x312"
-  std::string stage;  // "assemble" | "factor_solve"
-  int n = 0;          // equations (dofs)
-  int half_bandwidth = 0;   // dof half-bandwidth after RCM renumbering
-  int node_bw_before = 0;   // nodal bandwidth before renumbering
-  int node_bw_after = 0;    // nodal bandwidth after renumbering
+  std::string name;      // e.g. "factor_solve/plate_holes96/rcm/skyline"
+  std::string stage;     // "assemble" | "factor_solve"
+  std::string mesh;      // bench mesh tag
+  std::string ordering;  // "none" | "rcm" | "hilbert"
+  std::string storage;   // "banded" | "skyline"
+  // What SolverStorage::kAuto would select for this mesh + ordering (the
+  // fill predictor's verdict; identical for both storage rows of a cell).
+  std::string auto_storage;
+  int n = 0;               // equations (dofs)
+  int half_bandwidth = 0;  // dof half-bandwidth under this ordering
+  int node_bw = 0;         // nodal bandwidth under this ordering
+  std::int64_t band_bytes = 0;     // banded factor bytes: n * (hbw+1) * 8
+  std::int64_t skyline_bytes = 0;  // true envelope bytes (column heights)
   double serial_ms = 0.0;
   double parallel_ms = 0.0;
   double speedup = 0.0;    // serial_ms / parallel_ms
   bool identical = false;  // parallel output byte-identical to serial
+  // True when the cell was not run because its storage's factor exceeds
+  // the harness byte or flop cap; timings are 0 and `identical` is
+  // vacuously true.
+  bool skipped = false;
 };
 
 struct SolverBenchReport {
@@ -37,18 +56,19 @@ struct SolverBenchReport {
   int repetitions = 1;
   bool quick = false;
   std::vector<SolverBenchCase> cases;
-  // Metrics body from one metered pass outside the timed loops; empty =>
-  // rendered as {}.
+  // Metrics body from one metered kAuto pass outside the timed loops
+  // (fem.solver.storage.*, fem.factorize.panels, ...); empty => {}.
   std::string metrics_json;
 
   bool all_identical() const;
-  // feio.report/1 envelope, kind "bench", payload "feio.bench.solver/1".
+  // feio.report/1 envelope, kind "bench", payload "feio.bench.solver/2".
   std::string render_json() const;
   std::string render_table() const;
 };
 
 // Runs the harness. threads <= 0 selects util::hardware_threads(); quick
-// restricts the sweep to one small mesh for the CI smoke job. The process
+// restricts the sweep to two small meshes for the CI smoke job (the full
+// sweep reaches ~10^6 dofs on the big plate-with-holes mesh). The process
 // default thread count is restored on return.
 SolverBenchReport run_solver_bench(int threads, bool quick);
 

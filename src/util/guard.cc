@@ -100,4 +100,15 @@ std::int64_t checked_factor_bytes(std::int64_t n, std::int64_t half_bandwidth) {
   return bytes;
 }
 
+std::int64_t checked_skyline_bytes(std::int64_t entries) {
+  if (entries <= 0) return 0;
+  std::int64_t bytes = 0;
+  if (__builtin_mul_overflow(entries,
+                             static_cast<std::int64_t>(sizeof(double)),
+                             &bytes)) {
+    return INT64_MAX;
+  }
+  return bytes;
+}
+
 }  // namespace feio::util

@@ -103,4 +103,10 @@ void guard_check_factor_bytes(std::int64_t bytes, std::string_view what);
 // guard_check_factor_bytes caller must build its estimate with this.
 std::int64_t checked_factor_bytes(std::int64_t n, std::int64_t half_bandwidth);
 
+// The byte size of a skyline factor with `entries` stored doubles (the
+// column-height sum): entries * sizeof(double) in the same saturating
+// int64 arithmetic as checked_factor_bytes, so huge envelopes trip
+// E-RES-003 instead of wrapping.
+std::int64_t checked_skyline_bytes(std::int64_t entries);
+
 }  // namespace feio::util

@@ -39,8 +39,9 @@ class LruCache {
   }
 
   // Looks `key` up and promotes it to most-recently-used. The pointer is
-  // valid until the next put()/set_capacity()/clear().
-  const V* get(const K& key) {
+  // valid until the next put()/set_capacity()/clear() — mutable so owners
+  // can maintain per-entry bookkeeping (last-touch timestamps) in place.
+  V* get(const K& key) {
     const auto it = index_.find(key);
     if (it == index_.end()) return nullptr;
     order_.splice(order_.begin(), order_, it->second);
@@ -50,6 +51,19 @@ class LruCache {
   // True when `key` is present; does NOT touch recency (so tests can probe
   // eviction order without perturbing it).
   bool contains(const K& key) const { return index_.find(key) != index_.end(); }
+
+  // The least-recently-used entry (nullptr when empty) and its removal.
+  // Because the recency list is ordered by last touch, an idle-TTL sweep is
+  // "pop from the cold end while the oldest entry is expired" — owners
+  // never need to scan the whole cache.
+  const std::pair<K, V>* oldest() const {
+    return order_.empty() ? nullptr : &order_.back();
+  }
+  void pop_oldest() {
+    if (order_.empty()) return;
+    index_.erase(order_.back().first);
+    order_.pop_back();
+  }
 
   // Inserts or replaces `key`, makes it most-recently-used, and evicts from
   // the cold end until the bound holds. No-op when capacity() == 0.

@@ -400,5 +400,82 @@ TEST(FactorCacheTest, FailedSolveDoesNotPoisonCache) {
   EXPECT_EQ(s.misses, 1);  // the lookup happened; the fill did not
 }
 
+// ---- factor-cache idle TTL -------------------------------------------------
+
+// A minimal live entry: a factorized 1x1 identity. The TTL tests only
+// exercise slot lifetimes, not the solve contract.
+std::shared_ptr<const fem::FactorEntry> tiny_entry() {
+  fem::BandedMatrix k(1, 0);
+  k.set(0, 0, 1.0);
+  k.factorize();
+  fem::FactorEntry e{std::move(k), {}, 0};
+  return std::make_shared<const fem::FactorEntry>(std::move(e));
+}
+
+fem::FactorKey key_of(std::uint64_t tag) { return fem::FactorKey{tag, 0, 0, 0}; }
+
+TEST(FactorCacheTtlTest, IdleEntryExpiresAndIsCounted) {
+  std::int64_t now = 0;
+  fem::FactorCache cache(4, /*ttl_ms=*/100, [&now] { return now; });
+  cache.put(key_of(1), tiny_entry());
+
+  now = 99;  // still inside the window
+  EXPECT_NE(cache.get(key_of(1), 0), nullptr);
+
+  now = 300;  // idle since 99: expired
+  EXPECT_EQ(cache.get(key_of(1), 0), nullptr);
+  const fem::FactorCacheStats s = cache.stats();
+  EXPECT_EQ(s.ttl_evictions, 1);
+  EXPECT_EQ(s.entries, 0);
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+}
+
+TEST(FactorCacheTtlTest, HitsRefreshTheIdleClock) {
+  // Three consecutive 80 ms gaps, each under the 100 ms TTL: the entry
+  // must survive 240 ms of wall time because every get() re-touches it.
+  std::int64_t now = 0;
+  fem::FactorCache cache(4, /*ttl_ms=*/100, [&now] { return now; });
+  cache.put(key_of(1), tiny_entry());
+  for (now = 80; now <= 240; now += 80) {
+    EXPECT_NE(cache.get(key_of(1), 0), nullptr) << "at t=" << now;
+  }
+  EXPECT_EQ(cache.stats().ttl_evictions, 0);
+}
+
+TEST(FactorCacheTtlTest, SweepOnlyExpiresIdleEntries) {
+  std::int64_t now = 0;
+  fem::FactorCache cache(4, /*ttl_ms=*/100, [&now] { return now; });
+  cache.put(key_of(1), tiny_entry());  // idle since t=0
+  now = 90;
+  cache.put(key_of(2), tiny_entry());  // idle since t=90
+  now = 150;                           // 1 is 150 ms idle, 2 only 60 ms
+  EXPECT_EQ(cache.get(key_of(1), 0), nullptr);
+  EXPECT_NE(cache.get(key_of(2), 0), nullptr);
+  const fem::FactorCacheStats s = cache.stats();
+  EXPECT_EQ(s.ttl_evictions, 1);
+  EXPECT_EQ(s.entries, 1);
+}
+
+TEST(FactorCacheTtlTest, PutAlsoSweeps) {
+  std::int64_t now = 0;
+  fem::FactorCache cache(4, /*ttl_ms=*/100, [&now] { return now; });
+  cache.put(key_of(1), tiny_entry());
+  now = 500;
+  cache.put(key_of(2), tiny_entry());  // the insert sweeps the stale slot
+  const fem::FactorCacheStats s = cache.stats();
+  EXPECT_EQ(s.ttl_evictions, 1);
+  EXPECT_EQ(s.entries, 1);
+}
+
+TEST(FactorCacheTtlTest, ZeroTtlNeverExpires) {
+  std::int64_t now = 0;
+  fem::FactorCache cache(4, /*ttl_ms=*/0, [&now] { return now; });
+  cache.put(key_of(1), tiny_entry());
+  now = std::numeric_limits<std::int64_t>::max() / 2;
+  EXPECT_NE(cache.get(key_of(1), 0), nullptr);
+  EXPECT_EQ(cache.stats().ttl_evictions, 0);
+}
+
 }  // namespace
 }  // namespace feio

@@ -1,0 +1,540 @@
+// Compressed-skyline LDL^T (fem/skyline.h): envelope storage semantics,
+// dense-reference correctness of the blocked factorization across matrix
+// shapes in BOTH storage layouts, bit-identity across thread counts, the
+// kAuto fill predictor, and the factor cache's storage/ordering keying
+// (banded and skyline factors of one operator never alias).
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fem/assembly.h"
+#include "fem/banded.h"
+#include "fem/factor_cache.h"
+#include "fem/material.h"
+#include "fem/skyline.h"
+#include "fem/solver.h"
+#include "feio/run_options.h"
+#include "mesh/tri_mesh.h"
+#include "util/error.h"
+#include "util/parallel.h"
+
+namespace feio::fem {
+namespace {
+
+std::vector<int> band_lows(int n, int hbw) {
+  std::vector<int> lows(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) lows[static_cast<size_t>(i)] = std::max(0, i - hbw);
+  return lows;
+}
+
+// ---- storage semantics ----------------------------------------------------
+
+TEST(SkylineMatrixTest, SymmetricAccess) {
+  SkylineMatrix m(band_lows(4, 2));
+  m.set(1, 3, 5.0);
+  EXPECT_DOUBLE_EQ(m.get(1, 3), 5.0);
+  EXPECT_DOUBLE_EQ(m.get(3, 1), 5.0);
+  m.add(3, 1, 1.0);
+  EXPECT_DOUBLE_EQ(m.get(1, 3), 6.0);
+}
+
+TEST(SkylineMatrixTest, OutOfEnvelopeReadsZero) {
+  SkylineMatrix m(band_lows(5, 1));
+  EXPECT_DOUBLE_EQ(m.get(0, 4), 0.0);
+}
+
+TEST(SkylineMatrixTest, StorageIsColumnHeightSum) {
+  // Heights 1, 2, 1, 4: a ragged envelope stores exactly its profile.
+  SkylineMatrix m({0, 0, 2, 0});
+  EXPECT_EQ(m.storage(), 8u);
+  EXPECT_EQ(m.column_height(0), 1);
+  EXPECT_EQ(m.column_height(1), 2);
+  EXPECT_EQ(m.column_height(2), 1);
+  EXPECT_EQ(m.column_height(3), 4);
+  EXPECT_EQ(m.max_column_height(), 4);
+}
+
+TEST(SkylineMatrixTest, InvalidColumnLowsThrow) {
+  EXPECT_THROW(SkylineMatrix({0, 2}), Error);   // low > row
+  EXPECT_THROW(SkylineMatrix({-1, 0}), Error);  // negative low
+}
+
+TEST(SkylineMatrixTest, SolvesDiagonalSystem) {
+  SkylineMatrix m(band_lows(3, 0));
+  m.set(0, 0, 2.0);
+  m.set(1, 1, 4.0);
+  m.set(2, 2, 8.0);
+  m.factorize();
+  std::vector<double> rhs{2.0, 8.0, 4.0};
+  m.solve(rhs);
+  EXPECT_DOUBLE_EQ(rhs[0], 1.0);
+  EXPECT_DOUBLE_EQ(rhs[1], 2.0);
+  EXPECT_DOUBLE_EQ(rhs[2], 0.5);
+}
+
+TEST(SkylineMatrixTest, DirichletPreservesSolution) {
+  // Same 3-dof chain as the banded test: identical constraint semantics.
+  SkylineMatrix m(band_lows(3, 1));
+  m.set(0, 0, 2.0);
+  m.set(1, 1, 2.0);
+  m.set(2, 2, 2.0);
+  m.set(0, 1, -1.0);
+  m.set(1, 2, -1.0);
+  std::vector<double> rhs{0.0, 0.0, 0.0};
+  m.apply_dirichlet(0, 3.0, rhs);
+  m.factorize();
+  m.solve(rhs);
+  EXPECT_NEAR(rhs[0], 3.0, 1e-12);
+  EXPECT_NEAR(rhs[1], 2.0, 1e-12);
+  EXPECT_NEAR(rhs[2], 1.0, 1e-12);
+}
+
+TEST(SkylineMatrixTest, SingularThrows) {
+  SkylineMatrix m(band_lows(2, 1));
+  m.set(0, 0, 1.0);
+  m.set(0, 1, 1.0);
+  m.set(1, 1, 1.0);  // rank 1
+  EXPECT_THROW(m.factorize(), Error);
+}
+
+TEST(SkylineMatrixTest, IndefiniteThrows) {
+  SkylineMatrix m(band_lows(2, 0));
+  m.set(0, 0, -1.0);
+  m.set(1, 1, 1.0);
+  EXPECT_THROW(m.factorize(), Error);
+}
+
+// ---- dense-reference correctness ------------------------------------------
+
+// Dense LDL^T, no blocking, no packed storage — the independent reference
+// both envelope codes are checked against. Works off any matrix type with
+// size()/get().
+struct DenseLdlt {
+  int n;
+  std::vector<std::vector<double>> l;  // unit lower, D on the diagonal
+
+  template <typename Matrix>
+  explicit DenseLdlt(const Matrix& a) : n(a.size()) {
+    std::vector<std::vector<double>> m(
+        static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n)));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) m[i][j] = a.get(i, j);
+    }
+    l = m;
+    for (int j = 0; j < n; ++j) {
+      double d = m[j][j];
+      for (int k = 0; k < j; ++k) d -= l[j][k] * l[j][k] * l[k][k];
+      l[j][j] = d;
+      for (int i = j + 1; i < n; ++i) {
+        double lij = m[i][j];
+        for (int k = 0; k < j; ++k) lij -= l[i][k] * l[j][k] * l[k][k];
+        l[i][j] = lij / d;
+      }
+    }
+  }
+
+  std::vector<double> solve(std::vector<double> b) const {
+    for (int i = 0; i < n; ++i) {
+      for (int k = 0; k < i; ++k) b[i] -= l[i][k] * b[k];
+    }
+    for (int i = 0; i < n; ++i) b[i] /= l[i][i];
+    for (int i = n - 1; i >= 0; --i) {
+      for (int k = i + 1; k < n; ++k) b[i] -= l[k][i] * b[k];
+    }
+    return b;
+  }
+};
+
+// Random ragged envelope: column i reaches back a random height in
+// [1, max_h], clamped to the matrix. Returns the lows.
+std::vector<int> random_lows(int n, int max_h, std::mt19937& rng) {
+  std::uniform_int_distribution<int> height(1, max_h);
+  std::vector<int> lows(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    lows[static_cast<size_t>(i)] = std::max(0, i - (height(rng) - 1));
+  }
+  return lows;
+}
+
+// Random SPD values over a given envelope (diagonal dominance => SPD).
+SkylineMatrix random_spd_skyline(std::vector<int> lows, int max_h,
+                                 unsigned seed) {
+  SkylineMatrix a(std::move(lows));
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int i = 0; i < a.size(); ++i) {
+    for (int j = i - a.column_height(i) + 1; j < i; ++j) {
+      a.set(i, j, dist(rng));
+    }
+    a.set(i, i, 2.0 * max_h + 4.0);
+  }
+  return a;
+}
+
+// Both storage layouts of the same band-shaped random SPD matrix agree
+// with the dense reference, across shapes spanning the skyline serial path
+// (max height < 16), the blocked path, panel remainders, the B-capped
+// region, and a nearly dense matrix — the same 7 shapes the banded suite
+// sweeps.
+class BandSkylineVsDense
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BandSkylineVsDense, BothLayoutsMatchDenseReference) {
+  const auto [n, hbw] = GetParam();
+  const unsigned seed = static_cast<unsigned>(n * 131 + hbw);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+
+  BandedMatrix band(n, hbw);
+  SkylineMatrix sky(band_lows(n, hbw));
+  for (int i = 0; i < n; ++i) {
+    for (int j = std::max(0, i - hbw); j < i; ++j) {
+      const double v = dist(rng);
+      band.set(i, j, v);
+      sky.set(i, j, v);
+    }
+    band.set(i, i, 2.0 * hbw + 4.0);
+    sky.set(i, i, 2.0 * hbw + 4.0);
+  }
+  const DenseLdlt ref(band);
+
+  band.factorize();
+  sky.factorize();
+  const double tol = 1e-9 * (2.0 * hbw + 4.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = std::max(0, i - hbw); j <= i; ++j) {
+      EXPECT_NEAR(band.get(i, j), ref.l[i][j], tol)
+          << "banded L/D entry (" << i << "," << j << ")";
+      EXPECT_NEAR(sky.get(i, j), ref.l[i][j], tol)
+          << "skyline L/D entry (" << i << "," << j << ")";
+    }
+  }
+
+  std::vector<double> b(static_cast<size_t>(n));
+  for (double& v : b) v = dist(rng);
+  std::vector<double> x_band = b;
+  std::vector<double> x_sky = b;
+  band.solve(x_band);
+  sky.solve(x_sky);
+  const std::vector<double> x_ref = ref.solve(b);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(x_band[static_cast<size_t>(i)], x_ref[static_cast<size_t>(i)],
+                1e-10)
+        << "banded solution entry " << i;
+    EXPECT_NEAR(x_sky[static_cast<size_t>(i)], x_ref[static_cast<size_t>(i)],
+                1e-10)
+        << "skyline solution entry " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BandSkylineVsDense,
+    ::testing::Values(std::pair{40, 8},     // skyline serial path
+                      std::pair{40, 16},    // smallest blocked height
+                      std::pair{97, 24},    // panel remainder
+                      std::pair{128, 32},   // multiple panels
+                      std::pair{257, 64},   // B capped region
+                      std::pair{300, 150},  // wide band, few panels
+                      std::pair{64, 63}));  // nearly dense
+
+// Ragged (truly skyline-shaped) envelopes against the dense reference —
+// the structure the banded code cannot even represent.
+class RaggedVsDense : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RaggedVsDense, FactorsAndSolutionsMatchDenseReference) {
+  const auto [n, max_h] = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(n * 77 + max_h));
+  SkylineMatrix a = random_spd_skyline(random_lows(n, max_h, rng), max_h,
+                                       static_cast<unsigned>(n + max_h));
+  const DenseLdlt ref(a);
+  a.factorize();
+  const double tol = 1e-9 * (2.0 * max_h + 4.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i - a.column_height(i) + 1; j <= i; ++j) {
+      EXPECT_NEAR(a.get(i, j), ref.l[i][j], tol)
+          << "L/D entry (" << i << "," << j << ") n=" << n;
+    }
+  }
+  std::mt19937 rhs_rng(static_cast<unsigned>(max_h));
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> b(static_cast<size_t>(n));
+  for (double& v : b) v = dist(rng);
+  std::vector<double> x = b;
+  a.solve(x);
+  const std::vector<double> x_ref = ref.solve(b);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<size_t>(i)], x_ref[static_cast<size_t>(i)],
+                1e-10)
+        << "solution entry " << i << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RaggedVsDense,
+                         ::testing::Values(std::pair{60, 12},   // serial path
+                                           std::pair{80, 20},
+                                           std::pair{150, 40},
+                                           std::pair{257, 96}));
+
+TEST(SkylineMatrixTest, AdoptFactorReplaysBitIdentically) {
+  std::mt19937 rng(11u);
+  SkylineMatrix a = random_spd_skyline(random_lows(90, 24, rng), 24, 5u);
+  a.factorize();
+
+  SkylineMatrix adopted =
+      SkylineMatrix::adopt_factor(a.column_lows(), a.values());
+  ASSERT_TRUE(adopted.factorized());
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> b(90);
+  for (double& v : b) v = dist(rng);
+  std::vector<double> x1 = b;
+  std::vector<double> x2 = b;
+  a.solve(x1);
+  adopted.solve(x2);
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(x1[i]),
+              std::bit_cast<std::uint64_t>(x2[i]));
+  }
+}
+
+// ---- determinism ----------------------------------------------------------
+
+// Serial and 8-thread skyline factorizations/solves are byte-identical:
+// the chunk partition may differ with the thread count, but no entry's
+// summation is ever resplit (same contract as the banded kernels).
+TEST(SkylineDeterminismTest, EightThreadsBitIdenticalToSerial) {
+  for (const auto& [n, max_h] : {std::pair{193, 40}, std::pair{128, 48},
+                                 std::pair{60, 12}}) {
+    std::mt19937 rng(static_cast<unsigned>(n * 31 + max_h));
+    const std::vector<int> lows = random_lows(n, max_h, rng);
+    const SkylineMatrix a = random_spd_skyline(
+        lows, max_h, static_cast<unsigned>(n + 3 * max_h));
+    std::vector<double> b(static_cast<size_t>(n));
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (double& v : b) v = dist(rng);
+
+    SkylineMatrix f1 = a;
+    std::vector<double> x1 = b;
+    {
+      util::ScopedThreads serial(1);
+      f1.factorize();
+      f1.solve(x1);
+    }
+
+    SkylineMatrix f8 = a;
+    std::vector<double> x8 = b;
+    {
+      util::ScopedThreads eight(8);
+      f8.factorize();
+      f8.solve(x8);
+    }
+
+    ASSERT_EQ(f1.values().size(), f8.values().size());
+    for (size_t s = 0; s < f1.values().size(); ++s) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(f1.values()[s]),
+                std::bit_cast<std::uint64_t>(f8.values()[s]))
+          << "factor slot " << s << " n=" << n << " max_h=" << max_h;
+    }
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(x1[static_cast<size_t>(i)]),
+                std::bit_cast<std::uint64_t>(x8[static_cast<size_t>(i)]))
+          << "solution entry " << i << " n=" << n << " max_h=" << max_h;
+    }
+  }
+}
+
+// ---- the fill predictor and the solve paths -------------------------------
+
+// A long uniform strip: every column is as tall as the band, so banded
+// storage wins (skyline saves nothing and the predictor must not flap).
+mesh::TriMesh strip_mesh(int nx) {
+  mesh::TriMesh m;
+  for (int i = 0; i <= nx; ++i) {
+    m.add_node({static_cast<double>(i), 0.0});
+    m.add_node({static_cast<double>(i), 1.0});
+  }
+  for (int i = 0; i < nx; ++i) {
+    const int a = 2 * i, b = 2 * i + 1, c = 2 * i + 2, d = 2 * i + 3;
+    m.add_element(a, c, b);
+    m.add_element(b, c, d);
+  }
+  m.orient_ccw();
+  return m;
+}
+
+// A wide base row with a tall narrow web on top (a T rotated 180°): the
+// base rows pin the half-bandwidth near the full width, but the web
+// columns are short — the envelope is a fraction of the band.
+mesh::TriMesh tower_mesh(int base_w, int web_h) {
+  mesh::TriMesh m;
+  std::vector<int> row0;
+  std::vector<int> row1;
+  for (int i = 0; i <= base_w; ++i) {
+    row0.push_back(m.add_node({static_cast<double>(i), 0.0}));
+  }
+  for (int i = 0; i <= base_w; ++i) {
+    row1.push_back(m.add_node({static_cast<double>(i), 1.0}));
+  }
+  for (int i = 0; i < base_w; ++i) {
+    m.add_element(row0[static_cast<size_t>(i)], row0[static_cast<size_t>(i) + 1],
+                  row1[static_cast<size_t>(i) + 1]);
+    m.add_element(row0[static_cast<size_t>(i)], row1[static_cast<size_t>(i) + 1],
+                  row1[static_cast<size_t>(i)]);
+  }
+  // 1-cell-wide web rising from the middle of the base.
+  const int wx = base_w / 2;
+  int prev_a = row1[static_cast<size_t>(wx)];
+  int prev_b = row1[static_cast<size_t>(wx) + 1];
+  for (int j = 2; j <= web_h; ++j) {
+    const int a = m.add_node({static_cast<double>(wx), static_cast<double>(j)});
+    const int b =
+        m.add_node({static_cast<double>(wx + 1), static_cast<double>(j)});
+    m.add_element(prev_a, prev_b, b);
+    m.add_element(prev_a, b, a);
+    prev_a = a;
+    prev_b = b;
+  }
+  m.orient_ccw();
+  return m;
+}
+
+fem::StaticProblem cantilever(const mesh::TriMesh& m) {
+  fem::StaticProblem p(m, fem::Analysis::kPlaneStress);
+  p.set_material(fem::Material::isotropic(1000.0, 0.3));
+  p.fix(0, true, true);
+  p.fix(1, true, true);
+  p.point_load(m.num_nodes() - 1, {0.0, -1.0});
+  return p;
+}
+
+TEST(PredictStorageTest, UniformStripKeepsBanded) {
+  const mesh::TriMesh m = strip_mesh(40);
+  const StoragePrediction pred = predict_storage(cantilever(m));
+  EXPECT_FALSE(pred.use_skyline);
+  EXPECT_GT(pred.band_bytes, 0);
+  EXPECT_GT(pred.skyline_bytes, 0);
+}
+
+TEST(PredictStorageTest, WideBaseNarrowWebPicksSkyline) {
+  const mesh::TriMesh m = tower_mesh(40, 60);
+  const StoragePrediction pred = predict_storage(cantilever(m));
+  EXPECT_TRUE(pred.use_skyline);
+  EXPECT_LT(pred.skyline_bytes, pred.band_bytes - pred.band_bytes / 4);
+}
+
+TEST(SolverStorageTest, SkylineSolveMatchesBandedNumerically) {
+  const mesh::TriMesh m = tower_mesh(24, 30);
+  const fem::StaticProblem p = cantilever(m);
+  RunOptions banded;
+  banded.solver_storage = SolverStorage::kBanded;
+  RunOptions skyline;
+  skyline.solver_storage = SolverStorage::kSkyline;
+  const StaticSolution ub = solve(p, banded);
+  const StaticSolution us = solve(p, skyline);
+  for (int n = 0; n < m.num_nodes(); ++n) {
+    const double tol_x = 1e-9 * (1.0 + std::abs(ub.at(n).x));
+    const double tol_y = 1e-9 * (1.0 + std::abs(ub.at(n).y));
+    EXPECT_NEAR(ub.at(n).x, us.at(n).x, tol_x) << "node " << n;
+    EXPECT_NEAR(ub.at(n).y, us.at(n).y, tol_y) << "node " << n;
+  }
+}
+
+TEST(SolverStorageTest, AutoMatchesForcedSkylineBitwise) {
+  const mesh::TriMesh m = tower_mesh(40, 60);
+  const fem::StaticProblem p = cantilever(m);
+  RunOptions auto_opts;  // kAuto; the tower predicts skyline
+  RunOptions forced;
+  forced.solver_storage = SolverStorage::kSkyline;
+  const StaticSolution ua = solve(p, auto_opts);
+  const StaticSolution uf = solve(p, forced);
+  for (int n = 0; n < m.num_nodes(); ++n) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(ua.at(n).x),
+              std::bit_cast<std::uint64_t>(uf.at(n).x));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(ua.at(n).y),
+              std::bit_cast<std::uint64_t>(uf.at(n).y));
+  }
+}
+
+TEST(SolverStorageTest, ForcedSkylineBitIdenticalAcrossThreadCounts) {
+  const mesh::TriMesh m = tower_mesh(40, 60);
+  const fem::StaticProblem p = cantilever(m);
+  RunOptions one;
+  one.solver_storage = SolverStorage::kSkyline;
+  one.threads = 1;
+  RunOptions eight = one;
+  eight.threads = 8;
+  const StaticSolution u1 = solve(p, one);
+  const StaticSolution u8 = solve(p, eight);
+  for (int n = 0; n < m.num_nodes(); ++n) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(u1.at(n).x),
+              std::bit_cast<std::uint64_t>(u8.at(n).x));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(u1.at(n).y),
+              std::bit_cast<std::uint64_t>(u8.at(n).y));
+  }
+}
+
+// ---- factor-cache keying --------------------------------------------------
+
+TEST(FactorCacheStorageTest, StorageKindsNeverAlias) {
+  const mesh::TriMesh m = tower_mesh(24, 30);
+  const fem::StaticProblem p = cantilever(m);
+  FactorCache cache(8);
+
+  RunOptions banded;
+  banded.solver_storage = SolverStorage::kBanded;
+  banded.factor_cache = &cache;
+  RunOptions skyline = banded;
+  skyline.solver_storage = SolverStorage::kSkyline;
+
+  const StaticSolution cold_b = solve(p, banded);   // miss, banded entry
+  const StaticSolution cold_s = solve(p, skyline);  // miss, skyline entry
+  {
+    const FactorCacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, 2);
+    EXPECT_EQ(s.hits, 0);
+    EXPECT_EQ(s.entries, 2);
+  }
+
+  const StaticSolution warm_b = solve(p, banded);   // hits the banded slot
+  const StaticSolution warm_s = solve(p, skyline);  // hits the skyline slot
+  {
+    const FactorCacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, 2);
+    EXPECT_EQ(s.hits, 2);
+    EXPECT_EQ(s.entries, 2);
+  }
+
+  // Each warm solve replays its own layout's factor bit-identically.
+  for (int n = 0; n < m.num_nodes(); ++n) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(cold_b.at(n).x),
+              std::bit_cast<std::uint64_t>(warm_b.at(n).x));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(cold_b.at(n).y),
+              std::bit_cast<std::uint64_t>(warm_b.at(n).y));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(cold_s.at(n).x),
+              std::bit_cast<std::uint64_t>(warm_s.at(n).x));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(cold_s.at(n).y),
+              std::bit_cast<std::uint64_t>(warm_s.at(n).y));
+  }
+}
+
+TEST(FactorCacheStorageTest, ConfigTagSeparatesEveryStorageOrderingPair) {
+  std::set<std::uint64_t> tags;
+  for (const SolverStorage s : {SolverStorage::kAuto, SolverStorage::kBanded,
+                                SolverStorage::kSkyline}) {
+    for (const OrderingChoice o :
+         {OrderingChoice::kDeckDefault, OrderingChoice::kNone,
+          OrderingChoice::kRcm, OrderingChoice::kHilbert}) {
+      tags.insert(factor_config(s, o));
+    }
+  }
+  EXPECT_EQ(tags.size(), 12u);
+}
+
+}  // namespace
+}  // namespace feio::fem

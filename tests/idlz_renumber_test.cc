@@ -129,6 +129,139 @@ TEST(PseudoPeripheralTest, IsolatedNode) {
   EXPECT_EQ(pseudo_peripheral_node(adj, 0), 0);
 }
 
+TEST(PseudoPeripheralTest, PrefersLowDegreeNodeOfDeepestLevel) {
+  // Regression for the pre-George–Liu bug: the old search returned the raw
+  // BFS frontier node (adjacency discovery order), which here is node 4 —
+  // a degree-2 interior corner. The deepest level from seed 0 is {4, 5};
+  // the minimum-degree member is the true periphery, node 5 (degree 1).
+  const std::vector<std::vector<int>> adj{
+      {1}, {0, 2, 3}, {1, 3, 4}, {1, 2, 4, 5}, {2, 3}, {3}};
+  EXPECT_EQ(pseudo_peripheral_node(adj, 0), 5);
+}
+
+// Every node appears exactly once in a permutation (new_index =
+// perm[old_index]); returns a diagnostic on failure.
+::testing::AssertionResult is_bijection(const std::vector<int>& perm) {
+  std::vector<char> seen(perm.size(), 0);
+  for (int p : perm) {
+    if (p < 0 || p >= static_cast<int>(perm.size())) {
+      return ::testing::AssertionFailure() << "index " << p << " out of range";
+    }
+    if (seen[static_cast<size_t>(p)]) {
+      return ::testing::AssertionFailure() << "index " << p << " duplicated";
+    }
+    seen[static_cast<size_t>(p)] = 1;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Two grids plus a lone triangle, all shuffled together: the CM walk must
+// restart per component and still touch every node exactly once.
+mesh::TriMesh three_components(unsigned seed) {
+  mesh::TriMesh m = grid_mesh(5, 3);
+  const int b1 = m.num_nodes();
+  for (int j = 0; j <= 2; ++j) {
+    for (int i = 0; i <= 3; ++i) {
+      m.add_node({50.0 + i, 50.0 + j});
+    }
+  }
+  auto id = [b1](int i, int j) { return b1 + j * 4 + i; };
+  for (int j = 0; j < 2; ++j) {
+    for (int i = 0; i < 3; ++i) {
+      m.add_element(id(i, j), id(i + 1, j), id(i + 1, j + 1));
+      m.add_element(id(i, j), id(i + 1, j + 1), id(i, j + 1));
+    }
+  }
+  const int b2 = m.num_nodes();
+  m.add_node({100.0, 0.0});
+  m.add_node({101.0, 0.0});
+  m.add_node({100.0, 1.0});
+  m.add_element(b2, b2 + 1, b2 + 2);
+  return shuffled(std::move(m), seed);
+}
+
+TEST(PermutationTest, DisconnectedMeshesStayBijective) {
+  // Property test: across seeds and both CM directions, a multi-component
+  // mesh always yields a full permutation — no node dropped or duplicated
+  // at component boundaries.
+  for (unsigned seed : {1u, 7u, 23u, 40u, 91u}) {
+    const mesh::TriMesh m = three_components(seed);
+    for (bool reverse : {false, true}) {
+      const std::vector<int> perm = cuthill_mckee_permutation(m, reverse);
+      ASSERT_EQ(perm.size(), static_cast<size_t>(m.num_nodes()));
+      EXPECT_TRUE(is_bijection(perm))
+          << "seed=" << seed << " reverse=" << reverse;
+    }
+    EXPECT_TRUE(is_bijection(hilbert_permutation(m))) << "seed=" << seed;
+  }
+}
+
+TEST(RenumberTest, DisconnectedRenumberIsValidAndNeverWorse) {
+  for (unsigned seed : {3u, 17u}) {
+    mesh::TriMesh m = three_components(seed);
+    const int before = mesh::bandwidth(m);
+    const RenumberReport rep = renumber(m);
+    EXPECT_LE(rep.bandwidth_after, before) << "seed=" << seed;
+    EXPECT_TRUE(mesh::validate(m).ok()) << "seed=" << seed;
+    if (rep.applied) {
+      EXPECT_TRUE(is_bijection(rep.permutation)) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(HilbertTest, DeterministicBijectionThatRestoresLocality) {
+  // Purely geometric: shuffling the numbering does not change coordinates,
+  // so the Hilbert order of a shuffled grid must undo the shuffle's damage
+  // — the profile after reordering lands well under the shuffled one.
+  mesh::TriMesh m = shuffled(grid_mesh(12, 12), 19);
+  const std::vector<int> perm = hilbert_permutation(m);
+  ASSERT_TRUE(is_bijection(perm));
+  EXPECT_EQ(perm, hilbert_permutation(m));  // deterministic
+
+  const long before = mesh::profile(m);
+  m.renumber_nodes(perm);
+  EXPECT_LT(mesh::profile(m), before / 2);
+}
+
+TEST(HilbertTest, SchemeSelectableThroughRenumber) {
+  mesh::TriMesh m = shuffled(grid_mesh(10, 6), 13);
+  const RenumberReport rep = renumber(m, NumberingScheme::kHilbert);
+  ASSERT_TRUE(rep.applied);
+  EXPECT_EQ(rep.used, NumberingScheme::kHilbert);
+  EXPECT_TRUE(is_bijection(rep.permutation));
+  EXPECT_TRUE(mesh::validate(m).ok());
+}
+
+TEST(RenumberTest, OrderingOverrideThroughRunOptions) {
+  // The RunOptions ordering override beats the deck: kNone forces the pass
+  // off even when the deck asked for it, and kRcm/kHilbert force the named
+  // scheme on a deck that had renumbering disabled.
+  IdlzCase c = scenarios::fig09_dsrv_hatch();
+  c.options.renumber_nodes = true;
+
+  RunOptions off;
+  off.ordering = OrderingChoice::kNone;
+  EXPECT_FALSE(run(c, off).renumbering.applied);
+
+  c.options.renumber_nodes = false;
+  RunOptions rcm;
+  rcm.ordering = OrderingChoice::kRcm;
+  const IdlzResult r1 = run(c, rcm);
+  if (r1.renumbering.applied) {
+    EXPECT_EQ(r1.renumbering.used, NumberingScheme::kReverseCuthillMcKee);
+  }
+  RunOptions hilbert;
+  hilbert.ordering = OrderingChoice::kHilbert;
+  const IdlzResult r2 = run(c, hilbert);
+  if (r2.renumbering.applied) {
+    EXPECT_EQ(r2.renumbering.used, NumberingScheme::kHilbert);
+  }
+  // Whether either scheme improved the deck or not, the pass never makes
+  // the numbering worse than generation order.
+  EXPECT_LE(r1.renumbering.bandwidth_after, r1.renumbering.bandwidth_before);
+  EXPECT_LE(r2.renumbering.bandwidth_after, r2.renumbering.bandwidth_before);
+}
+
 TEST(RenumberTest, PipelineNonumbEquivalent) {
   // NONUMB=0 keeps the assembly numbering; NONUMB=1 never does worse.
   IdlzCase c = scenarios::fig09_dsrv_hatch();

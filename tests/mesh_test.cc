@@ -235,10 +235,17 @@ TEST(BandwidthTest, GridRowMajorBandwidth) {
 }
 
 TEST(BandwidthTest, EmptyMeshIsZero) {
+  EXPECT_EQ(bandwidth(TriMesh{}), 0);
+  EXPECT_EQ(profile(TriMesh{}), 0);
+}
+
+TEST(BandwidthTest, SingleNodeProfileCountsDiagonal) {
+  // profile() is the exact skyline entry count, diagonal included: a lone
+  // node contributes its one diagonal entry.
   TriMesh m;
   m.add_node({0, 0});
   EXPECT_EQ(bandwidth(m), 0);
-  EXPECT_EQ(profile(m), 0);
+  EXPECT_EQ(profile(m), 1);
 }
 
 TEST(BandwidthTest, ProfilePositiveAndBoundedByBandwidth) {

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "feio/options.h"
 #include "idlz/deck.h"
 #include "json_check.h"
 #include "ospl/deck.h"
@@ -715,6 +716,72 @@ TEST(ServeCacheTest, DisabledCachesAreFlaggedAndZeroedInTheSummary) {
   EXPECT_NE(bench.find("\"format_enabled\": false"), std::string::npos);
   EXPECT_NE(bench.find("\"factor_enabled\": false"), std::string::npos);
   EXPECT_NE(bench.find("\"factor_load_reuses\": 0"), std::string::npos);
+}
+
+TEST(ServeCacheTest, FactorTtlPlumbsThroughAndSummarizes) {
+  // A generous TTL must never evict inside a fast session: caching works
+  // as without the TTL and the summary reports zero ttl evictions. (The
+  // eviction mechanics themselves are pinned deterministically with an
+  // injected clock in cache_test.cc.)
+  serve::ServeOptions opts;
+  opts.threads = 1;
+  opts.factor_ttl_ms = 60'000;
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s =
+      run_serve({solve_job("a"), solve_job("a"), solve_job("a")}, envelopes,
+                opts);
+  EXPECT_EQ(s.ok, 3);
+  EXPECT_TRUE(s.factor_cache_enabled);
+  EXPECT_EQ(s.factor_hits, 2);
+  EXPECT_EQ(s.factor_misses, 1);
+  EXPECT_EQ(s.factor_ttl_evictions, 0);
+  const std::string bench = s.render_bench_json();
+  EXPECT_NE(bench.find("\"factor_ttl_evictions\": 0"), std::string::npos);
+}
+
+TEST(ServeCacheTest, StorageAndOrderFlagsPinEveryJobsRunOptions) {
+  // The shared facade parses --storage/--order (joined and split forms)
+  // and threads them into both RunOptions and ServeOptions, so a pinned
+  // deployment re-keys its factor cache away from an auto one.
+  feio::api::CommonOptions common;
+  std::string error;
+  std::vector<std::string> argv_storage = {"--storage", "skyline",
+                                           "--order=hilbert"};
+  std::vector<char*> argv;
+  for (std::string& a : argv_storage) argv.push_back(a.data());
+  const int argc = static_cast<int>(argv.size());
+  for (int i = 0; i < argc; ++i) {
+    ASSERT_EQ(feio::api::consume_flag(common, argc, argv.data(), i, error),
+              feio::api::FlagStatus::kOk)
+        << error;
+  }
+  const RunOptions ro = feio::api::run_options(common);
+  EXPECT_EQ(ro.solver_storage, SolverStorage::kSkyline);
+  EXPECT_EQ(ro.ordering, OrderingChoice::kHilbert);
+  const serve::ServeOptions so = feio::api::serve_options(common);
+  EXPECT_EQ(so.solver_storage, SolverStorage::kSkyline);
+  EXPECT_EQ(so.ordering, OrderingChoice::kHilbert);
+
+  // Junk values are structured flag errors, not silent defaults.
+  feio::api::CommonOptions bad;
+  std::string junk = "--storage=columnar";
+  char* bad_argv[] = {junk.data()};
+  int j = 0;
+  EXPECT_EQ(feio::api::consume_flag(bad, 1, bad_argv, j, error),
+            feio::api::FlagStatus::kError);
+  EXPECT_NE(error.find("auto, banded or skyline"), std::string::npos);
+
+  // A pinned session still serves correctly: forced-skyline solves hit
+  // the cache on repeats exactly like the auto path.
+  serve::ServeOptions opts;
+  opts.threads = 1;
+  opts.solver_storage = SolverStorage::kSkyline;
+  std::vector<std::string> envelopes;
+  const serve::ServeSummary s =
+      run_serve({solve_job("a"), solve_job("a")}, envelopes, opts);
+  EXPECT_EQ(s.ok, 2);
+  EXPECT_EQ(s.factor_misses, 1);
+  EXPECT_EQ(s.factor_hits, 1);
 }
 
 // --- Multi-tenant admission (PR 9) -----------------------------------------

@@ -28,7 +28,7 @@ REQUIRED_KEYS = {
 # payloads; see docs/BENCHMARKS.md and docs/ROBUSTNESS.md).
 BENCH_KEYS = {
     "feio.bench.pipeline/1": ["threads", "all_identical", "cases", "metrics"],
-    "feio.bench.solver/1": ["threads", "all_identical", "cases", "metrics"],
+    "feio.bench.solver/2": ["threads", "all_identical", "cases", "metrics"],
     "feio.bench.serve/1": ["jobs", "ok", "rejected", "timed_out", "faulted",
                            "errors", "wall_ms", "jobs_per_sec", "p50_ms",
                            "p99_ms", "max_ms", "connections",
@@ -42,7 +42,19 @@ BENCH_KEYS = {
 # tenant shares), and the optional --ablate-caches block.
 SERVE_CACHE_KEYS = ("format_enabled", "format_hits", "format_misses",
                     "format_hit_rate", "factor_enabled", "factor_hits",
-                    "factor_misses", "factor_load_reuses", "factor_hit_rate")
+                    "factor_misses", "factor_load_reuses",
+                    "factor_ttl_evictions", "factor_hit_rate")
+
+# Per-case keys of the feio.bench.solver/2 ordering x storage ablation
+# payload (docs/BENCHMARKS.md). A `skipped` case (either layout over the
+# harness byte or flop cap) must carry zero timings; a run case must be
+# `identical` (parallel output byte-equal to serial).
+SOLVER_CASE_KEYS = ("name", "stage", "mesh", "ordering", "storage",
+                    "auto_storage", "n", "half_bandwidth", "node_bw",
+                    "band_bytes", "skyline_bytes", "serial_ms", "parallel_ms",
+                    "speedup", "identical", "skipped")
+SOLVER_ORDERINGS = ("none", "rcm", "hilbert")
+SOLVER_STORAGES = ("banded", "skyline")
 SERVE_TENANT_KEYS = ("tenant", "weight", "jobs", "ok", "rejected",
                      "timed_out", "faulted", "errors", "share")
 SERVE_WINDOW_KEYS = ("jobs", "wall_ms", "jobs_per_sec", "p50_ms", "p99_ms",
@@ -89,6 +101,8 @@ def check_report(path, want_kind=None):
                 fail(f"{path}: serve buckets sum to {buckets}, "
                      f"want jobs={doc['jobs']}")
             check_serve_extensions(path, doc)
+        elif payload == "feio.bench.solver/2":
+            check_solver_cases(path, doc)
         else:
             for case in doc["cases"]:
                 if not case.get("identical"):
@@ -107,6 +121,29 @@ def check_report(path, want_kind=None):
             if hist["count"] < 1 or sum(hist["buckets"]) != hist["count"]:
                 fail(f"{path}: histogram {name!r} buckets do not sum to count")
     print(f"{path}: valid feio.report/1 kind={kind}")
+
+
+def check_solver_cases(path, doc):
+    """Per-case shape of the feio.bench.solver/2 ablation payload."""
+    for case in doc["cases"]:
+        name = case.get("name")
+        for key in SOLVER_CASE_KEYS:
+            if key not in case:
+                fail(f"{path}: solver case {name!r} is missing {key!r}")
+        if case["ordering"] not in SOLVER_ORDERINGS:
+            fail(f"{path}: solver case {name!r} ordering "
+                 f"{case['ordering']!r}, want one of {SOLVER_ORDERINGS}")
+        for key in ("storage", "auto_storage"):
+            if case[key] not in SOLVER_STORAGES:
+                fail(f"{path}: solver case {name!r} {key} "
+                     f"{case[key]!r}, want one of {SOLVER_STORAGES}")
+        if case["band_bytes"] < 0 or case["skyline_bytes"] < 0:
+            fail(f"{path}: solver case {name!r} has negative byte counts")
+        if case["skipped"]:
+            if case["serial_ms"] != 0 or case["parallel_ms"] != 0:
+                fail(f"{path}: skipped solver case {name!r} carries timings")
+        elif not case["identical"]:
+            fail(f"{path}: solver case {name!r} not identical")
 
 
 def check_serve_extensions(path, doc):
@@ -128,6 +165,7 @@ def check_serve_extensions(path, doc):
                     + cache[f"{side}_hit_rate"])
             if side == "factor":
                 busy += cache["factor_load_reuses"]
+                busy += cache["factor_ttl_evictions"]
             if busy != 0:
                 fail(f"{path}: serve {side} cache is disabled but reports "
                      "non-zero traffic")

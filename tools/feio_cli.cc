@@ -105,6 +105,8 @@ void print_usage(std::FILE* to) {
                "usage:\n"
                "  feio idlz <deck>... [--out DIR] [--threads N] "
                "[--diag-json FILE]\n"
+               "      [--order deck|none|rcm|hilbert] "
+               "[--storage auto|banded|skyline]\n"
                "  feio ospl <deck>... [--out DIR] [--threads N] "
                "[--diag-json FILE]\n"
                "  feio check <deck>... [--ospl] [--json] [--threads N] "
@@ -117,8 +119,10 @@ void print_usage(std::FILE* to) {
                "  feio serve (--stdin-jsonl | --listen ADDR) [--threads N]\n"
                "      [--queue N] [--deadline-ms N] [--max-cards N]\n"
                "      [--max-dofs N] [--cache-formats N] [--cache-factors N]\n"
+               "      [--factor-ttl-ms N]\n"
                "      [--window-jobs N] [--ablate-caches] [--out DIR]\n"
                "      [--max-conns N] [--tenant NAME:weight=W,queue=N,...]\n"
+               "      [--order ...] [--storage ...]\n"
                "  feio help\n"
                "observability (every subcommand; see docs/OBSERVABILITY.md):\n"
                "  --trace FILE         Chrome trace-event JSON of this run\n"
@@ -131,9 +135,14 @@ void print_usage(std::FILE* to) {
                "  configured with -DFEIO_FAULT_INJECTION=ON only; see\n"
                "  docs/ROBUSTNESS.md for the site registry)\n"
                "--cache-formats/--cache-factors bound the serve-path caches\n"
-               "  (0 disables); --window-jobs sizes the rolling summary\n"
-               "  windows; --ablate-caches replays the stream with caches\n"
-               "  off and adds the speedup to BENCH_serve.json\n"
+               "  (0 disables); --factor-ttl-ms evicts factor-cache entries\n"
+               "  idle longer than N ms (0 = no TTL); --window-jobs sizes\n"
+               "  the rolling summary windows; --ablate-caches replays the\n"
+               "  stream with caches off and adds the speedup to\n"
+               "  BENCH_serve.json\n"
+               "--order overrides the deck's renumbering scheme; --storage\n"
+               "  pins the stiffness layout (auto lets the fill predictor\n"
+               "  choose between banded and compressed skyline)\n"
                "--listen ADDR serves concurrent connections on host:port or\n"
                "  unix:path; --max-conns N stops after N connections\n"
                "  (0 = accept forever)\n"
